@@ -1,0 +1,11 @@
+//! Ablation bench: contribution of each pruning stage to end-to-end
+//! enumeration time. Run: `cargo bench --bench ablation_pruning`.
+
+fn main() {
+    let opts = fbe_bench::Opts::from_args();
+    println!("=== Ablation: pruning stages (budget {:?}/run) ===", opts.budget);
+    for (i, t) in fbe_bench::experiments::ablation_pruning(&opts).into_iter().enumerate() {
+        t.print();
+        t.save(&format!("ablation_pruning_{i}"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 11-12 (proportion models) of the paper. Run: `cargo bench --bench fig11_12_proportion`
+//! (add `-- --quick` for a reduced sweep).
+
+fn main() {
+    let opts = fbe_bench::Opts::from_args();
+    println!("=== Fig. 11-12 (proportion models) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
+    for (i, t) in fbe_bench::experiments::exp7_fig11_12(&opts).into_iter().enumerate() {
+        t.print();
+        t.save(&format!("fig11_12_proportion_{i}"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7 (scalability) of the paper. Run: `cargo bench --bench fig7_scalability`
+//! (add `-- --quick` for a reduced sweep).
+
+fn main() {
+    let opts = fbe_bench::Opts::from_args();
+    println!("=== Fig. 7 (scalability) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
+    for (i, t) in fbe_bench::experiments::exp5_fig7(&opts).into_iter().enumerate() {
+        t.print();
+        t.save(&format!("fig7_scalability_{i}"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 8 (memory overhead) of the paper. Run: `cargo bench --bench fig8_memory`
+//! (add `-- --quick` for a reduced sweep).
+
+fn main() {
+    let opts = fbe_bench::Opts::from_args();
+    println!("=== Fig. 8 (memory overhead) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
+    for (i, t) in fbe_bench::experiments::exp6_fig8(&opts).into_iter().enumerate() {
+        t.print();
+        t.save(&format!("fig8_memory_{i}"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the core primitives: sorted
+//! intersection, 2-hop construction, greedy coloring, FCore/CFCore
+//! peeling, `Combination` expansion, and the two main enumerators on
+//! the pruned Youtube analog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fair_biclique::biclique::CountSink;
+use fair_biclique::config::{Budget, PruneKind, RunConfig, VertexOrder};
+use fair_biclique::fairset::max_fair_subsets;
+use fair_biclique::pipeline::{prune_single_side, run_ssfbc, SsAlgorithm};
+use fbe_datasets::corpus::{spec, Dataset};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let s = spec(Dataset::Youtube);
+    let g = s.build();
+    let params = s.single_params();
+
+    let a: Vec<u32> = (0..4000).step_by(3).collect();
+    let b: Vec<u32> = (0..4000).step_by(4).collect();
+    c.bench_function("intersect_sorted_count_1k", |bch| {
+        bch.iter(|| bigraph::intersect_sorted_count(black_box(&a), black_box(&b)))
+    });
+
+    c.bench_function("fcore_youtube", |bch| {
+        bch.iter(|| fair_biclique::fcore::fcore_masks(black_box(&g), params.alpha, params.beta))
+    });
+
+    c.bench_function("cfcore_youtube", |bch| {
+        bch.iter(|| prune_single_side(black_box(&g), params, PruneKind::Colorful))
+    });
+
+    let pruned = prune_single_side(&g, params, PruneKind::FCore);
+    c.bench_function("twohop_on_fcore_pruned", |bch| {
+        bch.iter(|| {
+            bigraph::twohop::construct_2hop(
+                black_box(&pruned.sub.graph),
+                bigraph::Side::Lower,
+                params.alpha as usize,
+            )
+        })
+    });
+
+    let h = bigraph::twohop::construct_2hop(&pruned.sub.graph, bigraph::Side::Lower, params.alpha as usize);
+    c.bench_function("greedy_coloring", |bch| {
+        bch.iter(|| bigraph::coloring::greedy_color_by_degree(black_box(&h)))
+    });
+
+    let g0: Vec<u32> = (0..12).collect();
+    let g1: Vec<u32> = (100..110).collect();
+    c.bench_function("combination_12x10", |bch| {
+        bch.iter(|| max_fair_subsets(black_box(&[&g0, &g1]), 4, 2))
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let s = spec(Dataset::Youtube);
+    let g = s.build();
+    let params = s.single_params();
+    let cfg = RunConfig {
+        prune: PruneKind::Colorful,
+        order: VertexOrder::DegreeDesc,
+        budget: Budget::UNLIMITED,
+    };
+    let mut group = c.benchmark_group("enumeration_youtube");
+    group.sample_size(10);
+    group.bench_function("fairbcem", |bch| {
+        bch.iter(|| {
+            let mut sink = CountSink::default();
+            run_ssfbc(black_box(&g), params, SsAlgorithm::FairBcem, &cfg, &mut sink);
+            sink.count
+        })
+    });
+    group.bench_function("fairbcem_pp", |bch| {
+        bch.iter(|| {
+            let mut sink = CountSink::default();
+            run_ssfbc(black_box(&g), params, SsAlgorithm::FairBcemPP, &cfg, &mut sink);
+            sink.count
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_enumeration);
+criterion_main!(benches);

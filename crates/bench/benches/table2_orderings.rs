@@ -1,0 +1,11 @@
+//! Regenerates Table II (orderings) of the paper. Run: `cargo bench --bench table2_orderings`
+//! (add `-- --quick` for a reduced sweep).
+
+fn main() {
+    let opts = fbe_bench::Opts::from_args();
+    println!("=== Table II (orderings) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
+    for (i, t) in fbe_bench::experiments::exp2_table2(&opts).into_iter().enumerate() {
+        t.print();
+        t.save(&format!("table2_orderings_{i}"));
+    }
+}

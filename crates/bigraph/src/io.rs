@@ -1,0 +1,240 @@
+//! Edge-list and attribute-file IO.
+//!
+//! The paper's datasets come from <http://konect.cc>; KONECT ships
+//! whitespace-separated edge lists with optional `%` comment headers.
+//! [`read_edge_list`] parses that format (1-based or 0-based ids both
+//! work — ids are taken verbatim). Attribute files are one
+//! `vertex attr` pair per line. Writers produce the same formats so
+//! graphs round-trip.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{AttrValueId, BipartiteGraph, Side, VertexId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what failed to parse.
+        msg: String,
+    },
+    /// Graph construction failed after parsing.
+    Build(crate::builder::BuildError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Build(e) => write!(f, "build error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parse a KONECT-style bipartite edge list from a reader.
+///
+/// Lines starting with `%` or `#` (and blank lines) are skipped. Each
+/// data line is `u v` (anything after the second token — e.g. KONECT
+/// weights/timestamps — is ignored). All vertices default to attribute
+/// value 0; combine with [`read_attr_pairs`] or
+/// [`crate::generate::with_random_attrs`].
+pub fn read_edge_list<R: Read>(
+    r: R,
+    n_upper_attrs: AttrValueId,
+    n_lower_attrs: AttrValueId,
+) -> Result<BipartiteGraph, IoError> {
+    let mut b = GraphBuilder::new(n_upper_attrs, n_lower_attrs);
+    let reader = BufReader::new(r);
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u = parse_id(it.next(), lineno)?;
+        let v = parse_id(it.next(), lineno)?;
+        b.add_edge(u, v);
+    }
+    b.build().map_err(IoError::Build)
+}
+
+fn parse_id(tok: Option<&str>, line: usize) -> Result<VertexId, IoError> {
+    let tok = tok.ok_or(IoError::Parse {
+        line,
+        msg: "expected two vertex ids".into(),
+    })?;
+    tok.parse::<VertexId>().map_err(|e| IoError::Parse {
+        line,
+        msg: format!("bad vertex id {tok:?}: {e}"),
+    })
+}
+
+/// Read `vertex attr` pairs and return them (does not touch a graph; use
+/// with [`GraphBuilder`] or rebuild via [`crate::generate::with_random_attrs`]).
+pub fn read_attr_pairs<R: Read>(r: R) -> Result<Vec<(VertexId, AttrValueId)>, IoError> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let v = parse_id(it.next(), i + 1)?;
+        let a = it
+            .next()
+            .ok_or(IoError::Parse {
+                line: i + 1,
+                msg: "expected `vertex attr`".into(),
+            })?
+            .parse::<AttrValueId>()
+            .map_err(|e| IoError::Parse {
+                line: i + 1,
+                msg: format!("bad attr: {e}"),
+            })?;
+        out.push((v, a));
+    }
+    Ok(out)
+}
+
+/// Load a graph from an edge-list file plus optional attribute files.
+pub fn load_graph(
+    edges_path: &Path,
+    upper_attrs_path: Option<&Path>,
+    lower_attrs_path: Option<&Path>,
+    n_upper_attrs: AttrValueId,
+    n_lower_attrs: AttrValueId,
+) -> Result<BipartiteGraph, IoError> {
+    let f = std::fs::File::open(edges_path)?;
+    let g = read_edge_list(f, n_upper_attrs, n_lower_attrs)?;
+    if upper_attrs_path.is_none() && lower_attrs_path.is_none() {
+        return Ok(g);
+    }
+    // Rebuild with attributes applied.
+    let mut b = GraphBuilder::new(n_upper_attrs, n_lower_attrs).with_edge_capacity(g.n_edges());
+    b.ensure_vertices(g.n_upper(), g.n_lower());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    if let Some(p) = upper_attrs_path {
+        for (v, a) in read_attr_pairs(std::fs::File::open(p)?)? {
+            b.set_attr_upper(v, a);
+        }
+    }
+    if let Some(p) = lower_attrs_path {
+        for (v, a) in read_attr_pairs(std::fs::File::open(p)?)? {
+            b.set_attr_lower(v, a);
+        }
+    }
+    b.build().map_err(IoError::Build)
+}
+
+/// Write `g` as an edge list with a KONECT-style `%` header.
+pub fn write_edge_list<W: Write>(g: &BipartiteGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "% bip {} {} {}", g.n_upper(), g.n_lower(), g.n_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Write one side's attributes as `vertex attr` lines.
+pub fn write_attrs<W: Write>(g: &BipartiteGraph, side: Side, mut w: W) -> std::io::Result<()> {
+    for (v, &a) in g.attrs(side).iter().enumerate() {
+        writeln!(w, "{v} {a}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_uniform;
+
+    #[test]
+    fn parse_with_comments_and_extras() {
+        let data = "% header\n# another\n\n0 1\n1 0 17 2020\n2 2\n";
+        let g = read_edge_list(data.as_bytes(), 2, 2).unwrap();
+        assert_eq!(g.n_edges(), 3);
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.n_upper(), 3);
+        assert_eq!(g.n_lower(), 3);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let data = "0 1\nbogus\n";
+        let err = read_edge_list(data.as_bytes(), 1, 1).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+        let data2 = "0\n";
+        assert!(matches!(
+            read_edge_list(data2.as_bytes(), 1, 1),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn attr_pairs_parse() {
+        let data = "% c\n0 1\n3 0\n";
+        let pairs = read_attr_pairs(data.as_bytes()).unwrap();
+        assert_eq!(pairs, vec![(0, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn roundtrip_through_files() {
+        let g = random_uniform(10, 12, 40, 2, 3, 5);
+        let dir = std::env::temp_dir().join("bigraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ep = dir.join("edges.txt");
+        let up = dir.join("u.attr");
+        let lp = dir.join("v.attr");
+        write_edge_list(&g, std::fs::File::create(&ep).unwrap()).unwrap();
+        write_attrs(&g, Side::Upper, std::fs::File::create(&up).unwrap()).unwrap();
+        write_attrs(&g, Side::Lower, std::fs::File::create(&lp).unwrap()).unwrap();
+        let g2 = load_graph(&ep, Some(&up), Some(&lp), 2, 3).unwrap();
+        assert_eq!(g2.n_edges(), g.n_edges());
+        assert_eq!(g2.attrs(Side::Upper), g.attrs(Side::Upper));
+        assert_eq!(g2.attrs(Side::Lower), g.attrs(Side::Lower));
+        assert!(g2.edges().zip(g.edges()).all(|(a, b)| a == b));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_without_attr_files() {
+        let g = random_uniform(5, 5, 10, 1, 1, 8);
+        let dir = std::env::temp_dir().join("bigraph_io_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ep = dir.join("edges.txt");
+        write_edge_list(&g, std::fs::File::create(&ep).unwrap()).unwrap();
+        let g2 = load_graph(&ep, None, None, 1, 1).unwrap();
+        assert_eq!(g2.n_edges(), g.n_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,202 @@
+//! Attributed unipartite graphs.
+//!
+//! The colorful pruning of the paper (§III-B, §IV-A) projects the fair
+//! side of the bipartite graph onto a *2-hop graph* `H(V, E, A)`; this
+//! module provides that target structure: an immutable CSR undirected
+//! graph whose vertices carry one attribute value each.
+
+use crate::graph::{AttrValueId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable, undirected, attributed unipartite graph.
+///
+/// Vertex ids are dense `0..n`. Adjacency lists are sorted ascending and
+/// never contain self-loops.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UniGraph {
+    offsets: Vec<usize>,
+    adj: Vec<VertexId>,
+    attrs: Vec<AttrValueId>,
+    n_attrs: AttrValueId,
+}
+
+impl UniGraph {
+    /// Build from an undirected edge list. Edges may appear in either or
+    /// both orientations and with duplicates; self-loops are dropped.
+    ///
+    /// `attrs[i]` is the attribute value of vertex `i`; its length fixes
+    /// the vertex count (edges must stay in range).
+    pub fn from_edges(
+        n_attrs: AttrValueId,
+        attrs: Vec<AttrValueId>,
+        edges: &[(VertexId, VertexId)],
+    ) -> Self {
+        let n = attrs.len();
+        let mut dir: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            if a != b {
+                dir.push((a, b));
+                dir.push((b, a));
+            }
+        }
+        dir.sort_unstable();
+        dir.dedup();
+        let mut offsets = vec![0usize; n + 1];
+        for &(a, _) in &dir {
+            offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let adj = dir.iter().map(|&(_, b)| b).collect();
+        UniGraph { offsets, adj, attrs, n_attrs }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Number of attribute values in the domain.
+    #[inline]
+    pub fn n_attr_values(&self) -> AttrValueId {
+        self.n_attrs
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Attribute value of `v`.
+    #[inline]
+    pub fn attr(&self, v: VertexId) -> AttrValueId {
+        self.attrs[v as usize]
+    }
+
+    /// Attribute values indexed by vertex id.
+    #[inline]
+    pub fn attrs(&self) -> &[AttrValueId] {
+        &self.attrs
+    }
+
+    /// Whether `{a, b}` is an edge; `O(log deg)`.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum degree (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Induce the subgraph on vertices where `keep` is true, compacting
+    /// ids. Returns the subgraph and the map `new_id -> old_id`.
+    pub fn induce(&self, keep: &[bool]) -> (UniGraph, Vec<VertexId>) {
+        assert_eq!(keep.len(), self.n(), "keep mask length");
+        let mut map = vec![VertexId::MAX; self.n()];
+        let mut to_parent = Vec::new();
+        for (old, &k) in keep.iter().enumerate() {
+            if k {
+                map[old] = to_parent.len() as VertexId;
+                to_parent.push(old as VertexId);
+            }
+        }
+        let mut edges = Vec::new();
+        for &old in &to_parent {
+            for &w in self.neighbors(old) {
+                if w > old && map[w as usize] != VertexId::MAX {
+                    edges.push((map[old as usize], map[w as usize]));
+                }
+            }
+        }
+        let attrs = to_parent.iter().map(|&old| self.attrs[old as usize]).collect();
+        (UniGraph::from_edges(self.n_attrs, attrs, &edges), to_parent)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<usize>()
+            + self.adj.capacity() * size_of::<VertexId>()
+            + self.attrs.capacity() * size_of::<AttrValueId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> UniGraph {
+        // 0-1, 1-2, 0-2 triangle; 3 pendant on 2
+        UniGraph::from_edges(2, vec![0, 1, 0, 1], &[(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn basics() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.degree(3), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.attr(1), 1);
+    }
+
+    #[test]
+    fn dedup_and_selfloop() {
+        let g = UniGraph::from_edges(1, vec![0, 0], &[(0, 1), (1, 0), (0, 0), (0, 1)]);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = UniGraph::from_edges(1, vec![0, 0, 0], &[]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        let e = UniGraph::from_edges(1, vec![], &[]);
+        assert_eq!(e.n(), 0);
+        assert_eq!(e.max_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        UniGraph::from_edges(1, vec![0], &[(0, 1)]);
+    }
+
+    #[test]
+    fn induce_compacts() {
+        let g = triangle_plus_pendant();
+        let (sub, map) = g.induce(&[true, false, true, true]);
+        assert_eq!(map, vec![0, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        // surviving edges: (0,2) and (2,3) -> new (0,1), (1,2)
+        assert_eq!(sub.n_edges(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+        assert_eq!(sub.attr(1), g.attr(2));
+    }
+}

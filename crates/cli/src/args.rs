@@ -1,0 +1,425 @@
+//! Hand-rolled argument parsing (no CLI dependency needed for four
+//! subcommands) producing a typed [`Command`].
+
+use fair_biclique::config::VertexOrder;
+use fair_biclique::pipeline::{BiAlgorithm, SsAlgorithm};
+use fbe_datasets::corpus::Dataset;
+use std::time::Duration;
+
+/// What the graph source of a command is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    /// File stem (`<stem>.edges` + attribute files) or bare edge file.
+    Path {
+        /// The stem or file path.
+        stem: String,
+        /// Attribute domain sizes (upper, lower).
+        attr_domains: (u16, u16),
+    },
+}
+
+/// What to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenerateKind {
+    /// A scaled corpus dataset.
+    Dataset(Dataset),
+    /// Uniform random bipartite graph `(n_upper, n_lower, m)`.
+    Uniform {
+        /// `|U|`.
+        n_upper: usize,
+        /// `|V|`.
+        n_lower: usize,
+        /// Edge count.
+        m: usize,
+        /// Attribute domains.
+        attrs: (u16, u16),
+        /// Seed.
+        seed: u64,
+    },
+}
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// `fbe generate`.
+    Generate {
+        /// What to generate.
+        kind: GenerateKind,
+        /// Output file stem.
+        out: String,
+    },
+    /// `fbe stats`.
+    Stats {
+        /// Input graph.
+        source: GraphSource,
+    },
+    /// `fbe prune`.
+    Prune {
+        /// Input graph.
+        source: GraphSource,
+        /// `α`.
+        alpha: u32,
+        /// `β`.
+        beta: u32,
+        /// Bi-side cores instead of single-side.
+        bi: bool,
+        /// Pruning kind (`none`, `fcore`, `colorful`).
+        kind: fair_biclique::config::PruneKind,
+    },
+    /// `fbe enumerate`.
+    Enumerate {
+        /// Input graph.
+        source: GraphSource,
+        /// `α`.
+        alpha: u32,
+        /// `β`.
+        beta: u32,
+        /// `δ`.
+        delta: u32,
+        /// Optional `θ` (switches to the proportion models).
+        theta: Option<f64>,
+        /// Bi-side model.
+        bi: bool,
+        /// Single-side algorithm (ignored with `--bi`, which maps it).
+        algo: SsAlgorithm,
+        /// Vertex ordering.
+        order: VertexOrder,
+        /// Print only the count.
+        count_only: bool,
+        /// Print only the top-k largest results.
+        top: Option<usize>,
+        /// Per-run wall-clock budget.
+        budget: Option<Duration>,
+        /// Worker threads (>1 uses the parallel FairBCEM++ driver).
+        threads: usize,
+    },
+}
+
+struct Cursor<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let out = self.args.get(self.i).map(|s| s.as_str());
+        self.i += 1;
+        out
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.next().ok_or_else(|| format!("missing value for {flag}"))
+    }
+}
+
+fn parse_pair_u16(s: &str, what: &str) -> Result<(u16, u16), String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 2 {
+        return Err(format!("{what}: expected two comma-separated values, got {s:?}"));
+    }
+    let a = parts[0].trim().parse().map_err(|e| format!("{what}: {e}"))?;
+    let b = parts[1].trim().parse().map_err(|e| format!("{what}: {e}"))?;
+    Ok((a, b))
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "youtube" => Ok(Dataset::Youtube),
+        "twitter" => Ok(Dataset::Twitter),
+        "imdb" => Ok(Dataset::Imdb),
+        "wiki-cat" | "wikicat" | "wiki" => Ok(Dataset::WikiCat),
+        "dblp" => Ok(Dataset::Dblp),
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+/// Parse `argv` (program name excluded).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut c = Cursor { args: argv, i: 0 };
+    let sub = match c.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => parse_generate(&mut c),
+        "stats" => {
+            let (source, rest_ok) = parse_source(&mut c)?;
+            if !rest_ok {
+                return Err("stats: unexpected trailing arguments".into());
+            }
+            Ok(Command::Stats { source })
+        }
+        "prune" => parse_prune(&mut c),
+        "enumerate" => parse_enumerate(&mut c),
+        other => Err(format!("unknown subcommand {other:?}; try `fbe help`")),
+    }
+}
+
+fn parse_generate(c: &mut Cursor<'_>) -> Result<Command, String> {
+    let mut dataset: Option<Dataset> = None;
+    let mut uniform: Option<(usize, usize, usize)> = None;
+    let mut attrs = (2u16, 2u16);
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    while let Some(a) = c.next() {
+        match a {
+            "--dataset" => dataset = Some(parse_dataset(c.value("--dataset")?)?),
+            "--uniform" => {
+                let v = c.value("--uniform")?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--uniform: expected NU,NV,M, got {v:?}"));
+                }
+                let nums: Result<Vec<usize>, _> =
+                    parts.iter().map(|p| p.trim().parse::<usize>()).collect();
+                let nums = nums.map_err(|e| format!("--uniform: {e}"))?;
+                uniform = Some((nums[0], nums[1], nums[2]));
+            }
+            "--attrs" => attrs = parse_pair_u16(c.value("--attrs")?, "--attrs")?,
+            "--seed" => {
+                seed = c.value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => out = Some(c.value("--out")?.to_string()),
+            other => return Err(format!("generate: unknown argument {other:?}")),
+        }
+    }
+    let out = out.ok_or("generate: --out is required")?;
+    let kind = match (dataset, uniform) {
+        (Some(d), None) => GenerateKind::Dataset(d),
+        (None, Some((nu, nv, m))) => {
+            GenerateKind::Uniform { n_upper: nu, n_lower: nv, m, attrs, seed }
+        }
+        (Some(_), Some(_)) => return Err("generate: pass --dataset OR --uniform".into()),
+        (None, None) => return Err("generate: one of --dataset / --uniform required".into()),
+    };
+    Ok(Command::Generate { kind, out })
+}
+
+/// Parse `<stem> [--attrs AU,AV]`; returns the source and whether the
+/// cursor was fully consumed.
+fn parse_source(c: &mut Cursor<'_>) -> Result<(GraphSource, bool), String> {
+    let stem = c.next().ok_or("missing graph path")?.to_string();
+    let mut attrs = (2u16, 2u16);
+    let mut consumed_all = true;
+    while let Some(a) = c.next() {
+        match a {
+            "--attrs" => attrs = parse_pair_u16(c.value("--attrs")?, "--attrs")?,
+            _ => {
+                c.i -= 1;
+                consumed_all = false;
+                break;
+            }
+        }
+    }
+    Ok((GraphSource::Path { stem, attr_domains: attrs }, consumed_all))
+}
+
+fn parse_prune(c: &mut Cursor<'_>) -> Result<Command, String> {
+    let (source, _) = parse_source(c)?;
+    let mut alpha = None;
+    let mut beta = None;
+    let mut bi = false;
+    let mut kind = fair_biclique::config::PruneKind::Colorful;
+    while let Some(a) = c.next() {
+        match a {
+            "--alpha" => alpha = Some(parse_u32(c.value("--alpha")?, "--alpha")?),
+            "--beta" => beta = Some(parse_u32(c.value("--beta")?, "--beta")?),
+            "--bi" => bi = true,
+            "--kind" => {
+                kind = match c.value("--kind")? {
+                    "none" => fair_biclique::config::PruneKind::None,
+                    "fcore" => fair_biclique::config::PruneKind::FCore,
+                    "colorful" | "cfcore" => fair_biclique::config::PruneKind::Colorful,
+                    other => return Err(format!("--kind: unknown {other:?}")),
+                }
+            }
+            other => return Err(format!("prune: unknown argument {other:?}")),
+        }
+    }
+    Ok(Command::Prune {
+        source,
+        alpha: alpha.ok_or("prune: --alpha required")?,
+        beta: beta.ok_or("prune: --beta required")?,
+        bi,
+        kind,
+    })
+}
+
+fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
+    s.parse().map_err(|e| format!("{what}: {e}"))
+}
+
+fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
+    let (source, _) = parse_source(c)?;
+    let mut alpha = None;
+    let mut beta = None;
+    let mut delta = None;
+    let mut theta = None;
+    let mut bi = false;
+    let mut algo = SsAlgorithm::FairBcemPP;
+    let mut order = VertexOrder::DegreeDesc;
+    let mut count_only = false;
+    let mut top = None;
+    let mut budget = None;
+    let mut threads = 1usize;
+    while let Some(a) = c.next() {
+        match a {
+            "--alpha" => alpha = Some(parse_u32(c.value("--alpha")?, "--alpha")?),
+            "--beta" => beta = Some(parse_u32(c.value("--beta")?, "--beta")?),
+            "--delta" => delta = Some(parse_u32(c.value("--delta")?, "--delta")?),
+            "--theta" => {
+                theta = Some(
+                    c.value("--theta")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--theta: {e}"))?,
+                )
+            }
+            "--bi" => bi = true,
+            "--algo" => {
+                algo = match c.value("--algo")? {
+                    "nsf" => SsAlgorithm::Nsf,
+                    "bcem" | "fairbcem" => SsAlgorithm::FairBcem,
+                    "bcem++" | "fairbcem++" | "pp" => SsAlgorithm::FairBcemPP,
+                    other => return Err(format!("--algo: unknown {other:?}")),
+                }
+            }
+            "--order" => {
+                order = match c.value("--order")? {
+                    "id" => VertexOrder::IdAsc,
+                    "degree" | "deg" => VertexOrder::DegreeDesc,
+                    other => return Err(format!("--order: unknown {other:?}")),
+                }
+            }
+            "--count-only" => count_only = true,
+            "--top" => {
+                top = Some(
+                    c.value("--top")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--top: {e}"))?,
+                )
+            }
+            "--budget-secs" => {
+                budget = Some(Duration::from_secs(
+                    c.value("--budget-secs")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--budget-secs: {e}"))?,
+                ))
+            }
+            "--threads" => {
+                threads = c
+                    .value("--threads")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            other => return Err(format!("enumerate: unknown argument {other:?}")),
+        }
+    }
+    let alpha = alpha.ok_or("enumerate: --alpha required")?;
+    if alpha == 0 {
+        return Err("enumerate: alpha must be >= 1".into());
+    }
+    if let Some(t) = theta {
+        if !(0.0..=0.5).contains(&t) {
+            return Err("enumerate: theta must be in [0, 0.5]".into());
+        }
+    }
+    Ok(Command::Enumerate {
+        source,
+        alpha,
+        beta: beta.ok_or("enumerate: --beta required")?,
+        delta: delta.ok_or("enumerate: --delta required")?,
+        theta,
+        bi,
+        algo,
+        order,
+        count_only,
+        top,
+        budget,
+        threads: threads.max(1),
+    })
+}
+
+/// Map a single-side algorithm choice onto the bi-side family.
+pub fn bi_algo_of(algo: SsAlgorithm) -> BiAlgorithm {
+    match algo {
+        SsAlgorithm::Nsf => BiAlgorithm::Bnsf,
+        SsAlgorithm::FairBcem => BiAlgorithm::BFairBcem,
+        SsAlgorithm::FairBcemPP => BiAlgorithm::BFairBcemPP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate_dataset() {
+        let cmd = parse(&sv(&["generate", "--dataset", "dblp", "--out", "/tmp/d"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate { kind: GenerateKind::Dataset(Dataset::Dblp), out: "/tmp/d".into() }
+        );
+    }
+
+    #[test]
+    fn parses_generate_uniform_with_options() {
+        let cmd = parse(&sv(&[
+            "generate", "--uniform", "10,20,30", "--attrs", "3,2", "--seed", "9", "--out", "x",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate { kind: GenerateKind::Uniform { n_upper, n_lower, m, attrs, seed }, out } => {
+                assert_eq!((n_upper, n_lower, m), (10, 20, 30));
+                assert_eq!(attrs, (3, 2));
+                assert_eq!(seed, 9);
+                assert_eq!(out, "x");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_enumerate_full() {
+        let cmd = parse(&sv(&[
+            "enumerate", "g", "--alpha", "3", "--beta", "2", "--delta", "1", "--theta", "0.4",
+            "--bi", "--algo", "bcem", "--order", "id", "--top", "5", "--budget-secs", "7",
+            "--threads", "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Enumerate { alpha, beta, delta, theta, bi, algo, order, top, budget, threads, .. } => {
+                assert_eq!((alpha, beta, delta), (3, 2, 1));
+                assert_eq!(theta, Some(0.4));
+                assert!(bi);
+                assert_eq!(algo, SsAlgorithm::FairBcem);
+                assert_eq!(order, VertexOrder::IdAsc);
+                assert_eq!(top, Some(5));
+                assert_eq!(budget, Some(Duration::from_secs(7)));
+                assert_eq!(threads, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&sv(&["generate", "--dataset", "nope", "--out", "x"])).is_err());
+        assert!(parse(&sv(&["enumerate", "g", "--alpha", "1", "--beta", "1", "--delta", "0", "--theta", "0.9"])).is_err());
+        assert!(parse(&sv(&["enumerate", "g", "--beta", "1", "--delta", "0"])).is_err());
+        assert!(parse(&sv(&["prune", "g", "--alpha", "1"])).is_err());
+        assert!(parse(&sv(&["prune", "g", "--alpha", "x", "--beta", "1"])).is_err());
+    }
+
+    #[test]
+    fn dataset_aliases() {
+        assert_eq!(parse_dataset("wiki").unwrap(), Dataset::WikiCat);
+        assert_eq!(parse_dataset("IMDB").unwrap(), Dataset::Imdb);
+    }
+}

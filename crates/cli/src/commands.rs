@@ -1,0 +1,282 @@
+//! Execution of parsed [`Command`]s.
+
+use crate::args::{bi_algo_of, Command, GenerateKind, GraphSource};
+use bigraph::{BipartiteGraph, Side};
+use fair_biclique::biclique::{CollectSink, CountSink, TopKSink};
+use fair_biclique::config::{Budget, FairParams, ProParams, RunConfig, VertexOrder};
+use fair_biclique::pipeline::{
+    prune_bi_side, prune_single_side, run_bsfbc, run_pbsfbc, run_pssfbc, run_ssfbc, SsAlgorithm,
+};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Execute a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(crate::HELP.to_string()),
+        Command::Generate { kind, out } => generate(kind, &out),
+        Command::Stats { source } => stats(&source),
+        Command::Prune { source, alpha, beta, bi, kind } => prune(&source, alpha, beta, bi, kind),
+        Command::Enumerate {
+            source,
+            alpha,
+            beta,
+            delta,
+            theta,
+            bi,
+            algo,
+            order,
+            count_only,
+            top,
+            budget,
+            threads,
+        } => enumerate(
+            &source, alpha, beta, delta, theta, bi, algo, order, count_only, top, budget, threads,
+        ),
+    }
+}
+
+fn stem_paths(stem: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let base = Path::new(stem);
+    (
+        base.with_extension("edges"),
+        base.with_extension("uattr"),
+        base.with_extension("lattr"),
+    )
+}
+
+fn load(source: &GraphSource) -> Result<BipartiteGraph, String> {
+    let GraphSource::Path { stem, attr_domains } = source;
+    let (edges, uattr, lattr) = stem_paths(stem);
+    let bare = Path::new(stem);
+    if edges.exists() {
+        bigraph::io::load_graph(
+            &edges,
+            uattr.exists().then_some(uattr.as_path()),
+            lattr.exists().then_some(lattr.as_path()),
+            attr_domains.0,
+            attr_domains.1,
+        )
+        .map_err(|e| format!("loading {stem}: {e}"))
+    } else if bare.exists() {
+        let f = std::fs::File::open(bare).map_err(|e| format!("opening {stem}: {e}"))?;
+        bigraph::io::read_edge_list(f, attr_domains.0, attr_domains.1)
+            .map_err(|e| format!("parsing {stem}: {e}"))
+    } else {
+        Err(format!("no such graph: {stem} (expected {stem}.edges or a bare edge file)"))
+    }
+}
+
+fn generate(kind: GenerateKind, out: &str) -> Result<String, String> {
+    let (g, label) = match kind {
+        GenerateKind::Dataset(d) => {
+            let spec = fbe_datasets::corpus::spec(d);
+            (spec.build(), format!("{d} analog (defaults: {})", spec.single_params()))
+        }
+        GenerateKind::Uniform { n_upper, n_lower, m, attrs, seed } => {
+            if n_upper == 0 || n_lower == 0 {
+                return Err("generate: sides must be non-empty".into());
+            }
+            (
+                bigraph::generate::random_uniform(n_upper, n_lower, m, attrs.0, attrs.1, seed),
+                format!("uniform({n_upper},{n_lower},{m}) seed {seed}"),
+            )
+        }
+    };
+    let (edges, uattr, lattr) = stem_paths(out);
+    if let Some(dir) = edges.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let write = |p: &Path, f: &dyn Fn(&mut Vec<u8>) -> std::io::Result<()>| -> Result<(), String> {
+        let mut buf = Vec::new();
+        f(&mut buf).map_err(|e| e.to_string())?;
+        std::fs::write(p, buf).map_err(|e| format!("writing {}: {e}", p.display()))
+    };
+    write(&edges, &|w| bigraph::io::write_edge_list(&g, w))?;
+    write(&uattr, &|w| bigraph::io::write_attrs(&g, Side::Upper, w))?;
+    write(&lattr, &|w| bigraph::io::write_attrs(&g, Side::Lower, w))?;
+    Ok(format!(
+        "wrote {label}: {} / {} / {}\n{}",
+        edges.display(),
+        uattr.display(),
+        lattr.display(),
+        bigraph::stats::graph_stats(&g)
+    ))
+}
+
+fn stats(source: &GraphSource) -> Result<String, String> {
+    let g = load(source)?;
+    let st = bigraph::stats::graph_stats(&g);
+    let butterflies = bigraph::butterfly::count_butterflies(&g);
+    let mut out = String::new();
+    writeln!(out, "{st}").unwrap();
+    writeln!(out, "attr counts U: {:?}  V: {:?}", st.upper.attr_counts, st.lower.attr_counts)
+        .unwrap();
+    writeln!(out, "butterflies: {butterflies}").unwrap();
+    Ok(out)
+}
+
+fn prune(
+    source: &GraphSource,
+    alpha: u32,
+    beta: u32,
+    bi: bool,
+    kind: fair_biclique::config::PruneKind,
+) -> Result<String, String> {
+    let g = load(source)?;
+    let params = FairParams::new(alpha.max(1), beta, 0).map_err(|e| e.to_string())?;
+    let out = if bi {
+        prune_bi_side(&g, params, kind)
+    } else {
+        prune_single_side(&g, params, kind)
+    };
+    Ok(format!(
+        "{kind:?} ({}): {} -> {} vertices remaining ({} -> {} edges)",
+        if bi { "bi-side" } else { "single-side" },
+        out.stats.upper_before + out.stats.lower_before,
+        out.stats.remaining_vertices(),
+        out.stats.edges_before,
+        out.stats.edges_after,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    source: &GraphSource,
+    alpha: u32,
+    beta: u32,
+    delta: u32,
+    theta: Option<f64>,
+    bi: bool,
+    algo: SsAlgorithm,
+    order: VertexOrder,
+    count_only: bool,
+    top: Option<usize>,
+    budget: Option<std::time::Duration>,
+    threads: usize,
+) -> Result<String, String> {
+    let g = load(source)?;
+    let params = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
+    let cfg = RunConfig {
+        order,
+        budget: budget.map_or(Budget::UNLIMITED, Budget::time),
+        ..RunConfig::default()
+    };
+    let model = match (bi, theta.is_some()) {
+        (false, false) => "SSFBC",
+        (false, true) => "PSSFBC",
+        (true, false) => "BSFBC",
+        (true, true) => "PBSFBC",
+    };
+
+    // Parallel fast path: plain SSFBC with FairBCEM++ only.
+    if threads > 1 && !bi && theta.is_none() && algo == SsAlgorithm::FairBcemPP {
+        let report = fair_biclique::parallel::par_enumerate_ssfbc(&g, params, &cfg, threads);
+        return Ok(render(
+            model,
+            report.bicliques.len() as u64,
+            report.stats.aborted,
+            count_only,
+            top,
+            report.bicliques,
+        ));
+    }
+
+    let run = |sink: &mut dyn fair_biclique::biclique::BicliqueSink| -> (u64, bool) {
+        let stats = match (bi, theta) {
+            (false, None) => run_ssfbc(&g, params, algo, &cfg, sink).1,
+            (true, None) => run_bsfbc(&g, params, bi_algo_of(algo), &cfg, sink).1,
+            (false, Some(t)) => {
+                let pro = ProParams::new(alpha, beta, delta, t).map_err(|e| e.to_string());
+                match pro {
+                    Ok(pro) => run_pssfbc(&g, pro, &cfg, sink).1,
+                    Err(_) => unreachable!("theta validated at parse time"),
+                }
+            }
+            (true, Some(t)) => {
+                let pro = ProParams::new(alpha, beta, delta, t).expect("validated");
+                run_pbsfbc(&g, pro, &cfg, sink).1
+            }
+        };
+        (stats.emitted, stats.aborted)
+    };
+
+    if count_only {
+        let mut sink = CountSink::default();
+        let (n, aborted) = run(&mut sink);
+        return Ok(render(model, n, aborted, true, None, Vec::new()));
+    }
+    if let Some(k) = top {
+        let mut sink = TopKSink::new(k);
+        let (n, aborted) = run(&mut sink);
+        return Ok(render(model, n, aborted, false, Some(k), sink.into_sorted()));
+    }
+    let mut sink = CollectSink::default();
+    let (n, aborted) = run(&mut sink);
+    Ok(render(model, n, aborted, false, None, sink.bicliques))
+}
+
+fn render(
+    model: &str,
+    count: u64,
+    aborted: bool,
+    count_only: bool,
+    top: Option<usize>,
+    bicliques: Vec<fair_biclique::biclique::Biclique>,
+) -> String {
+    let mut out = String::new();
+    let suffix = if aborted { " (budget hit; lower bound)" } else { "" };
+    writeln!(out, "{model} count: {count}{suffix}").unwrap();
+    if count_only {
+        return out;
+    }
+    if let Some(k) = top {
+        writeln!(out, "top {k} by size:").unwrap();
+    }
+    for bc in bicliques {
+        writeln!(out, "  {bc}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_rejects_missing() {
+        let src = GraphSource::Path { stem: "/definitely/not/here".into(), attr_domains: (2, 2) };
+        assert!(load(&src).is_err());
+    }
+
+    #[test]
+    fn load_bare_edge_file() {
+        let dir = std::env::temp_dir().join("fbe_cli_cmd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bare.txt");
+        std::fs::write(&p, "0 0\n0 1\n1 1\n").unwrap();
+        let src = GraphSource::Path {
+            stem: p.to_str().unwrap().to_string(),
+            attr_domains: (1, 1),
+        };
+        let g = load(&src).unwrap();
+        assert_eq!(g.n_edges(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_formats() {
+        let s = render("SSFBC", 3, true, true, None, Vec::new());
+        assert!(s.contains("lower bound"));
+        let s = render(
+            "BSFBC",
+            1,
+            false,
+            false,
+            Some(2),
+            vec![fair_biclique::biclique::Biclique::new(vec![0], vec![1])],
+        );
+        assert!(s.contains("top 2"));
+        assert!(s.contains("L=[0]"));
+    }
+}

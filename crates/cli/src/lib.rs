@@ -1,0 +1,159 @@
+//! `fbe` — the command-line interface to the fair-biclique library.
+//!
+//! Subcommands (see [`HELP`] for full usage):
+//!
+//! * `fbe generate` — write a synthetic graph (corpus analog or
+//!   uniform random) as edge-list + attribute files;
+//! * `fbe stats` — Table-I style statistics plus butterfly counts;
+//! * `fbe prune` — run `FCore`/`CFCore` (or the bi-side variants) and
+//!   report the reduction;
+//! * `fbe enumerate` — enumerate SSFBC/BSFBC/PSSFBC/PBSFBC, printing
+//!   results, the top-k largest, or just the count.
+//!
+//! The binary is a thin wrapper around [`run`], which is fully unit
+//! tested (argument parsing and command execution return strings).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+/// Usage text.
+pub const HELP: &str = "\
+fbe — fairness-aware maximal biclique enumeration (ICDE 2023 reproduction)
+
+USAGE:
+  fbe generate --dataset <youtube|twitter|imdb|wiki-cat|dblp> --out <stem>
+  fbe generate --uniform <NU,NV,M> [--attrs <AU,AV>] [--seed <N>] --out <stem>
+  fbe stats <stem | edges-file> [--attrs <AU,AV>]
+  fbe prune <stem> --alpha <N> --beta <N> [--bi] [--kind <none|fcore|colorful>]
+  fbe enumerate <stem> --alpha <N> --beta <N> --delta <N>
+        [--theta <F>] [--bi] [--algo <nsf|bcem|bcem++>]
+        [--order <id|degree>] [--count-only] [--top <K>]
+        [--budget-secs <N>] [--threads <N>]
+
+A <stem> refers to the three files written by `fbe generate`:
+  <stem>.edges, <stem>.uattr, <stem>.lattr
+A bare edges file may be given instead (attributes default to value 0;
+combine with --attrs to declare domain sizes).
+
+EXAMPLES:
+  fbe generate --dataset youtube --out /tmp/yt
+  fbe stats /tmp/yt
+  fbe prune /tmp/yt --alpha 8 --beta 8 --kind colorful
+  fbe enumerate /tmp/yt --alpha 8 --beta 8 --delta 2 --top 3
+  fbe enumerate /tmp/yt --alpha 5 --beta 5 --delta 2 --bi --count-only
+";
+
+/// Parse `argv` (without the program name) and execute, returning the
+/// text to print.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let parsed = args::parse(argv)?;
+    commands::execute(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_on_empty_or_flag() {
+        assert!(run(&sv(&[])).unwrap().contains("USAGE"));
+        assert!(run(&sv(&["--help"])).unwrap().contains("USAGE"));
+        assert!(run(&sv(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let err = run(&sv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown subcommand"), "{err}");
+    }
+
+    #[test]
+    fn full_workflow_through_cli() {
+        let dir = std::env::temp_dir().join("fbe_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("g");
+        let stem_s = stem.to_str().unwrap();
+
+        // generate (uniform)
+        let out = run(&sv(&[
+            "generate", "--uniform", "30,30,200", "--seed", "7", "--out", stem_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(stem.with_extension("edges").exists());
+
+        // stats
+        let out = run(&sv(&["stats", stem_s])).unwrap();
+        assert!(out.contains("|E|=200"), "{out}");
+        assert!(out.contains("butterflies"), "{out}");
+
+        // prune
+        let out = run(&sv(&["prune", stem_s, "--alpha", "2", "--beta", "2"])).unwrap();
+        assert!(out.contains("remaining"), "{out}");
+
+        // enumerate count-only
+        let out = run(&sv(&[
+            "enumerate", stem_s, "--alpha", "2", "--beta", "1", "--delta", "1",
+            "--count-only",
+        ]))
+        .unwrap();
+        assert!(out.contains("SSFBC count"), "{out}");
+
+        // enumerate top-k, bi-side, parallel
+        let out = run(&sv(&[
+            "enumerate", stem_s, "--alpha", "1", "--beta", "1", "--delta", "1",
+            "--bi", "--top", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("BSFBC"), "{out}");
+
+        let out = run(&sv(&[
+            "enumerate", stem_s, "--alpha", "2", "--beta", "1", "--delta", "1",
+            "--threads", "2", "--count-only",
+        ]))
+        .unwrap();
+        assert!(out.contains("SSFBC count"), "{out}");
+
+        // proportion
+        let out = run(&sv(&[
+            "enumerate", stem_s, "--alpha", "2", "--beta", "1", "--delta", "1",
+            "--theta", "0.4", "--count-only",
+        ]))
+        .unwrap();
+        assert!(out.contains("PSSFBC count"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_dataset_variant() {
+        let dir = std::env::temp_dir().join("fbe_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("yt");
+        let out = run(&sv(&[
+            "generate", "--dataset", "youtube", "--out", stem.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("Youtube"), "{out}");
+        let st = run(&sv(&["stats", stem.to_str().unwrap()])).unwrap();
+        assert!(st.contains("|U|=1473"), "{st}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_arguments_report_errors() {
+        assert!(run(&sv(&["generate", "--out", "/tmp/x"])).is_err());
+        assert!(run(&sv(&["generate", "--uniform", "bogus", "--out", "/tmp/x"])).is_err());
+        assert!(run(&sv(&["enumerate", "/nonexistent", "--alpha", "1", "--beta", "1", "--delta", "0"])).is_err());
+        assert!(run(&sv(&["prune", "/nonexistent", "--alpha", "1", "--beta", "1"])).is_err());
+        let err = run(&sv(&["enumerate", "/tmp/x", "--alpha", "0", "--beta", "1", "--delta", "0"]))
+            .unwrap_err();
+        assert!(err.contains("alpha"), "{err}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The `fbe` binary: thin wrapper around [`fbe_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fbe_cli::run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! `BFairBCEM` / `BFairBCEM++` (Algorithm 9): bi-side fair biclique
+//! enumeration.
+//!
+//! Both algorithms rest on Observation 6: for any BSFBC `(A, B)`, the
+//! pair `(N(B), B)` is a *single-side* fair biclique — `B` is fair, and
+//! any fair extension of `B` against `N(B)` would extend `(A, B)` too.
+//! So the driver enumerates SSFBCs (with `FairBCEM` or `FairBCEM++`)
+//! and expands each `(L', R')`:
+//!
+//! 1. `Combination(L', A(U), α, δ)` yields every maximal fair subset
+//!    `l' ⊆ L'` (candidate upper sides);
+//! 2. `(l', R')` is a BSFBC iff `R'` is a maximal fair subset of
+//!    `N(l')` (`MFSCheck`).
+//!
+//! Non-redundancy: an emitted pair determines its source SSFBC
+//! (`L' = N(R')`), and `Combination` emits each `l'` once.
+
+use crate::biclique::{BicliqueSink, EnumStats};
+use crate::config::{Budget, BudgetClock, FairParams, VertexOrder};
+use crate::fairbcem::fairbcem_on_pruned;
+use crate::fairbcem_pp::fairbcem_pp_on_pruned;
+use crate::fairset::{for_each_max_fair_subset, is_maximal_fair_subset, AttrCounts};
+use bigraph::{BipartiteGraph, Side, VertexId};
+
+/// A [`BicliqueSink`] adapter that receives SSFBCs and emits the
+/// BSFBCs contained in them (the body of Algorithm 9, lines 4–8).
+pub(crate) struct BiSideExpander<'a> {
+    g: &'a BipartiteGraph,
+    params: FairParams,
+    n_attrs_l: usize,
+    sink: &'a mut dyn BicliqueSink,
+    /// Budget over upper-side expansion steps (one `Combination` can
+    /// be binomially large).
+    clock: BudgetClock,
+    /// BSFBCs emitted so far.
+    pub emitted: u64,
+    groups: Vec<Vec<VertexId>>,
+}
+
+impl<'a> BiSideExpander<'a> {
+    pub(crate) fn new(
+        g: &'a BipartiteGraph,
+        params: FairParams,
+        budget: Budget,
+        sink: &'a mut dyn BicliqueSink,
+    ) -> Self {
+        let n_attrs_u = (g.n_attr_values(Side::Upper) as usize).max(1);
+        let n_attrs_l = (g.n_attr_values(Side::Lower) as usize).max(1);
+        BiSideExpander {
+            g,
+            params,
+            n_attrs_l,
+            sink,
+            clock: budget.start(),
+            emitted: 0,
+            groups: vec![Vec::new(); n_attrs_u],
+        }
+    }
+
+    /// True when the expansion budget expired (results are a subset).
+    pub(crate) fn aborted(&self) -> bool {
+        self.clock.exhausted
+    }
+}
+
+impl BicliqueSink for BiSideExpander<'_> {
+    fn emit(&mut self, l: &[VertexId], r: &[VertexId]) {
+        if self.clock.exhausted {
+            return;
+        }
+        // Group L' by upper attribute for Combination.
+        let attrs_u = self.g.attrs(Side::Upper);
+        let attrs_l = self.g.attrs(Side::Lower);
+        for g_attr in self.groups.iter_mut() {
+            g_attr.clear();
+        }
+        for &u in l {
+            self.groups[attrs_u[u as usize] as usize].push(u);
+        }
+        let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
+
+        let base = AttrCounts::of(r, attrs_l, self.n_attrs_l);
+        let g = self.g;
+        let params = self.params;
+        let n_attrs_l = self.n_attrs_l;
+        let sink = &mut *self.sink;
+        let emitted = &mut self.emitted;
+        let clock = &mut self.clock;
+        for_each_max_fair_subset(&group_refs, params.alpha, params.delta, &mut |l_sub| {
+            // Candidates for extending R': N(l_sub) \ R'.
+            let nl = g.common_neighbors(Side::Upper, l_sub);
+            debug_assert!(bigraph::is_sorted_subset(r, &nl), "R' ⊆ N(l')");
+            let mut cand = AttrCounts::zeros(n_attrs_l);
+            let mut i = 0usize;
+            for &v in &nl {
+                while i < r.len() && r[i] < v {
+                    i += 1;
+                }
+                if i < r.len() && r[i] == v {
+                    continue;
+                }
+                cand.inc(attrs_l[v as usize]);
+            }
+            if is_maximal_fair_subset(
+                base.as_slice(),
+                cand.as_slice(),
+                params.beta,
+                params.delta,
+            ) {
+                sink.emit(l_sub, r);
+                *emitted += 1;
+            }
+            clock.tick()
+        });
+    }
+}
+
+/// `BFairBCEM`: bi-side enumeration driven by `FairBCEM`.
+pub fn bfairbcem_on_pruned(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    budget: Budget,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let mut expander = BiSideExpander::new(g, params, budget, sink);
+    let mut stats = fairbcem_on_pruned(g, params, order, budget, &mut expander);
+    stats.emitted = expander.emitted;
+    stats.aborted |= expander.aborted();
+    stats
+}
+
+/// `BFairBCEM++`: bi-side enumeration driven by `FairBCEM++`.
+pub fn bfairbcem_pp_on_pruned(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    budget: Budget,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let mut expander = BiSideExpander::new(g, params, budget, sink);
+    let mut stats = fairbcem_pp_on_pruned(g, params, order, budget, &mut expander);
+    stats.emitted = expander.emitted;
+    stats.aborted |= expander.aborted();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biclique::{Biclique, CollectSink};
+    use crate::verify::oracle_bsfbc;
+    use bigraph::generate::random_uniform;
+    use bigraph::GraphBuilder;
+    use std::collections::BTreeSet;
+
+    fn run(
+        g: &BipartiteGraph,
+        params: FairParams,
+        order: VertexOrder,
+        pp: bool,
+    ) -> BTreeSet<Biclique> {
+        let mut sink = CollectSink::default();
+        let stats = if pp {
+            bfairbcem_pp_on_pruned(g, params, order, Budget::UNLIMITED, &mut sink)
+        } else {
+            bfairbcem_on_pruned(g, params, order, Budget::UNLIMITED, &mut sink)
+        };
+        assert!(!stats.aborted);
+        let set: BTreeSet<Biclique> = sink.bicliques.iter().cloned().collect();
+        assert_eq!(set.len(), sink.bicliques.len(), "no duplicate emissions");
+        assert_eq!(stats.emitted as usize, set.len());
+        set
+    }
+
+    #[test]
+    fn matches_oracle_on_block() {
+        let mut b = GraphBuilder::new(2, 2);
+        for u in 0..4 {
+            for v in 0..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5);
+        b.set_attrs_upper(&[0, 1, 0, 1, 0]);
+        b.set_attrs_lower(&[0, 0, 1, 1, 0, 1]);
+        let g = b.build().unwrap();
+        for params in [
+            FairParams::unchecked(1, 1, 1),
+            FairParams::unchecked(2, 2, 1),
+            FairParams::unchecked(1, 2, 0),
+        ] {
+            let want = oracle_bsfbc(&g, params);
+            for pp in [false, true] {
+                let got = run(&g, params, VertexOrder::DegreeDesc, pp);
+                assert_eq!(got, want, "params {params} pp={pp}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..25u64 {
+            let g = random_uniform(7, 8, 26, 2, 2, seed);
+            for params in [
+                FairParams::unchecked(1, 1, 1),
+                FairParams::unchecked(1, 1, 0),
+                FairParams::unchecked(2, 1, 1),
+                FairParams::unchecked(1, 2, 2),
+            ] {
+                let want = oracle_bsfbc(&g, params);
+                for pp in [false, true] {
+                    for order in [VertexOrder::IdAsc, VertexOrder::DegreeDesc] {
+                        let got = run(&g, params, order, pp);
+                        assert_eq!(
+                            got, want,
+                            "seed {seed} params {params} pp={pp} order {order:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bsfbc_upper_sides_are_fair() {
+        let g = random_uniform(8, 8, 30, 2, 2, 99);
+        let params = FairParams::unchecked(1, 1, 1);
+        let got = run(&g, params, VertexOrder::DegreeDesc, true);
+        for b in &got {
+            let cu = AttrCounts::of(&b.upper, g.attrs(Side::Upper), 2);
+            let cl = AttrCounts::of(&b.lower, g.attrs(Side::Lower), 2);
+            assert!(crate::fairset::is_fair(cu.as_slice(), 1, 1), "{b}");
+            assert!(crate::fairset::is_fair(cl.as_slice(), 1, 1), "{b}");
+            for &u in &b.upper {
+                for &v in &b.lower {
+                    assert!(g.has_edge(u, v), "{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_attrs_both_sides() {
+        for seed in 0..8u64 {
+            let g = random_uniform(7, 7, 28, 3, 2, seed);
+            let params = FairParams::unchecked(1, 1, 2);
+            let want = oracle_bsfbc(&g, params);
+            let got = run(&g, params, VertexOrder::DegreeDesc, true);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+}

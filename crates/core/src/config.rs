@@ -1,0 +1,277 @@
+//! Parameters and run configuration for the fair biclique models.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The three integer thresholds of the absolute fairness models
+/// (Definitions 3 and 4 of the paper).
+///
+/// * `alpha` — minimum size of the non-fair side (SSFBC) or per-
+///   attribute minimum on the upper side (BSFBC).
+/// * `beta` — per-attribute minimum on the lower (fair) side.
+/// * `delta` — maximum pairwise difference between attribute counts on
+///   a fair side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FairParams {
+    /// `α ≥ 1`.
+    pub alpha: u32,
+    /// `β ≥ 0`.
+    pub beta: u32,
+    /// `δ ≥ 0`.
+    pub delta: u32,
+}
+
+/// Parameter validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// `alpha` must be at least 1 (an empty non-fair side is degenerate).
+    AlphaZero,
+    /// `theta` must lie in `[0, 0.5]` (the paper derives `θ ≤ 0.5` for
+    /// two attribute values; above `1/n` no set can be proportional).
+    ThetaOutOfRange(f64),
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::AlphaZero => f.write_str("alpha must be >= 1"),
+            ParamError::ThetaOutOfRange(t) => write!(f, "theta {t} outside [0, 0.5]"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl FairParams {
+    /// Validated constructor.
+    pub fn new(alpha: u32, beta: u32, delta: u32) -> Result<Self, ParamError> {
+        if alpha == 0 {
+            return Err(ParamError::AlphaZero);
+        }
+        Ok(FairParams { alpha, beta, delta })
+    }
+
+    /// Unchecked constructor for tests and sweeps (still asserts in
+    /// debug builds).
+    pub fn unchecked(alpha: u32, beta: u32, delta: u32) -> Self {
+        debug_assert!(alpha >= 1);
+        FairParams { alpha, beta, delta }
+    }
+}
+
+impl std::fmt::Display for FairParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "α={} β={} δ={}", self.alpha, self.beta, self.delta)
+    }
+}
+
+/// Parameters of the proportion models (Definitions 5 and 6): the
+/// absolute thresholds plus the fairness-ratio threshold `θ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProParams {
+    /// Absolute thresholds.
+    pub base: FairParams,
+    /// Ratio threshold `θ ∈ [0, 0.5]`: every attribute value must make
+    /// up at least a `θ` fraction of its fair side.
+    pub theta: f64,
+}
+
+impl ProParams {
+    /// Validated constructor.
+    pub fn new(alpha: u32, beta: u32, delta: u32, theta: f64) -> Result<Self, ParamError> {
+        let base = FairParams::new(alpha, beta, delta)?;
+        if !(0.0..=0.5).contains(&theta) {
+            return Err(ParamError::ThetaOutOfRange(theta));
+        }
+        Ok(ProParams { base, theta })
+    }
+}
+
+impl std::fmt::Display for ProParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} θ={}", self.base, self.theta)
+    }
+}
+
+/// Which pruning stage to run before enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PruneKind {
+    /// No pruning (baseline for the pruning-effect experiments).
+    None,
+    /// Fair α-β core only (Algorithm 1 / BFCore for bi-side runs).
+    FCore,
+    /// Colorful fair α-β core (Algorithm 2 / BCFCore for bi-side runs);
+    /// the paper's default.
+    #[default]
+    Colorful,
+}
+
+/// Vertex selection order for the branch-and-bound search
+/// (`IDOrd` / `DegOrd` in the paper's Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VertexOrder {
+    /// Ascending vertex id (`IDOrd`).
+    IdAsc,
+    /// Non-increasing degree, ties by id (`DegOrd`); the paper's
+    /// recommended ordering.
+    #[default]
+    DegreeDesc,
+}
+
+/// Resource limits for a single enumeration run.
+///
+/// The paper uses a 24-hour wall-clock limit and prints `INF` for runs
+/// that exceed it; [`Budget`] supports both a deadline and a
+/// deterministic search-node cap (the latter is what tests use).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Abort after visiting this many search-tree nodes.
+    pub max_nodes: Option<u64>,
+    /// Abort after this much wall-clock time.
+    pub max_time: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits.
+    pub const UNLIMITED: Budget = Budget { max_nodes: None, max_time: None };
+
+    /// Only a node cap.
+    pub fn nodes(max_nodes: u64) -> Budget {
+        Budget { max_nodes: Some(max_nodes), max_time: None }
+    }
+
+    /// Only a wall-clock cap.
+    pub fn time(max_time: Duration) -> Budget {
+        Budget { max_nodes: None, max_time: Some(max_time) }
+    }
+
+    pub(crate) fn start(&self) -> BudgetClock {
+        BudgetClock {
+            max_nodes: self.max_nodes.unwrap_or(u64::MAX),
+            deadline: self.max_time.map(|d| Instant::now() + d),
+            nodes: 0,
+            exhausted: false,
+        }
+    }
+}
+
+/// Running budget state threaded through the enumerators.
+#[derive(Debug, Clone)]
+pub(crate) struct BudgetClock {
+    max_nodes: u64,
+    deadline: Option<Instant>,
+    pub(crate) nodes: u64,
+    pub(crate) exhausted: bool,
+}
+
+impl BudgetClock {
+    /// Record one search node; returns false when the budget is spent.
+    #[inline]
+    pub(crate) fn tick(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        // Check the clock rarely; Instant::now is not free.
+        if self.nodes % 1024 == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.exhausted = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Full configuration of an enumeration run.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Pruning stage (default: colorful core, the paper's setting).
+    pub prune: PruneKind,
+    /// Vertex selection order (default: `DegOrd`).
+    pub order: VertexOrder,
+    /// Resource limits (default: unlimited).
+    pub budget: Budget,
+}
+
+impl RunConfig {
+    /// Config with everything default except the ordering.
+    pub fn with_order(order: VertexOrder) -> Self {
+        RunConfig { order, ..Default::default() }
+    }
+
+    /// Config with everything default except the pruning stage.
+    pub fn with_prune(prune: PruneKind) -> Self {
+        RunConfig { prune, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_validation() {
+        assert!(FairParams::new(1, 0, 0).is_ok());
+        assert_eq!(FairParams::new(0, 1, 1), Err(ParamError::AlphaZero));
+        assert!(ProParams::new(1, 1, 1, 0.5).is_ok());
+        assert!(ProParams::new(1, 1, 1, 0.0).is_ok());
+        assert!(matches!(
+            ProParams::new(1, 1, 1, 0.6),
+            Err(ParamError::ThetaOutOfRange(_))
+        ));
+        assert!(matches!(
+            ProParams::new(1, 1, 1, -0.1),
+            Err(ParamError::ThetaOutOfRange(_))
+        ));
+        assert!(FairParams::new(0, 0, 0).unwrap_err().to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn budget_node_cap() {
+        let mut c = Budget::nodes(3).start();
+        assert!(c.tick());
+        assert!(c.tick());
+        assert!(c.tick());
+        assert!(!c.tick());
+        assert!(c.exhausted);
+        assert!(!c.tick()); // stays exhausted
+        assert_eq!(c.nodes, 4);
+    }
+
+    #[test]
+    fn budget_unlimited() {
+        let mut c = Budget::UNLIMITED.start();
+        for _ in 0..10_000 {
+            assert!(c.tick());
+        }
+        assert!(!c.exhausted);
+    }
+
+    #[test]
+    fn budget_deadline_expires() {
+        let mut c = Budget::time(Duration::from_millis(0)).start();
+        // Deadline is checked every 1024 nodes.
+        let mut ok = true;
+        for _ in 0..2048 {
+            ok = c.tick();
+            if !ok {
+                break;
+            }
+        }
+        assert!(!ok);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FairParams::unchecked(2, 3, 1).to_string(), "α=2 β=3 δ=1");
+        let p = ProParams::new(2, 3, 1, 0.4).unwrap();
+        assert!(p.to_string().contains("θ=0.4"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Maximal biclique enumeration (the `MBEA++`-style core of
+//! Algorithm 6, and the plain `MBC` baseline of Exp-4).
+//!
+//! `walk_maximal_bicliques` visits every maximal biclique `(L, R)` of
+//! the graph with `|L| ≥ min_l`, exactly once, using the batch-
+//! absorption trick of Zhang et al. \[6\]: when expanding candidate `x`,
+//! every remaining candidate fully connected to the shrunken `L'` joins
+//! `R'` immediately, and the ones with no neighbors outside `L'`
+//! (`N(v) = L'`) are *consumed* — removed from the candidate pool for
+//! all sibling branches, since every maximal biclique containing them
+//! lives in the current subtree.
+//!
+//! Correctness of the `min_l` cut: a candidate whose connectivity to
+//! `L'` drops below `min_l` can never again be fully connected to a
+//! descendant `L'' `(connectivity only shrinks while `|L''| ≥ min_l`),
+//! so dropping it breaks no closure and loses no qualifying biclique.
+
+use crate::biclique::{BicliqueSink, EnumStats};
+use crate::config::{Budget, BudgetClock, VertexOrder};
+use crate::fairset::AttrCounts;
+use crate::ordering::side_order;
+use bigraph::{intersect_sorted_count, intersect_sorted_into, BipartiteGraph, Side, VertexId};
+
+/// How to prune branches on the reachable size of `R`.
+pub(crate) enum RBound<'a> {
+    /// Plain size bound: `|R'| + |P'| ≥ min_r`.
+    Size(usize),
+    /// The fair bound of Algorithm 6 line 29: every lower attribute
+    /// must reach `beta` using `R' ∪ P'`.
+    AttrBeta {
+        /// Lower-side attribute of each vertex.
+        attrs: &'a [bigraph::AttrValueId],
+        /// Per-attribute minimum `β`.
+        beta: u32,
+    },
+}
+
+impl RBound<'_> {
+    fn admits(&self, r: &[VertexId], r_counts: &AttrCounts, p_new: &[VertexId]) -> bool {
+        match self {
+            RBound::Size(min_r) => r.len() + p_new.len() >= *min_r,
+            RBound::AttrBeta { attrs, beta, .. } => {
+                let mut reach = r_counts.clone();
+                for &v in p_new {
+                    reach.inc(attrs[v as usize]);
+                }
+                reach.as_slice().iter().all(|&c| c >= *beta)
+            }
+        }
+    }
+}
+
+/// Walk all maximal bicliques `(L, R)` of `g` with `|L| ≥ min_l ≥ 1`.
+///
+/// `visit(l, r)` receives `L` sorted and `R` **sorted** (a scratch copy;
+/// borrow only for the call). Returns the walk statistics; when the
+/// budget runs out, a correct subset has been visited.
+pub(crate) fn walk_maximal_bicliques(
+    g: &BipartiteGraph,
+    min_l: usize,
+    rbound: RBound<'_>,
+    order: VertexOrder,
+    budget: Budget,
+    visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
+) -> EnumStats {
+    let p = side_order(g, Side::Lower, order);
+    walk_maximal_bicliques_from(g, min_l, rbound, budget, p, Vec::new(), usize::MAX, visit)
+}
+
+/// Like [`walk_maximal_bicliques`] but starting from an explicit
+/// candidate list `p` and already-expanded list `q`, and processing at
+/// most `root_limit` branches at the root level.
+///
+/// This is the unit of work of the parallel driver: task `i` runs
+/// `(p[i..], q = p[..i], root_limit = 1)`, which explores exactly the
+/// serial tree's `i`-th top-level branch (the duplicate-suppression
+/// `q` makes branches independent).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn walk_maximal_bicliques_from(
+    g: &BipartiteGraph,
+    min_l: usize,
+    rbound: RBound<'_>,
+    budget: Budget,
+    p: Vec<VertexId>,
+    q: Vec<VertexId>,
+    root_limit: usize,
+    visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
+) -> EnumStats {
+    assert!(min_l >= 1, "min_l must be positive");
+    let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
+    let mut w = Walker {
+        g,
+        min_l,
+        rbound,
+        attrs: g.attrs(Side::Lower),
+        clock: budget.start(),
+        visited: 0,
+        cur_bytes: 0,
+        peak_bytes: 0,
+        root_limit,
+        visit,
+    };
+    let l: Vec<VertexId> = (0..g.n_upper() as VertexId).collect();
+    let mut r: Vec<VertexId> = Vec::new();
+    let mut r_counts = AttrCounts::zeros(n_attrs);
+    w.rec(&l, &mut r, &mut r_counts, p, &q, 0);
+    EnumStats {
+        nodes: w.clock.nodes,
+        emitted: w.visited,
+        aborted: w.clock.exhausted,
+        peak_search_bytes: w.peak_bytes,
+    }
+}
+
+struct Walker<'a> {
+    g: &'a BipartiteGraph,
+    min_l: usize,
+    rbound: RBound<'a>,
+    attrs: &'a [bigraph::AttrValueId],
+    clock: BudgetClock,
+    visited: u64,
+    cur_bytes: usize,
+    peak_bytes: usize,
+    root_limit: usize,
+    visit: &'a mut dyn FnMut(&[VertexId], &[VertexId]),
+}
+
+impl Walker<'_> {
+    /// `BackTrackFBCEM++` skeleton. `p` is consumed in order; `q` holds
+    /// expanded/consumed vertices.
+    fn rec(
+        &mut self,
+        l: &[VertexId],
+        r: &mut Vec<VertexId>,
+        r_counts: &mut AttrCounts,
+        mut p: Vec<VertexId>,
+        q: &[VertexId],
+        depth: u32,
+    ) {
+        let mut q_local: Vec<VertexId> = q.to_vec();
+        let mut l_new: Vec<VertexId> = Vec::new();
+        let mut r_sorted: Vec<VertexId> = Vec::new();
+        let mut root_branches = 0usize;
+
+        while !p.is_empty() {
+            if depth == 0 {
+                if root_branches >= self.root_limit {
+                    return;
+                }
+                root_branches += 1;
+            }
+            if !self.clock.tick() {
+                return;
+            }
+            let x = p[0];
+            intersect_sorted_into(l, self.g.neighbors(Side::Lower, x), &mut l_new);
+
+            if l_new.len() < self.min_l {
+                // Cannot lead to a qualifying biclique; retire x.
+                p.remove(0);
+                q_local.push(x);
+                continue;
+            }
+
+            // Maximality against Q: a fully-connected Q vertex means
+            // this closed biclique was already enumerated elsewhere.
+            let mut flag = true;
+            let mut q_new: Vec<VertexId> = Vec::new();
+            for &u in &q_local {
+                let c = intersect_sorted_count(self.g.neighbors(Side::Lower, u), &l_new);
+                if c == l_new.len() {
+                    flag = false;
+                    break;
+                }
+                if c > 0 {
+                    q_new.push(u);
+                }
+            }
+
+            // Consumed set C: x plus absorbed vertices with no
+            // neighbors outside L'.
+            let mut consumed: Vec<VertexId> = vec![x];
+            if flag {
+                let pushed_base = r.len();
+                r.push(x);
+                r_counts.inc(self.attrs[x as usize]);
+
+                let mut p_new: Vec<VertexId> = Vec::new();
+                for &v in &p[1..] {
+                    let c = intersect_sorted_count(self.g.neighbors(Side::Lower, v), &l_new);
+                    if c == l_new.len() {
+                        // Absorb: fully connected to L'.
+                        r.push(v);
+                        r_counts.inc(self.attrs[v as usize]);
+                        if self.g.degree(Side::Lower, v) == c {
+                            consumed.push(v);
+                        }
+                    } else if c >= self.min_l {
+                        p_new.push(v);
+                    }
+                }
+
+                // (L', R') is a maximal biclique with |L'| >= min_l.
+                r_sorted.clear();
+                r_sorted.extend_from_slice(r);
+                r_sorted.sort_unstable();
+                self.visited += 1;
+                (self.visit)(&l_new, &r_sorted);
+
+                if !p_new.is_empty() && self.rbound.admits(r, r_counts, &p_new) {
+                    let frame = (l_new.len() + p_new.len() + q_new.len())
+                        * std::mem::size_of::<VertexId>();
+                    self.cur_bytes += frame;
+                    self.peak_bytes = self.peak_bytes.max(self.cur_bytes);
+                    let l_child = l_new.clone();
+                    self.rec(&l_child, r, r_counts, p_new, &q_new, depth + 1);
+                    self.cur_bytes -= frame;
+                }
+
+                // Restore R.
+                while r.len() > pushed_base {
+                    let v = r.pop().expect("restore");
+                    r_counts.dec(self.attrs[v as usize]);
+                }
+                if self.clock.exhausted {
+                    return;
+                }
+            }
+
+            // P <- P - C; Q <- Q ∪ C.
+            p.retain(|v| !consumed.contains(v));
+            q_local.extend_from_slice(&consumed);
+            if self.clock.exhausted {
+                return;
+            }
+        }
+    }
+}
+
+/// Enumerate all maximal bicliques with `|L| ≥ min_l` and `|R| ≥ min_r`
+/// (the paper's `MBC` counts in Fig. 6 use this with
+/// `min_l = α, min_r = 2β` / `min_l = 2α, min_r = 2β`).
+pub fn maximal_bicliques(
+    g: &BipartiteGraph,
+    min_l: usize,
+    min_r: usize,
+    order: VertexOrder,
+    budget: Budget,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let min_l = min_l.max(1);
+    let min_r = min_r.max(1);
+    let mut emitted = 0u64;
+    let mut stats = walk_maximal_bicliques(
+        g,
+        min_l,
+        RBound::Size(min_r),
+        order,
+        budget,
+        &mut |l, r| {
+            if r.len() >= min_r {
+                sink.emit(l, r);
+                emitted += 1;
+            }
+        },
+    );
+    stats.emitted = emitted;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biclique::{Biclique, CollectSink};
+    use crate::verify::oracle_maximal_bicliques;
+    use bigraph::generate::random_uniform;
+    use bigraph::GraphBuilder;
+    use std::collections::BTreeSet;
+
+    fn run(g: &BipartiteGraph, min_l: usize, min_r: usize, order: VertexOrder) -> BTreeSet<Biclique> {
+        let mut sink = CollectSink::default();
+        let stats = maximal_bicliques(g, min_l, min_r, order, Budget::UNLIMITED, &mut sink);
+        assert!(!stats.aborted);
+        let set: BTreeSet<Biclique> = sink.bicliques.iter().cloned().collect();
+        assert_eq!(set.len(), sink.bicliques.len(), "no duplicates");
+        assert_eq!(stats.emitted as usize, set.len());
+        set
+    }
+
+    #[test]
+    fn block_plus_pendant() {
+        let mut b = GraphBuilder::new(1, 1);
+        for u in 0..3 {
+            for v in 0..4 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(3, 4);
+        let g = b.build().unwrap();
+        let got = run(&g, 1, 1, VertexOrder::DegreeDesc);
+        assert_eq!(got, oracle_maximal_bicliques(&g, 1, 1));
+        assert_eq!(got.len(), 2);
+        let got22 = run(&g, 2, 2, VertexOrder::IdAsc);
+        assert_eq!(got22.len(), 1);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..25u64 {
+            let g = random_uniform(8, 10, 35, 1, 1, seed);
+            for (min_l, min_r) in [(1, 1), (2, 2), (3, 2), (2, 4)] {
+                let want = oracle_maximal_bicliques(&g, min_l, min_r);
+                for order in [VertexOrder::IdAsc, VertexOrder::DegreeDesc] {
+                    let got = run(&g, min_l, min_r, order);
+                    assert_eq!(got, want, "seed {seed} minL {min_l} minR {min_r} {order:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn denser_random_graphs() {
+        for seed in 100..110u64 {
+            let g = random_uniform(7, 9, 40, 1, 1, seed);
+            let want = oracle_maximal_bicliques(&g, 1, 1);
+            let got = run(&g, 1, 1, VertexOrder::DegreeDesc);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budget_abort() {
+        let g = random_uniform(12, 14, 90, 1, 1, 3);
+        let mut sink = CollectSink::default();
+        let stats = maximal_bicliques(&g, 1, 1, VertexOrder::IdAsc, Budget::nodes(5), &mut sink);
+        assert!(stats.aborted);
+        let full = oracle_maximal_bicliques(&g, 1, 1);
+        for b in sink.bicliques {
+            assert!(full.contains(&b));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(1, 1).build().unwrap();
+        assert!(run(&g, 1, 1, VertexOrder::IdAsc).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_single_biclique() {
+        let mut b = GraphBuilder::new(1, 1);
+        for u in 0..4 {
+            for v in 0..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let got = run(&g, 1, 1, VertexOrder::DegreeDesc);
+        assert_eq!(got.len(), 1);
+        let bc = got.iter().next().unwrap();
+        assert_eq!(bc.upper.len(), 4);
+        assert_eq!(bc.lower.len(), 5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-threaded `FairBCEM++`.
+//!
+//! The enumeration tree's top-level branches are independent once the
+//! duplicate-suppression set `Q` is seeded correctly: branch `i`
+//! explores candidate order position `i` with `Q = p[0..i]`, and the
+//! fully-connected-`Q` check kills exactly the subtrees the serial
+//! algorithm never enters (any maximal biclique reachable from a
+//! later branch that was already enumerated under an earlier one
+//! contains an earlier vertex, which sits in `Q`). Work is distributed
+//! branch-at-a-time over crossbeam-scoped workers via an atomic
+//! cursor — degree-descending order puts the heavy branches first,
+//! which doubles as a crude longest-processing-time schedule.
+//!
+//! The parallel driver trades two things for speed: results arrive in
+//! nondeterministic *order* (the result *set* is identical — tests
+//! enforce it), and budgets apply per worker rather than globally.
+
+use crate::biclique::{Biclique, CollectSink, EnumStats};
+use crate::config::{Budget, FairParams, RunConfig};
+use crate::fairbcem_pp::SsExpander;
+use crate::fcore::PruneStats;
+use crate::mbea::{walk_maximal_bicliques_from, RBound};
+use crate::ordering::side_order;
+use crate::pipeline::{prune_single_side, RunReport};
+use bigraph::{BipartiteGraph, Side};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `FairBCEM++` on an already-pruned graph across `n_threads`
+/// workers, returning the collected results (order unspecified) and
+/// aggregated statistics.
+pub fn fairbcem_pp_par_on_pruned(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: crate::config::VertexOrder,
+    n_threads: usize,
+    budget: Budget,
+) -> (Vec<Biclique>, EnumStats) {
+    let p = side_order(g, Side::Lower, order);
+    let n_threads = n_threads.clamp(1, p.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let attrs = g.attrs(Side::Lower);
+
+    let mut per_thread: Vec<(Vec<Biclique>, EnumStats)> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..n_threads {
+            let p = &p;
+            let cursor = &cursor;
+            handles.push(s.spawn(move |_| {
+                let mut sink = CollectSink::default();
+                let mut expander = SsExpander::new(g, params, budget);
+                let mut agg = EnumStats::default();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= p.len() {
+                        break;
+                    }
+                    let stats = walk_maximal_bicliques_from(
+                        g,
+                        params.alpha as usize,
+                        RBound::AttrBeta { attrs, beta: params.beta },
+                        budget,
+                        p[i..].to_vec(),
+                        p[..i].to_vec(),
+                        1,
+                        &mut |l, r| expander.expand(l, r, &mut sink),
+                    );
+                    agg.nodes += stats.nodes;
+                    agg.aborted |= stats.aborted;
+                    agg.peak_search_bytes = agg.peak_search_bytes.max(stats.peak_search_bytes);
+                }
+                agg.emitted = expander.emitted;
+                agg.aborted |= expander.aborted();
+                (sink.bicliques, agg)
+            }));
+        }
+        for h in handles {
+            per_thread.push(h.join().expect("enumeration worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut all = Vec::new();
+    let mut agg = EnumStats::default();
+    for (bicliques, stats) in per_thread {
+        all.extend(bicliques);
+        agg.nodes += stats.nodes;
+        agg.emitted += stats.emitted;
+        agg.aborted |= stats.aborted;
+        agg.peak_search_bytes += stats.peak_search_bytes;
+    }
+    (all, agg)
+}
+
+/// Full parallel pipeline: prune (serial — it is near-linear), then
+/// enumerate SSFBCs across `n_threads` workers, mapping ids back to
+/// the original graph. Results are sorted for determinism.
+pub fn par_enumerate_ssfbc(
+    g: &BipartiteGraph,
+    params: FairParams,
+    cfg: &RunConfig,
+    n_threads: usize,
+) -> RunReport {
+    let pruned = prune_single_side(g, params, cfg.prune);
+    let (raw, stats) =
+        fairbcem_pp_par_on_pruned(&pruned.sub.graph, params, cfg.order, n_threads, cfg.budget);
+    let mut bicliques: Vec<Biclique> = raw
+        .into_iter()
+        .map(|bc| {
+            Biclique::new(
+                bc.upper
+                    .iter()
+                    .map(|&u| pruned.sub.upper_to_parent[u as usize])
+                    .collect(),
+                bc.lower
+                    .iter()
+                    .map(|&v| pruned.sub.lower_to_parent[v as usize])
+                    .collect(),
+            )
+        })
+        .collect();
+    bicliques.sort_unstable();
+    let prune: PruneStats = pruned.stats;
+    RunReport { bicliques, prune, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VertexOrder;
+    use crate::pipeline::enumerate_ssfbc;
+    use bigraph::generate::{plant_bicliques, random_uniform};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn parallel_matches_serial_on_random_graphs() {
+        for seed in 0..10u64 {
+            let g = random_uniform(12, 14, 70, 2, 2, seed);
+            let params = FairParams::unchecked(2, 1, 1);
+            let serial: BTreeSet<Biclique> = enumerate_ssfbc(&g, params, &RunConfig::default())
+                .bicliques
+                .into_iter()
+                .collect();
+            for threads in [1usize, 2, 4] {
+                let par = par_enumerate_ssfbc(&g, params, &RunConfig::default(), threads);
+                let got: BTreeSet<Biclique> = par.bicliques.iter().cloned().collect();
+                assert_eq!(got.len(), par.bicliques.len(), "no duplicates");
+                assert_eq!(got, serial, "seed {seed} threads {threads}");
+                assert_eq!(par.stats.emitted as usize, serial.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_planted_structure() {
+        let base = random_uniform(40, 45, 300, 2, 2, 3);
+        let g = plant_bicliques(&base, 3, 5, 8, 1.0, 4);
+        let params = FairParams::unchecked(3, 2, 1);
+        let serial: BTreeSet<Biclique> = enumerate_ssfbc(&g, params, &RunConfig::default())
+            .bicliques
+            .into_iter()
+            .collect();
+        assert!(!serial.is_empty());
+        for order in [VertexOrder::IdAsc, VertexOrder::DegreeDesc] {
+            let cfg = RunConfig::with_order(order);
+            let par = par_enumerate_ssfbc(&g, params, &cfg, 4);
+            let got: BTreeSet<Biclique> = par.bicliques.into_iter().collect();
+            assert_eq!(got, serial, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_sorted_and_deterministic() {
+        let g = random_uniform(15, 15, 90, 2, 2, 8);
+        let params = FairParams::unchecked(2, 1, 2);
+        let a = par_enumerate_ssfbc(&g, params, &RunConfig::default(), 3);
+        let b = par_enumerate_ssfbc(&g, params, &RunConfig::default(), 3);
+        assert_eq!(a.bicliques, b.bicliques);
+        assert!(a.bicliques.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn single_thread_equals_serial_stats_shape() {
+        let g = random_uniform(10, 10, 50, 2, 2, 5);
+        let params = FairParams::unchecked(2, 1, 1);
+        let par = par_enumerate_ssfbc(&g, params, &RunConfig::default(), 1);
+        let ser = enumerate_ssfbc(&g, params, &RunConfig::default());
+        assert_eq!(par.bicliques.len(), ser.bicliques.len());
+    }
+}

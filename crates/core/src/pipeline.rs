@@ -1,0 +1,296 @@
+//! End-to-end drivers: pruning → enumeration → id remapping.
+//!
+//! The enumerators in the sibling modules operate on compacted pruned
+//! graphs; the functions here compose the paper's full pipelines and
+//! translate results back to the caller's vertex ids.
+
+use crate::bfairbcem::{bfairbcem_on_pruned, bfairbcem_pp_on_pruned};
+use crate::bfcore::{bcfcore, bfcore};
+use crate::biclique::{Biclique, BicliqueSink, CollectSink, EnumStats, MappingSink};
+use crate::cfcore::cfcore;
+use crate::config::{FairParams, ProParams, PruneKind, RunConfig};
+use crate::fairbcem::fairbcem_on_pruned;
+use crate::fairbcem_pp::fairbcem_pp_on_pruned;
+use crate::fcore::{fcore, no_prune, PruneOutcome, PruneStats};
+use crate::naive::{bnsf_on_pruned, nsf_on_pruned};
+use crate::proportion::{bfairbcem_pro_pp_on_pruned, fairbcem_pro_pp_on_pruned};
+use bigraph::BipartiteGraph;
+use serde::{Deserialize, Serialize};
+
+/// Which single-side enumeration algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SsAlgorithm {
+    /// Naive baseline (`NSF`).
+    Nsf,
+    /// Branch-and-bound (`FairBCEM`, Algorithm 5).
+    FairBcem,
+    /// Combinatorial (`FairBCEM++`, Algorithm 6) — the paper's best.
+    #[default]
+    FairBcemPP,
+}
+
+/// Which bi-side enumeration algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BiAlgorithm {
+    /// Naive baseline (`BNSF`).
+    Bnsf,
+    /// `BFairBCEM` (Algorithm 9 over `FairBCEM`).
+    BFairBcem,
+    /// `BFairBCEM++` (Algorithm 9 over `FairBCEM++`) — the paper's best.
+    #[default]
+    BFairBcemPP,
+}
+
+/// Result of a collected enumeration run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The fair bicliques, in the original graph's vertex ids.
+    pub bicliques: Vec<Biclique>,
+    /// Pruning statistics.
+    pub prune: PruneStats,
+    /// Search statistics.
+    pub stats: EnumStats,
+}
+
+/// Run the pruning stage configured for a single-side problem.
+pub fn prune_single_side(g: &BipartiteGraph, params: FairParams, kind: PruneKind) -> PruneOutcome {
+    match kind {
+        PruneKind::None => no_prune(g),
+        PruneKind::FCore => fcore(g, params),
+        PruneKind::Colorful => cfcore(g, params),
+    }
+}
+
+/// Run the pruning stage configured for a bi-side problem
+/// (`FCore` maps to `BFCore`, `Colorful` to `BCFCore`).
+pub fn prune_bi_side(g: &BipartiteGraph, params: FairParams, kind: PruneKind) -> PruneOutcome {
+    match kind {
+        PruneKind::None => no_prune(g),
+        PruneKind::FCore => bfcore(g, params),
+        PruneKind::Colorful => bcfcore(g, params),
+    }
+}
+
+/// Streaming single-side enumeration: prune, enumerate with `algo`,
+/// emit results (original ids) into `sink`.
+pub fn run_ssfbc(
+    g: &BipartiteGraph,
+    params: FairParams,
+    algo: SsAlgorithm,
+    cfg: &RunConfig,
+    sink: &mut dyn BicliqueSink,
+) -> (PruneStats, EnumStats) {
+    let pruned = prune_single_side(g, params, cfg.prune);
+    let mut mapped = MappingSink::new(
+        &pruned.sub.upper_to_parent,
+        &pruned.sub.lower_to_parent,
+        sink,
+    );
+    let stats = match algo {
+        SsAlgorithm::Nsf => {
+            nsf_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
+        }
+        SsAlgorithm::FairBcem => {
+            fairbcem_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
+        }
+        SsAlgorithm::FairBcemPP => {
+            fairbcem_pp_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
+        }
+    };
+    (pruned.stats, stats)
+}
+
+/// Streaming bi-side enumeration.
+pub fn run_bsfbc(
+    g: &BipartiteGraph,
+    params: FairParams,
+    algo: BiAlgorithm,
+    cfg: &RunConfig,
+    sink: &mut dyn BicliqueSink,
+) -> (PruneStats, EnumStats) {
+    let pruned = prune_bi_side(g, params, cfg.prune);
+    let mut mapped = MappingSink::new(
+        &pruned.sub.upper_to_parent,
+        &pruned.sub.lower_to_parent,
+        sink,
+    );
+    let stats = match algo {
+        BiAlgorithm::Bnsf => {
+            bnsf_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
+        }
+        BiAlgorithm::BFairBcem => {
+            bfairbcem_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
+        }
+        BiAlgorithm::BFairBcemPP => {
+            bfairbcem_pp_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
+        }
+    };
+    (pruned.stats, stats)
+}
+
+/// Streaming proportion single-side enumeration (`FairBCEMPro++`).
+pub fn run_pssfbc(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    cfg: &RunConfig,
+    sink: &mut dyn BicliqueSink,
+) -> (PruneStats, EnumStats) {
+    let pruned = prune_single_side(g, pro.base, cfg.prune);
+    let mut mapped = MappingSink::new(
+        &pruned.sub.upper_to_parent,
+        &pruned.sub.lower_to_parent,
+        sink,
+    );
+    let stats =
+        fairbcem_pro_pp_on_pruned(&pruned.sub.graph, pro, cfg.order, cfg.budget, &mut mapped);
+    (pruned.stats, stats)
+}
+
+/// Streaming proportion bi-side enumeration (`BFairBCEMPro++`).
+pub fn run_pbsfbc(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    cfg: &RunConfig,
+    sink: &mut dyn BicliqueSink,
+) -> (PruneStats, EnumStats) {
+    let pruned = prune_bi_side(g, pro.base, cfg.prune);
+    let mut mapped = MappingSink::new(
+        &pruned.sub.upper_to_parent,
+        &pruned.sub.lower_to_parent,
+        sink,
+    );
+    let stats =
+        bfairbcem_pro_pp_on_pruned(&pruned.sub.graph, pro, cfg.order, cfg.budget, &mut mapped);
+    (pruned.stats, stats)
+}
+
+/// Enumerate and collect all single-side fair bicliques (Definition 3)
+/// with the paper's best pipeline (`CFCore` + `FairBCEM++` by default).
+pub fn enumerate_ssfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
+    let mut sink = CollectSink::default();
+    let (prune, stats) = run_ssfbc(g, params, SsAlgorithm::FairBcemPP, cfg, &mut sink);
+    RunReport { bicliques: sink.bicliques, prune, stats }
+}
+
+/// Enumerate and collect all bi-side fair bicliques (Definition 4).
+pub fn enumerate_bsfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
+    let mut sink = CollectSink::default();
+    let (prune, stats) = run_bsfbc(g, params, BiAlgorithm::BFairBcemPP, cfg, &mut sink);
+    RunReport { bicliques: sink.bicliques, prune, stats }
+}
+
+/// Enumerate and collect all proportion single-side fair bicliques
+/// (Definition 5).
+pub fn enumerate_pssfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
+    let mut sink = CollectSink::default();
+    let (prune, stats) = run_pssfbc(g, pro, cfg, &mut sink);
+    RunReport { bicliques: sink.bicliques, prune, stats }
+}
+
+/// Enumerate and collect all proportion bi-side fair bicliques
+/// (Definition 6).
+pub fn enumerate_pbsfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
+    let mut sink = CollectSink::default();
+    let (prune, stats) = run_pbsfbc(g, pro, cfg, &mut sink);
+    RunReport { bicliques: sink.bicliques, prune, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biclique::CountSink;
+    use crate::config::VertexOrder;
+    use crate::verify::{oracle_bsfbc, oracle_ssfbc};
+    use bigraph::generate::{plant_bicliques, random_uniform};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn full_pipeline_matches_oracle_all_prunings() {
+        for seed in 0..12u64 {
+            let g = random_uniform(9, 10, 38, 2, 2, seed);
+            let params = FairParams::unchecked(2, 1, 1);
+            let want = oracle_ssfbc(&g, params);
+            for prune in [PruneKind::None, PruneKind::FCore, PruneKind::Colorful] {
+                for algo in [SsAlgorithm::Nsf, SsAlgorithm::FairBcem, SsAlgorithm::FairBcemPP] {
+                    let cfg = RunConfig::with_prune(prune);
+                    let mut sink = CollectSink::default();
+                    run_ssfbc(&g, params, algo, &cfg, &mut sink);
+                    let got: BTreeSet<_> = sink.bicliques.into_iter().collect();
+                    assert_eq!(got, want, "seed {seed} prune {prune:?} algo {algo:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bi_pipeline_matches_oracle_all_prunings() {
+        for seed in 0..8u64 {
+            let g = random_uniform(7, 8, 28, 2, 2, seed);
+            let params = FairParams::unchecked(1, 1, 1);
+            let want = oracle_bsfbc(&g, params);
+            for prune in [PruneKind::None, PruneKind::FCore, PruneKind::Colorful] {
+                for algo in [BiAlgorithm::Bnsf, BiAlgorithm::BFairBcem, BiAlgorithm::BFairBcemPP] {
+                    let cfg = RunConfig::with_prune(prune);
+                    let mut sink = CollectSink::default();
+                    run_bsfbc(&g, params, algo, &cfg, &mut sink);
+                    let got: BTreeSet<_> = sink.bicliques.into_iter().collect();
+                    assert_eq!(got, want, "seed {seed} prune {prune:?} algo {algo:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_ids_are_original() {
+        // Plant a block away from id 0 so pruning must remap.
+        let base = random_uniform(30, 30, 60, 2, 2, 3);
+        let g = plant_bicliques(&base, 1, 5, 8, 1.0, 9);
+        let params = FairParams::unchecked(2, 2, 2);
+        let report = enumerate_ssfbc(&g, params, &RunConfig::default());
+        for bc in &report.bicliques {
+            for &u in &bc.upper {
+                for &v in &bc.lower {
+                    assert!(g.has_edge(u, v), "result must be a biclique in the ORIGINAL graph");
+                }
+            }
+        }
+        assert!(report.prune.upper_after <= report.prune.upper_before);
+    }
+
+    #[test]
+    fn orderings_agree_on_results() {
+        let g = random_uniform(12, 14, 70, 2, 2, 21);
+        let params = FairParams::unchecked(2, 1, 1);
+        let mut res = Vec::new();
+        for order in [VertexOrder::IdAsc, VertexOrder::DegreeDesc] {
+            let cfg = RunConfig::with_order(order);
+            let report = enumerate_ssfbc(&g, params, &cfg);
+            res.push(report.bicliques.into_iter().collect::<BTreeSet<_>>());
+        }
+        assert_eq!(res[0], res[1]);
+    }
+
+    #[test]
+    fn counting_sink_streams() {
+        let g = random_uniform(12, 14, 70, 2, 2, 22);
+        let params = FairParams::unchecked(2, 1, 1);
+        let mut count = CountSink::default();
+        let (_, stats) = run_ssfbc(&g, params, SsAlgorithm::FairBcemPP, &RunConfig::default(), &mut count);
+        let report = enumerate_ssfbc(&g, params, &RunConfig::default());
+        assert_eq!(count.count as usize, report.bicliques.len());
+        assert_eq!(stats.emitted, count.count);
+    }
+
+    #[test]
+    fn pro_pipelines_run_end_to_end() {
+        let g = random_uniform(10, 12, 50, 2, 2, 31);
+        let pro = ProParams::new(2, 1, 2, 0.4).unwrap();
+        let ss = enumerate_pssfbc(&g, pro, &RunConfig::default());
+        let bs = enumerate_pbsfbc(&g, pro, &RunConfig::default());
+        // PBSFBC lower sides appear among PSSFBC lower sides.
+        let ss_lowers: BTreeSet<_> = ss.bicliques.iter().map(|b| b.lower.clone()).collect();
+        for b in &bs.bicliques {
+            assert!(ss_lowers.contains(&b.lower));
+        }
+    }
+}

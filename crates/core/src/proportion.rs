@@ -1,0 +1,292 @@
+//! Proportion fair biclique enumeration: `FairBCEMPro++` (§III-D) and
+//! `BFairBCEMPro++` (§IV-C).
+//!
+//! Structure mirrors [`crate::fairbcem_pp`] / [`crate::bfairbcem`]
+//! with the proportion-aware feasibility and maximality tests:
+//!
+//! * the fair-set inspection becomes [`crate::fairset::is_fair_pro`];
+//! * `Combination` becomes the exact `CombinationPro`
+//!   ([`crate::fairset::for_each_max_pro_fair_subset`]), which searches
+//!   the maximal feasible size lattice instead of the paper's closed
+//!   form (exact for any attribute-domain size; equal to the closed
+//!   form on the paper's two-value domains — property-tested).
+
+use crate::biclique::{BicliqueSink, EnumStats};
+use crate::config::{Budget, BudgetClock, ProParams, VertexOrder};
+use crate::fairbcem_pp::closure_equals;
+use crate::fairset::{
+    for_each_max_pro_fair_subset, is_fair_pro, is_maximal_fair_subset_pro, AttrCounts,
+};
+use crate::mbea::{walk_maximal_bicliques, RBound};
+use bigraph::{BipartiteGraph, Side, VertexId};
+
+/// Run `FairBCEMPro++` on `g` (assumed already pruned; fair side =
+/// lower): enumerate all proportion single-side fair bicliques.
+pub fn fairbcem_pro_pp_on_pruned(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    order: VertexOrder,
+    budget: Budget,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let params = pro.base;
+    let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
+    let attrs = g.attrs(Side::Lower);
+    let mut emitted = 0u64;
+    let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); n_attrs];
+    // Expansion budget: a single CombinationPro can be binomially large.
+    let mut expand_clock = budget.start();
+
+    let mut stats = walk_maximal_bicliques(
+        g,
+        params.alpha as usize,
+        RBound::AttrBeta { attrs, beta: params.beta },
+        order,
+        budget,
+        &mut |l, r| {
+            if expand_clock.exhausted {
+                return;
+            }
+            let counts = AttrCounts::of(r, attrs, n_attrs);
+            if is_fair_pro(counts.as_slice(), params.beta, params.delta, pro.theta) {
+                sink.emit(l, r);
+                emitted += 1;
+                expand_clock.tick();
+                return;
+            }
+            for g_attr in groups.iter_mut() {
+                g_attr.clear();
+            }
+            for &v in r {
+                groups[attrs[v as usize] as usize].push(v);
+            }
+            let group_refs: Vec<&[VertexId]> = groups.iter().map(|g| g.as_slice()).collect();
+            for_each_max_pro_fair_subset(
+                &group_refs,
+                params.beta,
+                params.delta,
+                pro.theta,
+                &mut |r_sub| {
+                    // Empty fair sides are degenerate non-results.
+                    if !r_sub.is_empty() && closure_equals(g, r_sub, l) {
+                        sink.emit(l, r_sub);
+                        emitted += 1;
+                    }
+                    expand_clock.tick()
+                },
+            );
+        },
+    );
+    stats.emitted = emitted;
+    stats.aborted |= expand_clock.exhausted;
+    stats
+}
+
+/// Run `BFairBCEMPro++` on `g`: enumerate all proportion bi-side fair
+/// bicliques by expanding each PSSFBC's upper side with the exact
+/// `CombinationPro` and the proportion `MFSCheck`.
+pub fn bfairbcem_pro_pp_on_pruned(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    order: VertexOrder,
+    budget: Budget,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let mut expander = ProBiSideExpander::new(g, pro, budget, sink);
+    let mut stats = fairbcem_pro_pp_on_pruned(g, pro, order, budget, &mut expander);
+    stats.emitted = expander.emitted;
+    stats.aborted |= expander.clock.exhausted;
+    stats
+}
+
+/// Adapter from PSSFBCs to the PBSFBCs contained in them.
+struct ProBiSideExpander<'a> {
+    g: &'a BipartiteGraph,
+    pro: ProParams,
+    n_attrs_l: usize,
+    sink: &'a mut dyn BicliqueSink,
+    clock: BudgetClock,
+    emitted: u64,
+    groups: Vec<Vec<VertexId>>,
+}
+
+impl<'a> ProBiSideExpander<'a> {
+    fn new(
+        g: &'a BipartiteGraph,
+        pro: ProParams,
+        budget: Budget,
+        sink: &'a mut dyn BicliqueSink,
+    ) -> Self {
+        let n_attrs_u = (g.n_attr_values(Side::Upper) as usize).max(1);
+        let n_attrs_l = (g.n_attr_values(Side::Lower) as usize).max(1);
+        ProBiSideExpander {
+            g,
+            pro,
+            n_attrs_l,
+            sink,
+            clock: budget.start(),
+            emitted: 0,
+            groups: vec![Vec::new(); n_attrs_u],
+        }
+    }
+}
+
+impl BicliqueSink for ProBiSideExpander<'_> {
+    fn emit(&mut self, l: &[VertexId], r: &[VertexId]) {
+        if self.clock.exhausted {
+            return;
+        }
+        let attrs_u = self.g.attrs(Side::Upper);
+        let attrs_l = self.g.attrs(Side::Lower);
+        for g_attr in self.groups.iter_mut() {
+            g_attr.clear();
+        }
+        for &u in l {
+            self.groups[attrs_u[u as usize] as usize].push(u);
+        }
+        let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
+        let base = AttrCounts::of(r, attrs_l, self.n_attrs_l);
+        let g = self.g;
+        let pro = self.pro;
+        let n_attrs_l = self.n_attrs_l;
+        let sink = &mut *self.sink;
+        let emitted = &mut self.emitted;
+        let clock = &mut self.clock;
+        for_each_max_pro_fair_subset(
+            &group_refs,
+            pro.base.alpha,
+            pro.base.delta,
+            pro.theta,
+            &mut |l_sub| {
+                let nl = g.common_neighbors(Side::Upper, l_sub);
+                let mut cand = AttrCounts::zeros(n_attrs_l);
+                let mut i = 0usize;
+                for &v in &nl {
+                    while i < r.len() && r[i] < v {
+                        i += 1;
+                    }
+                    if i < r.len() && r[i] == v {
+                        continue;
+                    }
+                    cand.inc(attrs_l[v as usize]);
+                }
+                if is_maximal_fair_subset_pro(
+                    base.as_slice(),
+                    cand.as_slice(),
+                    pro.base.beta,
+                    pro.base.delta,
+                    pro.theta,
+                ) {
+                    sink.emit(l_sub, r);
+                    *emitted += 1;
+                }
+                clock.tick()
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biclique::{Biclique, CollectSink};
+    use crate::verify::{oracle_pbsfbc, oracle_pssfbc};
+    use bigraph::generate::random_uniform;
+    use std::collections::BTreeSet;
+
+    fn run_ss(g: &BipartiteGraph, pro: ProParams) -> BTreeSet<Biclique> {
+        let mut sink = CollectSink::default();
+        let stats = fairbcem_pro_pp_on_pruned(
+            g,
+            pro,
+            VertexOrder::DegreeDesc,
+            Budget::UNLIMITED,
+            &mut sink,
+        );
+        assert!(!stats.aborted);
+        let set: BTreeSet<Biclique> = sink.bicliques.iter().cloned().collect();
+        assert_eq!(set.len(), sink.bicliques.len(), "no duplicates");
+        set
+    }
+
+    fn run_bi(g: &BipartiteGraph, pro: ProParams) -> BTreeSet<Biclique> {
+        let mut sink = CollectSink::default();
+        let stats = bfairbcem_pro_pp_on_pruned(
+            g,
+            pro,
+            VertexOrder::DegreeDesc,
+            Budget::UNLIMITED,
+            &mut sink,
+        );
+        assert!(!stats.aborted);
+        let set: BTreeSet<Biclique> = sink.bicliques.iter().cloned().collect();
+        assert_eq!(set.len(), sink.bicliques.len(), "no duplicates");
+        set
+    }
+
+    #[test]
+    fn pssfbc_matches_oracle() {
+        for seed in 0..20u64 {
+            let g = random_uniform(8, 10, 34, 2, 2, seed);
+            for theta in [0.0, 0.3, 0.4, 0.5] {
+                for (a, b, d) in [(1, 1, 1), (2, 1, 2), (2, 2, 1)] {
+                    let pro = ProParams::new(a, b, d, theta).unwrap();
+                    let want = oracle_pssfbc(&g, pro);
+                    let got = run_ss(&g, pro);
+                    assert_eq!(got, want, "seed {seed} {pro}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pbsfbc_matches_oracle() {
+        for seed in 0..15u64 {
+            let g = random_uniform(7, 8, 26, 2, 2, seed);
+            for theta in [0.0, 0.35, 0.5] {
+                for (a, b, d) in [(1, 1, 1), (1, 1, 2)] {
+                    let pro = ProParams::new(a, b, d, theta).unwrap();
+                    let want = oracle_pbsfbc(&g, pro);
+                    let got = run_bi(&g, pro);
+                    assert_eq!(got, want, "seed {seed} {pro}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theta_zero_equals_plain_model() {
+        use crate::fairbcem_pp::fairbcem_pp_on_pruned;
+        use crate::config::FairParams;
+        for seed in 30..40u64 {
+            let g = random_uniform(9, 10, 40, 2, 2, seed);
+            let pro = ProParams::new(2, 1, 1, 0.0).unwrap();
+            let got = run_ss(&g, pro);
+            let mut plain = CollectSink::default();
+            fairbcem_pp_on_pruned(
+                &g,
+                FairParams::unchecked(2, 1, 1),
+                VertexOrder::DegreeDesc,
+                Budget::UNLIMITED,
+                &mut plain,
+            );
+            let plain: BTreeSet<Biclique> = plain.bicliques.into_iter().collect();
+            assert_eq!(got, plain, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn larger_theta_means_fewer_or_equal_results_at_delta_zero() {
+        // With delta = 0 the fair sides are perfectly balanced, so
+        // every plain SSFBC is proportion-fair for any theta <= 0.5:
+        // counts must be monotone across theta in that regime.
+        let g = random_uniform(10, 10, 45, 2, 2, 77);
+        let mut prev = usize::MAX;
+        for theta in [0.5, 0.4, 0.3, 0.0] {
+            let pro = ProParams::new(1, 1, 0, theta).unwrap();
+            let n = run_ss(&g, pro).len();
+            assert!(n <= prev || prev == usize::MAX);
+            prev = n;
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Schema-matched generators for the paper's three case studies
+//! (§V-C): DBLP scholar–paper graphs (DBDA / DBDS), the Jobs
+//! recommendation scenario, and the Movies recommendation scenario.
+//!
+//! Each generator reproduces the *structure that makes the case study
+//! work*: community-structured bipartite interactions with the same
+//! attribute schema and the same bias the paper highlights (popular
+//! jobs / old movies receive disproportionately many interactions, so
+//! plain CF recommends them disproportionately often).
+
+use bigraph::{BipartiteGraph, GraphBuilder, VertexId};
+use fair_biclique::biclique::Biclique;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A labeled attributed bipartite graph for one case study.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Scenario name (`DBDA`, `DBDS`, `Jobs`, `Movies`).
+    pub name: &'static str,
+    /// The attributed bipartite graph.
+    pub graph: BipartiteGraph,
+    /// Human-readable names of the upper attribute values.
+    pub upper_attr_names: Vec<&'static str>,
+    /// Human-readable names of the lower attribute values.
+    pub lower_attr_names: Vec<&'static str>,
+    /// Display label of each upper vertex.
+    pub upper_labels: Vec<String>,
+    /// Display label of each lower vertex.
+    pub lower_labels: Vec<String>,
+}
+
+impl CaseStudy {
+    /// Pretty-print a biclique with labels and attribute tallies,
+    /// Fig. 9/10-style.
+    pub fn describe(&self, bc: &Biclique) -> String {
+        use bigraph::Side;
+        let mut out = String::new();
+        let mut u_tally = vec![0usize; self.upper_attr_names.len()];
+        for &u in &bc.upper {
+            u_tally[self.graph.attr(Side::Upper, u) as usize] += 1;
+        }
+        let mut l_tally = vec![0usize; self.lower_attr_names.len()];
+        for &v in &bc.lower {
+            l_tally[self.graph.attr(Side::Lower, v) as usize] += 1;
+        }
+        out.push_str(&format!("[{}] upper side (", self.name));
+        for (i, n) in self.upper_attr_names.iter().enumerate() {
+            out.push_str(&format!("{}{}={}", if i > 0 { ", " } else { "" }, n, u_tally[i]));
+        }
+        out.push_str("): ");
+        out.push_str(
+            &bc.upper
+                .iter()
+                .map(|&u| self.upper_labels[u as usize].clone())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("\n        lower side (");
+        for (i, n) in self.lower_attr_names.iter().enumerate() {
+            out.push_str(&format!("{}{}={}", if i > 0 { ", " } else { "" }, n, l_tally[i]));
+        }
+        out.push_str("): ");
+        out.push_str(
+            &bc.lower
+                .iter()
+                .map(|&v| self.lower_labels[v as usize].clone())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out
+    }
+}
+
+/// DBLP-style collaboration graph builder shared by [`dbda`] / [`dbds`].
+///
+/// Papers are the upper side (attribute: venue area), scholars the
+/// lower side (attribute: `S`enior / `J`unior, as the paper assigns by
+/// publication history). Scholars form research groups; each group
+/// publishes a run of papers with 3–6 authors drawn from the group
+/// (occasionally borrowing an external co-author).
+fn dblp_like(
+    name: &'static str,
+    area_names: [&'static str; 2],
+    n_groups: usize,
+    seed: u64,
+) -> CaseStudy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(2, 2);
+    let mut scholar_attr: Vec<u16> = Vec::new();
+    let mut paper_attr: Vec<u16> = Vec::new();
+    let mut groups: Vec<Vec<VertexId>> = Vec::new();
+
+    // Research groups of 5-8 scholars with a senior/junior mix.
+    for _ in 0..n_groups {
+        let size = rng.random_range(5..9usize);
+        let mut members = Vec::with_capacity(size);
+        for _ in 0..size {
+            let id = scholar_attr.len() as VertexId;
+            // ~45% seniors (attr 0 = S).
+            scholar_attr.push(if rng.random_bool(0.45) { 0 } else { 1 });
+            members.push(id);
+        }
+        groups.push(members);
+    }
+
+    // Each group publishes 6-12 papers; venue area leans to the
+    // group's home area but crosses over ~30% of the time (that's what
+    // creates bi-side-fair DB+AI collaborations).
+    for (gi, members) in groups.iter().enumerate() {
+        let home_area = (gi % 2) as u16;
+        let n_papers = rng.random_range(6..13usize);
+        for _ in 0..n_papers {
+            let paper = paper_attr.len() as VertexId;
+            let area = if rng.random_bool(0.3) { 1 - home_area } else { home_area };
+            paper_attr.push(area);
+            let n_auth = rng.random_range(3..=6usize).min(members.len());
+            let mut authors = members.clone();
+            authors.shuffle(&mut rng);
+            authors.truncate(n_auth);
+            // Occasional external co-author.
+            if rng.random_bool(0.2) && !groups.is_empty() {
+                let og = rng.random_range(0..groups.len());
+                let other = &groups[og];
+                authors.push(other[rng.random_range(0..other.len())]);
+            }
+            for &a in &authors {
+                b.add_edge(paper, a);
+            }
+        }
+    }
+
+    b.set_attrs_upper(&paper_attr);
+    b.set_attrs_lower(&scholar_attr);
+    b.ensure_vertices(paper_attr.len(), scholar_attr.len());
+    let graph = b.build().expect("case-study graphs are valid");
+    let upper_labels = (0..graph.n_upper())
+        .map(|i| format!("paper-{i} ({})", area_names[graph.attrs(bigraph::Side::Upper)[i] as usize]))
+        .collect();
+    let lower_labels = (0..graph.n_lower())
+        .map(|i| {
+            format!(
+                "scholar-{i} ({})",
+                if graph.attrs(bigraph::Side::Lower)[i] == 0 { "S" } else { "J" }
+            )
+        })
+        .collect();
+    CaseStudy {
+        name,
+        graph,
+        upper_attr_names: area_names.to_vec(),
+        lower_attr_names: vec!["S", "J"],
+        upper_labels,
+        lower_labels,
+    }
+}
+
+/// The DBDA case study: database + AI scholars (paper attrs `DB`/`AI`,
+/// scholar attrs `S`/`J`).
+pub fn dbda(seed: u64) -> CaseStudy {
+    dblp_like("DBDA", ["DB", "AI"], 40, seed)
+}
+
+/// The DBDS case study: database + systems scholars (paper attrs
+/// `DB`/`SYS`).
+pub fn dbds(seed: u64) -> CaseStudy {
+    dblp_like("DBDS", ["DB", "SYS"], 32, seed ^ 0xd0d5)
+}
+
+/// Recommendation-scenario generator shared by [`jobs`] / [`movies`]:
+/// users (upper, attribute = demographic) × items (lower, attribute =
+/// 0 for the *advantaged* class — popular jobs / old movies — and 1
+/// for the disadvantaged class).
+///
+/// Users sit in latent taste groups; interactions go to items of the
+/// user's group, but advantaged items receive `bias`× the interaction
+/// probability — exactly the exposure bias the paper's CF baseline
+/// inherits and the fair biclique mining corrects.
+#[allow(clippy::too_many_arguments)]
+fn rec_scenario(
+    name: &'static str,
+    user_attr_names: [&'static str; 2],
+    item_attr_names: [&'static str; 2],
+    n_users: usize,
+    n_items: usize,
+    n_groups: usize,
+    bias: f64,
+    seed: u64,
+) -> CaseStudy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(2, 2);
+    b.ensure_vertices(n_users, n_items);
+
+    // Item attributes: first half advantaged (0), second half not (1) —
+    // the paper splits jobs by application count at the median.
+    let item_attrs: Vec<u16> = (0..n_items).map(|i| if i < n_items / 2 { 0 } else { 1 }).collect();
+    let user_attrs: Vec<u16> = (0..n_users).map(|_| u16::from(rng.random_bool(0.35))).collect();
+    let user_group: Vec<usize> = (0..n_users).map(|_| rng.random_range(0..n_groups)).collect();
+    let item_group: Vec<usize> = (0..n_items).map(|_| rng.random_range(0..n_groups)).collect();
+
+    #[allow(clippy::needless_range_loop)]
+    for u in 0..n_users {
+        for i in 0..n_items {
+            let same = user_group[u] == item_group[i];
+            let mut p = if same { 0.30 } else { 0.01 };
+            if item_attrs[i] == 0 {
+                p = (p * bias).min(0.9);
+            }
+            if rng.random_bool(p) {
+                b.add_edge(u as VertexId, i as VertexId);
+            }
+        }
+    }
+    b.set_attrs_upper(&user_attrs);
+    b.set_attrs_lower(&item_attrs);
+    let graph = b.build().expect("case-study graphs are valid");
+    let upper_labels = (0..n_users)
+        .map(|i| format!("user-{i} ({})", user_attr_names[user_attrs[i] as usize]))
+        .collect();
+    let lower_labels = (0..n_items)
+        .map(|i| format!("{}-{i} ({})", name.to_lowercase(), item_attr_names[item_attrs[i] as usize]))
+        .collect();
+    CaseStudy {
+        name,
+        graph,
+        upper_attr_names: user_attr_names.to_vec(),
+        lower_attr_names: item_attr_names.to_vec(),
+        upper_labels,
+        lower_labels,
+    }
+}
+
+/// The Jobs case study: users (American `A` / foreigner `F`) × jobs
+/// (popular `P` / less popular `U`), with popularity bias in the
+/// interactions.
+pub fn jobs(seed: u64) -> CaseStudy {
+    rec_scenario("Jobs", ["A", "F"], ["P", "U"], 180, 60, 6, 2.5, seed)
+}
+
+/// The Movies case study: users × movies (old `O` / new `N`), with
+/// exposure bias towards old movies (the paper's "cold start").
+pub fn movies(seed: u64) -> CaseStudy {
+    rec_scenario("Movies", ["A", "F"], ["O", "N"], 140, 90, 5, 2.5, seed ^ 0x4031e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::Side;
+
+    #[test]
+    fn dbda_structure() {
+        let cs = dbda(7);
+        cs.graph.validate().unwrap();
+        assert!(cs.graph.n_upper() > 100, "papers");
+        assert!(cs.graph.n_lower() > 100, "scholars");
+        assert!(cs.graph.n_edges() > 500);
+        // Both attribute values present on both sides.
+        for side in [Side::Upper, Side::Lower] {
+            let mut seen = [false; 2];
+            for &a in cs.graph.attrs(side) {
+                seen[a as usize] = true;
+            }
+            assert!(seen[0] && seen[1]);
+        }
+        assert_eq!(cs.upper_labels.len(), cs.graph.n_upper());
+        assert!(cs.upper_labels[0].starts_with("paper-0"));
+    }
+
+    #[test]
+    fn dbds_differs_from_dbda() {
+        let a = dbda(7);
+        let d = dbds(7);
+        assert_eq!(d.name, "DBDS");
+        assert_eq!(d.upper_attr_names, vec!["DB", "SYS"]);
+        assert_ne!(a.graph.n_edges(), d.graph.n_edges());
+    }
+
+    #[test]
+    fn jobs_bias_present() {
+        let cs = jobs(3);
+        cs.graph.validate().unwrap();
+        // Popular jobs (attr 0) must receive more applications overall.
+        let mut per_attr = [0usize; 2];
+        for v in 0..cs.graph.n_lower() as u32 {
+            per_attr[cs.graph.attr(Side::Lower, v) as usize] += cs.graph.degree(Side::Lower, v);
+        }
+        assert!(
+            per_attr[0] as f64 > 1.5 * per_attr[1] as f64,
+            "popular {} vs unpopular {}",
+            per_attr[0],
+            per_attr[1]
+        );
+    }
+
+    #[test]
+    fn movies_bias_present() {
+        let cs = movies(3);
+        let mut per_attr = [0usize; 2];
+        for v in 0..cs.graph.n_lower() as u32 {
+            per_attr[cs.graph.attr(Side::Lower, v) as usize] += cs.graph.degree(Side::Lower, v);
+        }
+        assert!(per_attr[0] > per_attr[1], "old movies get more exposure");
+    }
+
+    #[test]
+    fn describe_formats_biclique() {
+        let cs = dbda(9);
+        let bc = Biclique::new(vec![0, 1], vec![0, 1, 2]);
+        let text = cs.describe(&bc);
+        assert!(text.contains("DBDA"));
+        assert!(text.contains("paper-0"));
+        assert!(text.contains("scholar-2"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = jobs(11);
+        let b = jobs(11);
+        assert_eq!(a.graph.n_edges(), b.graph.n_edges());
+        let c = jobs(12);
+        assert_ne!(a.graph.n_edges(), c.graph.n_edges());
+    }
+}

@@ -1,0 +1,26 @@
+//! # fbe-datasets — corpus and case-study substrates
+//!
+//! The paper evaluates on five KONECT downloads (Youtube, Twitter,
+//! IMDB, Wiki-cat, DBLP) and three application datasets (DBLP XML,
+//! Kaggle Jobs, Kaggle Movies). None are downloadable in this
+//! environment, so this crate builds **seeded synthetic analogs**
+//! (DESIGN.md §5 documents the substitution argument):
+//!
+//! * [`corpus`] — scaled-down analogs of the five benchmark graphs:
+//!   same side-ratio, comparable mean degree, Chung–Lu power-law skew,
+//!   plus planted dense blocks so fair bicliques exist at the paper's
+//!   default parameters. Table I's default `α/β/δ/θ` travel with each
+//!   [`corpus::DatasetSpec`].
+//! * [`cf`] — a user-based collaborative-filtering recommender (cosine
+//!   similarity over the interaction graph, top-k scoring). The case
+//!   studies mine fair bicliques from its recommendation graph exactly
+//!   as §V-C does.
+//! * [`case_studies`] — generators for the DBDA/DBDS scholar–paper
+//!   graphs, the Jobs recommendation scenario, and the Movies
+//!   recommendation scenario, with human-readable labels.
+
+#![warn(missing_docs)]
+
+pub mod case_studies;
+pub mod cf;
+pub mod corpus;

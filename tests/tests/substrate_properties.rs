@@ -1,0 +1,200 @@
+//! Property tests on the substrate crate: graph construction,
+//! intersections, 2-hop projections, coloring, subgraphs, and core
+//! peeling invariants.
+
+use bigraph::coloring::greedy_color_by_degree;
+use bigraph::twohop::{construct_2hop, construct_2hop_biside};
+use bigraph::{BipartiteGraph, GraphBuilder, Side, UniGraph, VertexId};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = BipartiteGraph> {
+    (2usize..9, 2usize..9).prop_flat_map(|(nu, nv)| {
+        (
+            Just(nu),
+            Just(nv),
+            proptest::collection::vec(proptest::bool::weighted(0.35), nu * nv),
+            proptest::collection::vec(0u16..2, nu),
+            proptest::collection::vec(0u16..2, nv),
+        )
+            .prop_map(|(nu, nv, cells, ua, la)| {
+                let mut b = GraphBuilder::new(2, 2);
+                b.ensure_vertices(nu, nv);
+                for (i, &on) in cells.iter().enumerate() {
+                    if on {
+                        b.add_edge((i / nv) as u32, (i % nv) as u32);
+                    }
+                }
+                b.set_attrs_upper(&ua);
+                b.set_attrs_lower(&la);
+                b.build().expect("valid")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_output_validates(g in graph_strategy()) {
+        prop_assert_eq!(g.validate(), Ok(()));
+        // Degrees sum to edge count on both sides.
+        let du: usize = (0..g.n_upper() as VertexId).map(|u| g.degree(Side::Upper, u)).sum();
+        let dv: usize = (0..g.n_lower() as VertexId).map(|v| g.degree(Side::Lower, v)).sum();
+        prop_assert_eq!(du, g.n_edges());
+        prop_assert_eq!(dv, g.n_edges());
+    }
+
+    #[test]
+    fn intersection_matches_sets(
+        a in proptest::collection::btree_set(0u32..40, 0..20),
+        b in proptest::collection::btree_set(0u32..40, 0..20),
+    ) {
+        let va: Vec<u32> = a.iter().copied().collect();
+        let vb: Vec<u32> = b.iter().copied().collect();
+        let mut out = Vec::new();
+        bigraph::intersect_sorted_into(&va, &vb, &mut out);
+        let want: Vec<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(&out, &want);
+        prop_assert_eq!(bigraph::intersect_sorted_count(&va, &vb), want.len());
+        prop_assert_eq!(bigraph::is_sorted_subset(&out, &va), true);
+        prop_assert_eq!(bigraph::is_sorted_subset(&out, &vb), true);
+    }
+
+    #[test]
+    fn twohop_edges_iff_common_neighbors(g in graph_strategy(), alpha in 1usize..4) {
+        let h = construct_2hop(&g, Side::Lower, alpha);
+        prop_assert_eq!(h.n(), g.n_lower());
+        for x in 0..g.n_lower() as VertexId {
+            for y in (x + 1)..g.n_lower() as VertexId {
+                let c = bigraph::intersect_sorted_count(
+                    g.neighbors(Side::Lower, x),
+                    g.neighbors(Side::Lower, y),
+                );
+                prop_assert_eq!(h.has_edge(x, y), c >= alpha);
+            }
+        }
+    }
+
+    #[test]
+    fn biside_twohop_is_subgraph_of_twohop(g in graph_strategy(), alpha in 1usize..3) {
+        let h = construct_2hop(&g, Side::Lower, alpha);
+        let hb = construct_2hop_biside(&g, Side::Lower, alpha);
+        for x in 0..hb.n() as VertexId {
+            for &y in hb.neighbors(x) {
+                // >= alpha per attribute implies >= alpha in total.
+                prop_assert!(h.has_edge(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_is_proper_and_bounded(
+        n in 1usize..30,
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 0..80),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n && a != b)
+            .collect();
+        let g = UniGraph::from_edges(1, vec![0; n], &edges);
+        let c = greedy_color_by_degree(&g);
+        prop_assert!(c.is_proper(&g));
+        prop_assert!((c.n_colors as usize) <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn induce_preserves_exactly_internal_edges(g in graph_strategy()) {
+        let keep_u: Vec<bool> = (0..g.n_upper()).map(|i| i % 2 == 0).collect();
+        let keep_v: Vec<bool> = (0..g.n_lower()).map(|i| i % 3 != 0).collect();
+        let sub = bigraph::subgraph::induce(&g, &keep_u, &keep_v);
+        prop_assert_eq!(sub.graph.validate(), Ok(()));
+        let expected = g
+            .edges()
+            .filter(|&(u, v)| keep_u[u as usize] && keep_v[v as usize])
+            .count();
+        prop_assert_eq!(sub.graph.n_edges(), expected);
+    }
+
+    #[test]
+    fn fcore_mask_is_maximal_fair_core(g in graph_strategy(), alpha in 1u32..3, beta in 0u32..3) {
+        use fair_biclique::fcore::{fcore_masks, is_fair_core};
+        let (ku, kv) = fcore_masks(&g, alpha, beta);
+        prop_assert!(is_fair_core(&g, &ku, &kv, alpha, beta));
+        // Every oracle SSFBC survives the mask (Lemma 1).
+        let params = fair_biclique::config::FairParams::unchecked(alpha, beta, 5);
+        for bc in fair_biclique::verify::oracle_ssfbc(&g, params) {
+            for &u in &bc.upper {
+                prop_assert!(ku[u as usize], "upper {} of {} peeled", u, bc);
+            }
+            for &v in &bc.lower {
+                prop_assert!(kv[v as usize], "lower {} of {} peeled", v, bc);
+            }
+        }
+    }
+
+    #[test]
+    fn cfcore_preserves_all_ssfbcs(g in graph_strategy(), alpha in 1u32..3, beta in 1u32..3) {
+        use fair_biclique::cfcore::cfcore;
+        use std::collections::BTreeSet;
+        let params = fair_biclique::config::FairParams::unchecked(alpha, beta, 2);
+        let out = cfcore(&g, params);
+        let keep_u: BTreeSet<u32> = out.sub.upper_to_parent.iter().copied().collect();
+        let keep_v: BTreeSet<u32> = out.sub.lower_to_parent.iter().copied().collect();
+        for bc in fair_biclique::verify::oracle_ssfbc(&g, params) {
+            for &u in &bc.upper {
+                prop_assert!(keep_u.contains(&u), "upper {} of {} peeled by CFCore", u, bc);
+            }
+            for &v in &bc.lower {
+                prop_assert!(keep_v.contains(&v), "lower {} of {} peeled by CFCore", v, bc);
+            }
+        }
+    }
+
+    #[test]
+    fn bcfcore_preserves_all_bsfbcs(g in graph_strategy(), delta in 0u32..3) {
+        use fair_biclique::bfcore::bcfcore;
+        use std::collections::BTreeSet;
+        let params = fair_biclique::config::FairParams::unchecked(1, 1, delta);
+        let out = bcfcore(&g, params);
+        let keep_u: BTreeSet<u32> = out.sub.upper_to_parent.iter().copied().collect();
+        let keep_v: BTreeSet<u32> = out.sub.lower_to_parent.iter().copied().collect();
+        for bc in fair_biclique::verify::oracle_bsfbc(&g, params) {
+            for &u in &bc.upper {
+                prop_assert!(keep_u.contains(&u), "upper {} of {} peeled by BCFCore", u, bc);
+            }
+            for &v in &bc.lower {
+                prop_assert!(keep_v.contains(&v), "lower {} of {} peeled by BCFCore", v, bc);
+            }
+        }
+    }
+
+    #[test]
+    fn io_parsers_never_panic_on_garbage(data in ".*{0,200}") {
+        // Failure injection: arbitrary input must yield Ok or a clean
+        // Err, never a panic.
+        let _ = bigraph::io::read_edge_list(data.as_bytes(), 2, 2);
+        let _ = bigraph::io::read_attr_pairs(data.as_bytes());
+        let _ = fair_biclique::results::read_tsv(data.as_bytes());
+    }
+
+    #[test]
+    fn tsv_results_roundtrip(g in graph_strategy()) {
+        use fair_biclique::prelude::*;
+        let params = FairParams::unchecked(1, 1, 1);
+        let report = enumerate_ssfbc(&g, params, &RunConfig::default());
+        let mut buf = Vec::new();
+        fair_biclique::results::write_tsv(&report.bicliques, &mut buf).unwrap();
+        let back = fair_biclique::results::read_tsv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, report.bicliques);
+    }
+
+    #[test]
+    fn flipped_preserves_structure(g in graph_strategy()) {
+        let f = g.flipped();
+        prop_assert_eq!(f.validate(), Ok(()));
+        prop_assert_eq!(f.n_edges(), g.n_edges());
+        for (u, v) in g.edges() {
+            prop_assert!(f.has_edge(v, u));
+        }
+    }
+}
