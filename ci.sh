@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI gate for the fair-biclique workspace.
+#
+#   ./ci.sh          # lint + tier-1 verify + bench/smoke compile checks
+#   ./ci.sh --quick  # skip the release build (debug tests only)
+#
+# Tier-1 verify (must stay green; see ROADMAP.md):
+#   cargo build --release && cargo test -q
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+    step "cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+step "cargo test -q (tier-1)"
+cargo test -q
+
+# Bench targets and smoke runs build in release; in --quick mode run
+# the smoke steps against the debug profile and skip the bench build
+# so no release compilation happens at all.
+if [[ $quick -eq 0 ]]; then
+    step "cargo bench --no-run (all 11 bench targets must compile)"
+    cargo bench --no-run
+    profile_flag=(--release)
+else
+    profile_flag=()
+fi
+
+step "smoke: cargo run --example quickstart"
+cargo run "${profile_flag[@]}" --example quickstart >/dev/null
+
+step "smoke: cargo run --bin fbe -- --help"
+cargo run "${profile_flag[@]}" --bin fbe -- --help >/dev/null
+
+printf '\n\033[1;32mCI green.\033[0m\n'

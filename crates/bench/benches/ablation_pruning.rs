@@ -3,8 +3,14 @@
 
 fn main() {
     let opts = fbe_bench::Opts::from_args();
-    println!("=== Ablation: pruning stages (budget {:?}/run) ===", opts.budget);
-    for (i, t) in fbe_bench::experiments::ablation_pruning(&opts).into_iter().enumerate() {
+    println!(
+        "=== Ablation: pruning stages (budget {:?}/run) ===",
+        opts.budget
+    );
+    for (i, t) in fbe_bench::experiments::ablation_pruning(&opts)
+        .into_iter()
+        .enumerate()
+    {
         t.print();
         t.save(&format!("ablation_pruning_{i}"));
     }

@@ -3,8 +3,14 @@
 
 fn main() {
     let opts = fbe_bench::Opts::from_args();
-    println!("=== Fig. 11-12 (proportion models) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
-    for (i, t) in fbe_bench::experiments::exp7_fig11_12(&opts).into_iter().enumerate() {
+    println!(
+        "=== Fig. 11-12 (proportion models) (budget {:?}/run, quick={}) ===",
+        opts.budget, opts.quick
+    );
+    for (i, t) in fbe_bench::experiments::exp7_fig11_12(&opts)
+        .into_iter()
+        .enumerate()
+    {
         t.print();
         t.save(&format!("fig11_12_proportion_{i}"));
     }

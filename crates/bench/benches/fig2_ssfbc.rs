@@ -3,8 +3,14 @@
 
 fn main() {
     let opts = fbe_bench::Opts::from_args();
-    println!("=== Fig. 2 (SSFBC runtimes) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
-    for (i, t) in fbe_bench::experiments::exp2_fig2(&opts).into_iter().enumerate() {
+    println!(
+        "=== Fig. 2 (SSFBC runtimes) (budget {:?}/run, quick={}) ===",
+        opts.budget, opts.quick
+    );
+    for (i, t) in fbe_bench::experiments::exp2_fig2(&opts)
+        .into_iter()
+        .enumerate()
+    {
         t.print();
         t.save(&format!("fig2_ssfbc_{i}"));
     }

@@ -3,8 +3,14 @@
 
 fn main() {
     let opts = fbe_bench::Opts::from_args();
-    println!("=== Fig. 3 (FCore vs CFCore) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
-    for (i, t) in fbe_bench::experiments::exp1_fig3(&opts).into_iter().enumerate() {
+    println!(
+        "=== Fig. 3 (FCore vs CFCore) (budget {:?}/run, quick={}) ===",
+        opts.budget, opts.quick
+    );
+    for (i, t) in fbe_bench::experiments::exp1_fig3(&opts)
+        .into_iter()
+        .enumerate()
+    {
         t.print();
         t.save(&format!("fig3_pruning_{i}"));
     }

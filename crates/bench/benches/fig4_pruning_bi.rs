@@ -3,8 +3,14 @@
 
 fn main() {
     let opts = fbe_bench::Opts::from_args();
-    println!("=== Fig. 4 (BFCore vs BCFCore) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
-    for (i, t) in fbe_bench::experiments::exp1_fig4(&opts).into_iter().enumerate() {
+    println!(
+        "=== Fig. 4 (BFCore vs BCFCore) (budget {:?}/run, quick={}) ===",
+        opts.budget, opts.quick
+    );
+    for (i, t) in fbe_bench::experiments::exp1_fig4(&opts)
+        .into_iter()
+        .enumerate()
+    {
         t.print();
         t.save(&format!("fig4_pruning_bi_{i}"));
     }

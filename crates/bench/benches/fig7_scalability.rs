@@ -3,8 +3,14 @@
 
 fn main() {
     let opts = fbe_bench::Opts::from_args();
-    println!("=== Fig. 7 (scalability) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
-    for (i, t) in fbe_bench::experiments::exp5_fig7(&opts).into_iter().enumerate() {
+    println!(
+        "=== Fig. 7 (scalability) (budget {:?}/run, quick={}) ===",
+        opts.budget, opts.quick
+    );
+    for (i, t) in fbe_bench::experiments::exp5_fig7(&opts)
+        .into_iter()
+        .enumerate()
+    {
         t.print();
         t.save(&format!("fig7_scalability_{i}"));
     }

@@ -41,7 +41,11 @@ fn bench_primitives(c: &mut Criterion) {
         })
     });
 
-    let h = bigraph::twohop::construct_2hop(&pruned.sub.graph, bigraph::Side::Lower, params.alpha as usize);
+    let h = bigraph::twohop::construct_2hop(
+        &pruned.sub.graph,
+        bigraph::Side::Lower,
+        params.alpha as usize,
+    );
     c.bench_function("greedy_coloring", |bch| {
         bch.iter(|| bigraph::coloring::greedy_color_by_degree(black_box(&h)))
     });
@@ -67,14 +71,26 @@ fn bench_enumeration(c: &mut Criterion) {
     group.bench_function("fairbcem", |bch| {
         bch.iter(|| {
             let mut sink = CountSink::default();
-            run_ssfbc(black_box(&g), params, SsAlgorithm::FairBcem, &cfg, &mut sink);
+            run_ssfbc(
+                black_box(&g),
+                params,
+                SsAlgorithm::FairBcem,
+                &cfg,
+                &mut sink,
+            );
             sink.count
         })
     });
     group.bench_function("fairbcem_pp", |bch| {
         bch.iter(|| {
             let mut sink = CountSink::default();
-            run_ssfbc(black_box(&g), params, SsAlgorithm::FairBcemPP, &cfg, &mut sink);
+            run_ssfbc(
+                black_box(&g),
+                params,
+                SsAlgorithm::FairBcemPP,
+                &cfg,
+                &mut sink,
+            );
             sink.count
         })
     });

@@ -3,8 +3,14 @@
 
 fn main() {
     let opts = fbe_bench::Opts::from_args();
-    println!("=== Table II (orderings) (budget {:?}/run, quick={}) ===", opts.budget, opts.quick);
-    for (i, t) in fbe_bench::experiments::exp2_table2(&opts).into_iter().enumerate() {
+    println!(
+        "=== Table II (orderings) (budget {:?}/run, quick={}) ===",
+        opts.budget, opts.quick
+    );
+    for (i, t) in fbe_bench::experiments::exp2_table2(&opts)
+        .into_iter()
+        .enumerate()
+    {
         t.print();
         t.save(&format!("table2_orderings_{i}"));
     }

@@ -27,19 +27,59 @@ fn main() {
     println!("corpus: scaled synthetic analogs of Table I (see DESIGN.md §5)");
     for s in fbe_datasets::corpus::all_specs() {
         let g = exp::graph_for(s.dataset);
-        println!("  {:<8} {}", s.dataset.to_string(), bigraph::stats::graph_stats(&g));
+        println!(
+            "  {:<8} {}",
+            s.dataset.to_string(),
+            bigraph::stats::graph_stats(&g)
+        );
     }
 
-    section("Exp-1: Fig. 3 (FCore vs CFCore)", exp::exp1_fig3(&opts), "fig3");
-    section("Exp-1: Fig. 4 (BFCore vs BCFCore)", exp::exp1_fig4(&opts), "fig4");
-    section("Exp-2: Fig. 2 (SSFBC runtimes)", exp::exp2_fig2(&opts), "fig2");
-    section("Exp-2/3: Table II (orderings)", exp::exp2_table2(&opts), "table2");
-    section("Exp-3: Fig. 5 (BSFBC runtimes)", exp::exp3_fig5(&opts), "fig5");
-    section("Exp-4: Fig. 6 (result counts)", exp::exp4_fig6(&opts), "fig6");
+    section(
+        "Exp-1: Fig. 3 (FCore vs CFCore)",
+        exp::exp1_fig3(&opts),
+        "fig3",
+    );
+    section(
+        "Exp-1: Fig. 4 (BFCore vs BCFCore)",
+        exp::exp1_fig4(&opts),
+        "fig4",
+    );
+    section(
+        "Exp-2: Fig. 2 (SSFBC runtimes)",
+        exp::exp2_fig2(&opts),
+        "fig2",
+    );
+    section(
+        "Exp-2/3: Table II (orderings)",
+        exp::exp2_table2(&opts),
+        "table2",
+    );
+    section(
+        "Exp-3: Fig. 5 (BSFBC runtimes)",
+        exp::exp3_fig5(&opts),
+        "fig5",
+    );
+    section(
+        "Exp-4: Fig. 6 (result counts)",
+        exp::exp4_fig6(&opts),
+        "fig6",
+    );
     section("Exp-5: Fig. 7 (scalability)", exp::exp5_fig7(&opts), "fig7");
-    section("Exp-6: Fig. 8 (memory overhead)", exp::exp6_fig8(&opts), "fig8");
-    section("Exp-7: Fig. 11/12 (proportion models)", exp::exp7_fig11_12(&opts), "fig11_12");
-    section("Ablation: pruning stages", exp::ablation_pruning(&opts), "ablation");
+    section(
+        "Exp-6: Fig. 8 (memory overhead)",
+        exp::exp6_fig8(&opts),
+        "fig8",
+    );
+    section(
+        "Exp-7: Fig. 11/12 (proportion models)",
+        exp::exp7_fig11_12(&opts),
+        "fig11_12",
+    );
+    section(
+        "Ablation: pruning stages",
+        exp::ablation_pruning(&opts),
+        "ablation",
+    );
 
     println!("\nAll experiments done. TSVs written to target/experiments/.");
 }

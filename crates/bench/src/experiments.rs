@@ -11,16 +11,15 @@ use bigraph::BipartiteGraph;
 use fair_biclique::biclique::CountSink;
 use fair_biclique::config::{Budget, FairParams, ProParams, PruneKind, RunConfig, VertexOrder};
 use fair_biclique::fcore::PruneOutcome;
-use fair_biclique::memory::{measure_bsfbc, measure_ssfbc};
 use fair_biclique::mbea::maximal_bicliques;
+use fair_biclique::memory::{measure_bsfbc, measure_ssfbc};
 use fair_biclique::pipeline::{
     prune_bi_side, prune_single_side, run_bsfbc, run_pbsfbc, run_pssfbc, run_ssfbc, BiAlgorithm,
     SsAlgorithm,
 };
 use fbe_datasets::corpus::{spec, Dataset, DatasetSpec};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 // ---------------------------------------------------------------
@@ -31,7 +30,11 @@ static GRAPH_CACHE: Mutex<Option<HashMap<Dataset, Arc<BipartiteGraph>>>> = Mutex
 
 /// The (cached) graph for `dataset`.
 pub fn graph_for(dataset: Dataset) -> Arc<BipartiteGraph> {
-    let mut guard = GRAPH_CACHE.lock();
+    // Ignore poisoning (parking_lot semantics): a panicking build must
+    // not cascade "poisoned" panics into unrelated callers.
+    let mut guard = GRAPH_CACHE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let map = guard.get_or_insert_with(HashMap::new);
     map.entry(dataset)
         .or_insert_with(|| Arc::new(spec(dataset).build()))
@@ -128,7 +131,11 @@ pub fn time_ssfbc(
 ) -> RunResult {
     let mut sink = CountSink::default();
     let ((_, stats), time) = timed(|| run_ssfbc(g, params, algo, &cfg(opts, order), &mut sink));
-    RunResult { count: sink.count, time, aborted: stats.aborted }
+    RunResult {
+        count: sink.count,
+        time,
+        aborted: stats.aborted,
+    }
 }
 
 /// Time one bi-side enumeration.
@@ -141,7 +148,11 @@ pub fn time_bsfbc(
 ) -> RunResult {
     let mut sink = CountSink::default();
     let ((_, stats), time) = timed(|| run_bsfbc(g, params, algo, &cfg(opts, order), &mut sink));
-    RunResult { count: sink.count, time, aborted: stats.aborted }
+    RunResult {
+        count: sink.count,
+        time,
+        aborted: stats.aborted,
+    }
 }
 
 // ---------------------------------------------------------------
@@ -149,13 +160,20 @@ pub fn time_bsfbc(
 // ---------------------------------------------------------------
 
 fn prune_row(out: &PruneOutcome, time: Duration) -> (String, String) {
-    (out.stats.remaining_vertices().to_string(), format!("{:.4}", time.as_secs_f64()))
+    (
+        out.stats.remaining_vertices().to_string(),
+        format!("{:.4}", time.as_secs_f64()),
+    )
 }
 
 /// Fig. 3: FCore vs CFCore remaining nodes and time on IMDB,
 /// varying α (a, c) and β (b, d).
 pub fn exp1_fig3(opts: &Opts) -> Vec<Table> {
-    let d = if opts.quick { Dataset::Youtube } else { Dataset::Imdb };
+    let d = if opts.quick {
+        Dataset::Youtube
+    } else {
+        Dataset::Imdb
+    };
     let s = spec(d);
     let g = graph_for(d);
     let range: Vec<u32> = if opts.quick {
@@ -164,7 +182,10 @@ pub fn exp1_fig3(opts: &Opts) -> Vec<Table> {
         (8..=13).collect()
     };
     let mut nodes_a = Table::new(
-        format!("Fig. 3(a) {d} remaining nodes (vary alpha; beta={})", s.default_single.1),
+        format!(
+            "Fig. 3(a) {d} remaining nodes (vary alpha; beta={})",
+            s.default_single.1
+        ),
         &["alpha", "FCore", "CFCore"],
     );
     let mut time_a = Table::new(
@@ -181,7 +202,10 @@ pub fn exp1_fig3(opts: &Opts) -> Vec<Table> {
         time_a.push(vec![a.to_string(), fts, cts]);
     }
     let mut nodes_b = Table::new(
-        format!("Fig. 3(b) {d} remaining nodes (vary beta; alpha={})", s.default_single.0),
+        format!(
+            "Fig. 3(b) {d} remaining nodes (vary beta; alpha={})",
+            s.default_single.0
+        ),
         &["beta", "FCore", "CFCore"],
     );
     let mut time_b = Table::new(
@@ -202,7 +226,11 @@ pub fn exp1_fig3(opts: &Opts) -> Vec<Table> {
 
 /// Fig. 4: BFCore vs BCFCore on Twitter, varying α and β.
 pub fn exp1_fig4(opts: &Opts) -> Vec<Table> {
-    let d = if opts.quick { Dataset::Youtube } else { Dataset::Twitter };
+    let d = if opts.quick {
+        Dataset::Youtube
+    } else {
+        Dataset::Twitter
+    };
     let s = spec(d);
     let g = graph_for(d);
     let mut out = Vec::new();
@@ -294,10 +322,18 @@ pub fn exp2_fig2(opts: &Opts) -> Vec<Table> {
                 let p = axis.apply(s.single_params(), x);
                 let mut row = vec![x.to_string()];
                 if with_nsf {
-                    row.push(time_ssfbc(&g, p, SsAlgorithm::Nsf, opts, VertexOrder::DegreeDesc).cell());
+                    row.push(
+                        time_ssfbc(&g, p, SsAlgorithm::Nsf, opts, VertexOrder::DegreeDesc).cell(),
+                    );
                 }
                 let bcem = time_ssfbc(&g, p, SsAlgorithm::FairBcem, opts, VertexOrder::DegreeDesc);
-                let pp = time_ssfbc(&g, p, SsAlgorithm::FairBcemPP, opts, VertexOrder::DegreeDesc);
+                let pp = time_ssfbc(
+                    &g,
+                    p,
+                    SsAlgorithm::FairBcemPP,
+                    opts,
+                    VertexOrder::DegreeDesc,
+                );
                 row.push(bcem.cell());
                 row.push(pp.cell());
                 row.push(pp.count.to_string());
@@ -333,10 +369,18 @@ pub fn exp3_fig5(opts: &Opts) -> Vec<Table> {
                 let p = axis.apply(s.bi_params(), x);
                 let mut row = vec![x.to_string()];
                 if with_nsf {
-                    row.push(time_bsfbc(&g, p, BiAlgorithm::Bnsf, opts, VertexOrder::DegreeDesc).cell());
+                    row.push(
+                        time_bsfbc(&g, p, BiAlgorithm::Bnsf, opts, VertexOrder::DegreeDesc).cell(),
+                    );
                 }
                 let bcem = time_bsfbc(&g, p, BiAlgorithm::BFairBcem, opts, VertexOrder::DegreeDesc);
-                let pp = time_bsfbc(&g, p, BiAlgorithm::BFairBcemPP, opts, VertexOrder::DegreeDesc);
+                let pp = time_bsfbc(
+                    &g,
+                    p,
+                    BiAlgorithm::BFairBcemPP,
+                    opts,
+                    VertexOrder::DegreeDesc,
+                );
                 row.push(bcem.cell());
                 row.push(pp.cell());
                 row.push(pp.count.to_string());
@@ -353,7 +397,15 @@ pub fn exp3_fig5(opts: &Opts) -> Vec<Table> {
 pub fn exp2_table2(opts: &Opts) -> Vec<Table> {
     let mut t = Table::new(
         "Table II: runtime (s) with IDOrd and DegOrd orderings",
-        &["Algorithm", "Ordering", "Youtube", "Twitter", "IMDB", "Wiki-cat", "DBLP"],
+        &[
+            "Algorithm",
+            "Ordering",
+            "Youtube",
+            "Twitter",
+            "IMDB",
+            "Wiki-cat",
+            "DBLP",
+        ],
     );
     let ds = if opts.quick {
         vec![Dataset::Youtube]
@@ -363,8 +415,14 @@ pub fn exp2_table2(opts: &Opts) -> Vec<Table> {
     if opts.quick {
         t.headers = vec!["Algorithm".into(), "Ordering".into(), "Youtube".into()];
     }
-    for (name, algo) in [("FairBCEM", SsAlgorithm::FairBcem), ("FairBCEM++", SsAlgorithm::FairBcemPP)] {
-        for (oname, order) in [("IDOrd", VertexOrder::IdAsc), ("DegOrd", VertexOrder::DegreeDesc)] {
+    for (name, algo) in [
+        ("FairBCEM", SsAlgorithm::FairBcem),
+        ("FairBCEM++", SsAlgorithm::FairBcemPP),
+    ] {
+        for (oname, order) in [
+            ("IDOrd", VertexOrder::IdAsc),
+            ("DegOrd", VertexOrder::DegreeDesc),
+        ] {
             let mut row = vec![name.to_string(), oname.to_string()];
             for &d in &ds {
                 let g = graph_for(d);
@@ -374,8 +432,14 @@ pub fn exp2_table2(opts: &Opts) -> Vec<Table> {
             t.push(row);
         }
     }
-    for (name, algo) in [("BFairBCEM", BiAlgorithm::BFairBcem), ("BFairBCEM++", BiAlgorithm::BFairBcemPP)] {
-        for (oname, order) in [("IDOrd", VertexOrder::IdAsc), ("DegOrd", VertexOrder::DegreeDesc)] {
+    for (name, algo) in [
+        ("BFairBCEM", BiAlgorithm::BFairBcem),
+        ("BFairBCEM++", BiAlgorithm::BFairBcemPP),
+    ] {
+        for (oname, order) in [
+            ("IDOrd", VertexOrder::IdAsc),
+            ("DegOrd", VertexOrder::DegreeDesc),
+        ] {
             let mut row = vec![name.to_string(), oname.to_string()];
             for &d in &ds {
                 let g = graph_for(d);
@@ -399,7 +463,11 @@ pub fn exp2_table2(opts: &Opts) -> Vec<Table> {
 /// with `|L| ≥ α, |R| ≥ 2β` against SSFBC and `|L| ≥ 2α, |R| ≥ 2β`
 /// against BSFBC.
 pub fn exp4_fig6(opts: &Opts) -> Vec<Table> {
-    let d = if opts.quick { Dataset::Youtube } else { Dataset::WikiCat };
+    let d = if opts.quick {
+        Dataset::Youtube
+    } else {
+        Dataset::WikiCat
+    };
     let s = spec(d);
     let g = graph_for(d);
     let budget = Budget::time(opts.budget);
@@ -446,8 +514,18 @@ pub fn exp4_fig6(opts: &Opts) -> Vec<Table> {
         );
         for &x in &range {
             let p = axis.apply(s.single_params(), x);
-            let r = time_ssfbc(&g, p, SsAlgorithm::FairBcemPP, opts, VertexOrder::DegreeDesc);
-            let c = if r.aborted { format!(">{}", r.count) } else { r.count.to_string() };
+            let r = time_ssfbc(
+                &g,
+                p,
+                SsAlgorithm::FairBcemPP,
+                opts,
+                VertexOrder::DegreeDesc,
+            );
+            let c = if r.aborted {
+                format!(">{}", r.count)
+            } else {
+                r.count.to_string()
+            };
             t.push(vec![x.to_string(), c, count_mbc(p, false)]);
         }
         out.push(t);
@@ -463,8 +541,18 @@ pub fn exp4_fig6(opts: &Opts) -> Vec<Table> {
         };
         for &x in &range_bi {
             let p = axis.apply(s.bi_params(), x);
-            let r = time_bsfbc(&g, p, BiAlgorithm::BFairBcemPP, opts, VertexOrder::DegreeDesc);
-            let c = if r.aborted { format!(">{}", r.count) } else { r.count.to_string() };
+            let r = time_bsfbc(
+                &g,
+                p,
+                BiAlgorithm::BFairBcemPP,
+                opts,
+                VertexOrder::DegreeDesc,
+            );
+            let c = if r.aborted {
+                format!(">{}", r.count)
+            } else {
+                r.count.to_string()
+            };
             t.push(vec![x.to_string(), c, count_mbc(p, true)]);
         }
         out.push(t);
@@ -479,7 +567,11 @@ pub fn exp4_fig6(opts: &Opts) -> Vec<Table> {
 /// Fig. 7: runtime on 20%–100% edge samples of DBLP, for the
 /// single-side (a) and bi-side (b) algorithms.
 pub fn exp5_fig7(opts: &Opts) -> Vec<Table> {
-    let d = if opts.quick { Dataset::Youtube } else { Dataset::Dblp };
+    let d = if opts.quick {
+        Dataset::Youtube
+    } else {
+        Dataset::Dblp
+    };
     let s = spec(d);
     let g = graph_for(d);
     let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
@@ -492,13 +584,41 @@ pub fn exp5_fig7(opts: &Opts) -> Vec<Table> {
         &["m", "BFairBCEM(s)", "BFairBCEM++(s)"],
     );
     for &f in &fractions {
-        let sub = if f >= 1.0 { (*g).clone() } else { sample_edges(&g, f, 0xf7) };
+        let sub = if f >= 1.0 {
+            (*g).clone()
+        } else {
+            sample_edges(&g, f, 0xf7)
+        };
         let label = format!("{:.0}%", f * 100.0);
-        let a = time_ssfbc(&sub, s.single_params(), SsAlgorithm::FairBcem, opts, VertexOrder::DegreeDesc);
-        let b = time_ssfbc(&sub, s.single_params(), SsAlgorithm::FairBcemPP, opts, VertexOrder::DegreeDesc);
+        let a = time_ssfbc(
+            &sub,
+            s.single_params(),
+            SsAlgorithm::FairBcem,
+            opts,
+            VertexOrder::DegreeDesc,
+        );
+        let b = time_ssfbc(
+            &sub,
+            s.single_params(),
+            SsAlgorithm::FairBcemPP,
+            opts,
+            VertexOrder::DegreeDesc,
+        );
         ss.push(vec![label.clone(), a.cell(), b.cell()]);
-        let a = time_bsfbc(&sub, s.bi_params(), BiAlgorithm::BFairBcem, opts, VertexOrder::DegreeDesc);
-        let b = time_bsfbc(&sub, s.bi_params(), BiAlgorithm::BFairBcemPP, opts, VertexOrder::DegreeDesc);
+        let a = time_bsfbc(
+            &sub,
+            s.bi_params(),
+            BiAlgorithm::BFairBcem,
+            opts,
+            VertexOrder::DegreeDesc,
+        );
+        let b = time_bsfbc(
+            &sub,
+            s.bi_params(),
+            BiAlgorithm::BFairBcemPP,
+            opts,
+            VertexOrder::DegreeDesc,
+        );
         bi.push(vec![label, a.cell(), b.cell()]);
     }
     vec![ss, bi]
@@ -553,8 +673,13 @@ pub fn exp7_fig11_12(opts: &Opts) -> Vec<Table> {
         &["theta", "FairBCEMPro++(s)", "BFairBCEMPro++(s)"],
     );
     for &theta in &thetas {
-        let pro_s = ProParams::new(s.default_single.0, s.default_single.1, s.default_delta, theta)
-            .expect("valid");
+        let pro_s = ProParams::new(
+            s.default_single.0,
+            s.default_single.1,
+            s.default_delta,
+            theta,
+        )
+        .expect("valid");
         let pro_b =
             ProParams::new(s.default_bi.0, s.default_bi.1, s.default_delta, theta).expect("valid");
         let c = cfg(opts, VertexOrder::DegreeDesc);
@@ -608,8 +733,15 @@ pub fn ablation_pruning(opts: &Opts) -> Vec<Table> {
                 order: VertexOrder::DegreeDesc,
                 budget: Budget::time(opts.budget),
             };
-            let ((_, stats), t) =
-                timed(|| run_ssfbc(&g, s.single_params(), SsAlgorithm::FairBcemPP, &c, &mut sink));
+            let ((_, stats), t) = timed(|| {
+                run_ssfbc(
+                    &g,
+                    s.single_params(),
+                    SsAlgorithm::FairBcemPP,
+                    &c,
+                    &mut sink,
+                )
+            });
             row.push(fmt_time(t, stats.aborted));
             count = sink.count;
         }
@@ -641,7 +773,10 @@ mod tests {
     use super::*;
 
     fn quick_opts() -> Opts {
-        Opts { quick: true, budget: Duration::from_secs(2) }
+        Opts {
+            quick: true,
+            budget: Duration::from_secs(2),
+        }
     }
 
     #[test]

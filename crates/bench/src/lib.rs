@@ -110,7 +110,10 @@ pub struct Opts {
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { quick: false, budget: Duration::from_secs(5) }
+        Opts {
+            quick: false,
+            budget: Duration::from_secs(5),
+        }
     }
 }
 
@@ -119,7 +122,10 @@ impl Opts {
     /// `FBE_QUICK` / `FBE_BUDGET_SECS` environment variables.
     pub fn from_args() -> Self {
         let mut o = Opts::default();
-        if std::env::var("FBE_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("FBE_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             o.quick = true;
         }
         if let Ok(s) = std::env::var("FBE_BUDGET_SECS") {

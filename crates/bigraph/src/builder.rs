@@ -160,11 +160,22 @@ impl GraphBuilder {
         self.edges.sort_unstable();
         self.edges.dedup();
 
-        let upper = csr_from_sorted(&self.edges, self.n_upper, self.upper_attrs, |&(u, _)| u, |&(_, v)| v);
-        let mut rev: Vec<(VertexId, VertexId)> =
-            self.edges.iter().map(|&(u, v)| (v, u)).collect();
+        let upper = csr_from_sorted(
+            &self.edges,
+            self.n_upper,
+            self.upper_attrs,
+            |&(u, _)| u,
+            |&(_, v)| v,
+        );
+        let mut rev: Vec<(VertexId, VertexId)> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
         rev.sort_unstable();
-        let lower = csr_from_sorted(&rev, self.n_lower, self.lower_attrs, |&(v, _)| v, |&(_, u)| u);
+        let lower = csr_from_sorted(
+            &rev,
+            self.n_lower,
+            self.lower_attrs,
+            |&(v, _)| v,
+            |&(_, u)| u,
+        );
 
         let g = BipartiteGraph {
             upper,
@@ -196,7 +207,11 @@ where
         offsets[i + 1] += offsets[i];
     }
     let adj = edges.iter().map(&dst).collect();
-    SideStore { offsets, adj, attrs }
+    SideStore {
+        offsets,
+        adj,
+        attrs,
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +251,14 @@ mod tests {
         b.add_edge(0, 0);
         b.set_attr_upper(0, 5);
         let err = b.build().unwrap_err();
-        assert!(matches!(err, BuildError::AttrOutOfDomain { side: Side::Upper, vertex: 0, attr: 5 }));
+        assert!(matches!(
+            err,
+            BuildError::AttrOutOfDomain {
+                side: Side::Upper,
+                vertex: 0,
+                attr: 5
+            }
+        ));
         assert!(err.to_string().contains("outside"));
     }
 

@@ -109,7 +109,9 @@ pub fn maximal_cliques_bruteforce(g: &UniGraph) -> Vec<Vec<VertexId>> {
     let n = g.n();
     assert!(n <= 20);
     let is_clique = |mask: u32| -> bool {
-        let vs: Vec<VertexId> = (0..n as VertexId).filter(|&v| mask & (1 << v) != 0).collect();
+        let vs: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| mask & (1 << v) != 0)
+            .collect();
         vs.iter()
             .enumerate()
             .all(|(i, &a)| vs[i + 1..].iter().all(|&b| g.has_edge(a, b)))
@@ -127,7 +129,11 @@ pub fn maximal_cliques_bruteforce(g: &UniGraph) -> Vec<Vec<VertexId>> {
             }
         }
         if maximal {
-            out.push((0..n as VertexId).filter(|&v| mask & (1 << v) != 0).collect());
+            out.push(
+                (0..n as VertexId)
+                    .filter(|&v| mask & (1 << v) != 0)
+                    .collect(),
+            );
         }
     }
     out
@@ -173,10 +179,8 @@ mod tests {
     #[test]
     fn triangle_plus_edge() {
         let g = UniGraph::from_edges(1, vec![0; 4], &[(0, 1), (1, 2), (0, 2), (2, 3)]);
-        let cliques: BTreeSet<Vec<VertexId>> =
-            collect_maximal_cliques(&g).into_iter().collect();
-        let want: BTreeSet<Vec<VertexId>> =
-            [vec![0, 1, 2], vec![2, 3]].into_iter().collect();
+        let cliques: BTreeSet<Vec<VertexId>> = collect_maximal_cliques(&g).into_iter().collect();
+        let want: BTreeSet<Vec<VertexId>> = [vec![0, 1, 2], vec![2, 3]].into_iter().collect();
         assert_eq!(cliques, want);
     }
 
@@ -184,20 +188,22 @@ mod tests {
     fn matches_bruteforce_on_random_graphs() {
         for seed in 0..25u64 {
             let g = random_unigraph(9, 0.4, seed);
-            let got: BTreeSet<Vec<VertexId>> =
-                collect_maximal_cliques(&g).into_iter().collect();
+            let got: BTreeSet<Vec<VertexId>> = collect_maximal_cliques(&g).into_iter().collect();
             let want: BTreeSet<Vec<VertexId>> =
                 maximal_cliques_bruteforce(&g).into_iter().collect();
             assert_eq!(got, want, "seed {seed}");
-            assert_eq!(got.len(), collect_maximal_cliques(&g).len(), "no duplicates");
+            assert_eq!(
+                got.len(),
+                collect_maximal_cliques(&g).len(),
+                "no duplicates"
+            );
         }
     }
 
     #[test]
     fn isolated_vertices_are_trivial_cliques() {
         let g = UniGraph::from_edges(1, vec![0; 3], &[(0, 1)]);
-        let cliques: BTreeSet<Vec<VertexId>> =
-            collect_maximal_cliques(&g).into_iter().collect();
+        let cliques: BTreeSet<Vec<VertexId>> = collect_maximal_cliques(&g).into_iter().collect();
         assert!(cliques.contains(&vec![0, 1]));
         assert!(cliques.contains(&vec![2]));
     }
@@ -240,10 +246,7 @@ mod tests {
                         }
                         per_attr[g.attr(v) as usize].insert(coloring.color[v as usize]);
                         for (a, colors) in per_attr.iter().enumerate() {
-                            assert!(
-                                colors.len() as u32 >= k,
-                                "seed {seed} k {k} v {v} attr {a}"
-                            );
+                            assert!(colors.len() as u32 >= k, "seed {seed} k {k} v {v} attr {a}");
                         }
                     }
                 }

@@ -23,8 +23,11 @@ pub struct Coloring {
 impl Coloring {
     /// Check that no edge of `g` is monochromatic.
     pub fn is_proper(&self, g: &UniGraph) -> bool {
-        (0..g.n() as VertexId)
-            .all(|v| g.neighbors(v).iter().all(|&w| self.color[v as usize] != self.color[w as usize]))
+        (0..g.n() as VertexId).all(|v| {
+            g.neighbors(v)
+                .iter()
+                .all(|&w| self.color[v as usize] != self.color[w as usize])
+        })
     }
 }
 
@@ -35,11 +38,7 @@ impl Coloring {
 pub fn greedy_color_by_degree(g: &UniGraph) -> Coloring {
     let n = g.n();
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
-    order.sort_by(|&a, &b| {
-        g.degree(b)
-            .cmp(&g.degree(a))
-            .then_with(|| a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then_with(|| a.cmp(&b)));
 
     let mut color = vec![u32::MAX; n];
     // forbidden[c] == stamp of the vertex currently being colored means

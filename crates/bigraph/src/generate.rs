@@ -45,7 +45,14 @@ pub fn random_uniform(
             b.add_edge(u, v);
         }
     }
-    assign_uniform_attrs(&mut b, n_upper, n_lower, n_upper_attrs, n_lower_attrs, &mut rng);
+    assign_uniform_attrs(
+        &mut b,
+        n_upper,
+        n_lower,
+        n_upper_attrs,
+        n_lower_attrs,
+        &mut rng,
+    );
     b.build().expect("generator produces valid graphs")
 }
 
@@ -70,7 +77,10 @@ pub fn chung_lu_power_law(
     seed: u64,
 ) -> BipartiteGraph {
     assert!(n_upper > 0 && n_lower > 0, "sides must be non-empty");
-    assert!(gamma_upper > 1.0 && gamma_lower > 1.0, "gamma must exceed 1");
+    assert!(
+        gamma_upper > 1.0 && gamma_lower > 1.0,
+        "gamma must exceed 1"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let cdf_u = powerlaw_cdf(n_upper, gamma_upper);
     let cdf_v = powerlaw_cdf(n_lower, gamma_lower);
@@ -81,7 +91,14 @@ pub fn chung_lu_power_law(
         let v = sample_cdf(&cdf_v, &mut rng);
         b.add_edge(u, v);
     }
-    assign_uniform_attrs(&mut b, n_upper, n_lower, n_upper_attrs, n_lower_attrs, &mut rng);
+    assign_uniform_attrs(
+        &mut b,
+        n_upper,
+        n_lower,
+        n_upper_attrs,
+        n_lower_attrs,
+        &mut rng,
+    );
     b.build().expect("generator produces valid graphs")
 }
 
@@ -102,7 +119,10 @@ pub fn plant_bicliques(
     let mut rng = StdRng::seed_from_u64(seed);
     let n_u = base.n_upper();
     let n_v = base.n_lower();
-    assert!(block_upper <= n_u && block_lower <= n_v, "block larger than side");
+    assert!(
+        block_upper <= n_u && block_lower <= n_v,
+        "block larger than side"
+    );
     let mut b = GraphBuilder::new(
         base.n_attr_values(crate::Side::Upper),
         base.n_attr_values(crate::Side::Lower),
@@ -138,8 +158,7 @@ pub fn with_random_attrs(
     seed: u64,
 ) -> BipartiteGraph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n_upper_attrs, n_lower_attrs)
-        .with_edge_capacity(base.n_edges());
+    let mut b = GraphBuilder::new(n_upper_attrs, n_lower_attrs).with_edge_capacity(base.n_edges());
     b.ensure_vertices(base.n_upper(), base.n_lower());
     for (u, v) in base.edges() {
         b.add_edge(u, v);
@@ -238,10 +257,7 @@ mod tests {
         assert_eq!(a.n_edges(), 100);
         assert_eq!(a.n_edges(), b.n_edges());
         assert_eq!(a.attrs(Side::Lower), b.attrs(Side::Lower));
-        assert!(a
-            .edges()
-            .zip(b.edges())
-            .all(|(x, y)| x == y));
+        assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
         a.validate().unwrap();
         let c = random_uniform(20, 30, 100, 2, 2, 10);
         assert!(a.edges().zip(c.edges()).any(|(x, y)| x != y));
@@ -299,7 +315,10 @@ mod tests {
         let base = random_uniform(30, 400, 1200, 2, 2, 2);
         let g = with_skewed_lower_attrs(&base, 0.1, 7);
         let minority = g.attrs(Side::Lower).iter().filter(|&&a| a == 1).count();
-        assert!(minority > 10 && minority < 100, "≈10% of 400, got {minority}");
+        assert!(
+            minority > 10 && minority < 100,
+            "≈10% of 400, got {minority}"
+        );
         // Structure untouched.
         assert_eq!(g.n_edges(), base.n_edges());
         assert!(g.edges().zip(base.edges()).all(|(a, b)| a == b));
@@ -318,7 +337,10 @@ mod tests {
             for &a in g.attrs(side) {
                 seen[a as usize] = true;
             }
-            assert!(seen[0] && seen[1], "both attr values should occur on {side}");
+            assert!(
+                seen[0] && seen[1],
+                "both attr values should occur on {side}"
+            );
         }
     }
 }

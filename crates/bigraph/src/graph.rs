@@ -209,12 +209,8 @@ impl BipartiteGraph {
 
     /// Iterate all edges as `(upper, lower)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        (0..self.n_upper() as VertexId).flat_map(move |u| {
-            self.upper
-                .neighbors(u)
-                .iter()
-                .map(move |&v| (u, v))
-        })
+        (0..self.n_upper() as VertexId)
+            .flat_map(move |u| self.upper.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Common neighborhood of a set `s` of `side`-vertices: the vertices
@@ -258,8 +254,7 @@ impl BipartiteGraph {
         use std::mem::size_of;
         (self.upper.offsets.capacity() + self.lower.offsets.capacity()) * size_of::<usize>()
             + (self.upper.adj.capacity() + self.lower.adj.capacity()) * size_of::<VertexId>()
-            + (self.upper.attrs.capacity() + self.lower.attrs.capacity())
-                * size_of::<AttrValueId>()
+            + (self.upper.attrs.capacity() + self.lower.attrs.capacity()) * size_of::<AttrValueId>()
     }
 
     /// Internal consistency check used by tests and `debug_assert!`s:

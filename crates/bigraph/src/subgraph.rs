@@ -65,10 +65,7 @@ pub fn induce(g: &BipartiteGraph, keep_upper: &[bool], keep_lower: &[bool]) -> I
         }
     }
 
-    let mut b = GraphBuilder::new(
-        g.n_attr_values(Side::Upper),
-        g.n_attr_values(Side::Lower),
-    );
+    let mut b = GraphBuilder::new(g.n_attr_values(Side::Upper), g.n_attr_values(Side::Lower));
     b.ensure_vertices(upper_to_parent.len(), lower_to_parent.len());
     for (u, v) in g.edges() {
         let (nu, nv) = (upper_map[u as usize], lower_map[v as usize]);
@@ -107,11 +104,8 @@ pub fn sample_edges(g: &BipartiteGraph, fraction: f64, seed: u64) -> BipartiteGr
     let keep = ((edges.len() as f64) * fraction).round() as usize;
     edges.truncate(keep);
 
-    let mut b = GraphBuilder::new(
-        g.n_attr_values(Side::Upper),
-        g.n_attr_values(Side::Lower),
-    )
-    .with_edge_capacity(keep);
+    let mut b = GraphBuilder::new(g.n_attr_values(Side::Upper), g.n_attr_values(Side::Lower))
+        .with_edge_capacity(keep);
     b.ensure_vertices(g.n_upper(), g.n_lower());
     for (u, v) in edges {
         b.add_edge(u, v);
@@ -159,7 +153,10 @@ mod tests {
         assert_eq!(none.graph.n_edges(), 0);
         let all = induce(&g, &[true; 4], &[true; 4]);
         assert_eq!(all.graph.n_edges(), g.n_edges());
-        assert_eq!(all.set_to_parent(Side::Upper, &[0, 1, 2, 3]), vec![0, 1, 2, 3]);
+        assert_eq!(
+            all.set_to_parent(Side::Upper, &[0, 1, 2, 3]),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ pub fn construct_2hop_biside(g: &BipartiteGraph, fair_side: Side, alpha: usize) 
         }
         for &w in &touched {
             let base = w as usize * n_attrs;
-            if w < v && count[base..base + n_attrs].iter().all(|&c| c as usize >= alpha) {
+            if w < v
+                && count[base..base + n_attrs]
+                    .iter()
+                    .all(|&c| c as usize >= alpha)
+            {
                 edges.push((w, v));
             }
             count[base..base + n_attrs].iter_mut().for_each(|c| *c = 0);
@@ -104,7 +108,7 @@ pub fn construct_2hop_biside(g: &BipartiteGraph, fair_side: Side, alpha: usize) 
 }
 
 /// Parallel [`construct_2hop`]: partitions the fair side across
-/// `n_threads` crossbeam-scoped workers, each with its own counting
+/// `n_threads` scoped worker threads, each with its own counting
 /// array, and merges the per-worker edge lists. Output is identical to
 /// the serial version (edge *sets* are deterministic; `UniGraph`
 /// construction sorts).
@@ -126,12 +130,12 @@ pub fn construct_2hop_par(
     }
     let chunk = n.div_ceil(n_threads);
     let mut all_edges: Vec<Vec<(VertexId, VertexId)>> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..n_threads {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n);
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut count = vec![0u32; n];
                 let mut touched: Vec<VertexId> = Vec::new();
                 let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
@@ -160,8 +164,7 @@ pub fn construct_2hop_par(
         for h in handles {
             all_edges.push(h.join().expect("2-hop worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let edges: Vec<(VertexId, VertexId)> = all_edges.concat();
     UniGraph::from_edges(
         g.n_attr_values(fair_side),
@@ -181,7 +184,16 @@ mod tests {
         let mut b = GraphBuilder::new(2, 2);
         b.set_attrs_upper(&[0, 1, 0]);
         b.set_attrs_lower(&[0, 0, 1]);
-        for (u, v) in [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2)] {
+        for (u, v) in [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (2, 1),
+            (2, 2),
+        ] {
             b.add_edge(u, v);
         }
         b.build().unwrap()

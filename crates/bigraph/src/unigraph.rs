@@ -34,7 +34,10 @@ impl UniGraph {
         let n = attrs.len();
         let mut dir: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len() * 2);
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             if a != b {
                 dir.push((a, b));
                 dir.push((b, a));
@@ -50,7 +53,12 @@ impl UniGraph {
             offsets[i + 1] += offsets[i];
         }
         let adj = dir.iter().map(|&(_, b)| b).collect();
-        UniGraph { offsets, adj, attrs, n_attrs }
+        UniGraph {
+            offsets,
+            adj,
+            attrs,
+            n_attrs,
+        }
     }
 
     /// Number of vertices.
@@ -102,7 +110,10 @@ impl UniGraph {
 
     /// Maximum degree (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Induce the subgraph on vertices where `keep` is true, compacting
@@ -125,7 +136,10 @@ impl UniGraph {
                 }
             }
         }
-        let attrs = to_parent.iter().map(|&old| self.attrs[old as usize]).collect();
+        let attrs = to_parent
+            .iter()
+            .map(|&old| self.attrs[old as usize])
+            .collect();
         (UniGraph::from_edges(self.n_attrs, attrs, &edges), to_parent)
     }
 

@@ -110,17 +110,26 @@ impl<'a> Cursor<'a> {
     }
 
     fn value(&mut self, flag: &str) -> Result<&'a str, String> {
-        self.next().ok_or_else(|| format!("missing value for {flag}"))
+        self.next()
+            .ok_or_else(|| format!("missing value for {flag}"))
     }
 }
 
 fn parse_pair_u16(s: &str, what: &str) -> Result<(u16, u16), String> {
     let parts: Vec<&str> = s.split(',').collect();
     if parts.len() != 2 {
-        return Err(format!("{what}: expected two comma-separated values, got {s:?}"));
+        return Err(format!(
+            "{what}: expected two comma-separated values, got {s:?}"
+        ));
     }
-    let a = parts[0].trim().parse().map_err(|e| format!("{what}: {e}"))?;
-    let b = parts[1].trim().parse().map_err(|e| format!("{what}: {e}"))?;
+    let a = parts[0]
+        .trim()
+        .parse()
+        .map_err(|e| format!("{what}: {e}"))?;
+    let b = parts[1]
+        .trim()
+        .parse()
+        .map_err(|e| format!("{what}: {e}"))?;
     Ok((a, b))
 }
 
@@ -180,7 +189,10 @@ fn parse_generate(c: &mut Cursor<'_>) -> Result<Command, String> {
             }
             "--attrs" => attrs = parse_pair_u16(c.value("--attrs")?, "--attrs")?,
             "--seed" => {
-                seed = c.value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                seed = c
+                    .value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
             "--out" => out = Some(c.value("--out")?.to_string()),
             other => return Err(format!("generate: unknown argument {other:?}")),
@@ -189,9 +201,13 @@ fn parse_generate(c: &mut Cursor<'_>) -> Result<Command, String> {
     let out = out.ok_or("generate: --out is required")?;
     let kind = match (dataset, uniform) {
         (Some(d), None) => GenerateKind::Dataset(d),
-        (None, Some((nu, nv, m))) => {
-            GenerateKind::Uniform { n_upper: nu, n_lower: nv, m, attrs, seed }
-        }
+        (None, Some((nu, nv, m))) => GenerateKind::Uniform {
+            n_upper: nu,
+            n_lower: nv,
+            m,
+            attrs,
+            seed,
+        },
         (Some(_), Some(_)) => return Err("generate: pass --dataset OR --uniform".into()),
         (None, None) => return Err("generate: one of --dataset / --uniform required".into()),
     };
@@ -214,7 +230,13 @@ fn parse_source(c: &mut Cursor<'_>) -> Result<(GraphSource, bool), String> {
             }
         }
     }
-    Ok((GraphSource::Path { stem, attr_domains: attrs }, consumed_all))
+    Ok((
+        GraphSource::Path {
+            stem,
+            attr_domains: attrs,
+        },
+        consumed_all,
+    ))
 }
 
 fn parse_prune(c: &mut Cursor<'_>) -> Result<Command, String> {
@@ -364,18 +386,39 @@ mod tests {
         let cmd = parse(&sv(&["generate", "--dataset", "dblp", "--out", "/tmp/d"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Generate { kind: GenerateKind::Dataset(Dataset::Dblp), out: "/tmp/d".into() }
+            Command::Generate {
+                kind: GenerateKind::Dataset(Dataset::Dblp),
+                out: "/tmp/d".into()
+            }
         );
     }
 
     #[test]
     fn parses_generate_uniform_with_options() {
         let cmd = parse(&sv(&[
-            "generate", "--uniform", "10,20,30", "--attrs", "3,2", "--seed", "9", "--out", "x",
+            "generate",
+            "--uniform",
+            "10,20,30",
+            "--attrs",
+            "3,2",
+            "--seed",
+            "9",
+            "--out",
+            "x",
         ]))
         .unwrap();
         match cmd {
-            Command::Generate { kind: GenerateKind::Uniform { n_upper, n_lower, m, attrs, seed }, out } => {
+            Command::Generate {
+                kind:
+                    GenerateKind::Uniform {
+                        n_upper,
+                        n_lower,
+                        m,
+                        attrs,
+                        seed,
+                    },
+                out,
+            } => {
                 assert_eq!((n_upper, n_lower, m), (10, 20, 30));
                 assert_eq!(attrs, (3, 2));
                 assert_eq!(seed, 9);
@@ -388,13 +431,43 @@ mod tests {
     #[test]
     fn parses_enumerate_full() {
         let cmd = parse(&sv(&[
-            "enumerate", "g", "--alpha", "3", "--beta", "2", "--delta", "1", "--theta", "0.4",
-            "--bi", "--algo", "bcem", "--order", "id", "--top", "5", "--budget-secs", "7",
-            "--threads", "4",
+            "enumerate",
+            "g",
+            "--alpha",
+            "3",
+            "--beta",
+            "2",
+            "--delta",
+            "1",
+            "--theta",
+            "0.4",
+            "--bi",
+            "--algo",
+            "bcem",
+            "--order",
+            "id",
+            "--top",
+            "5",
+            "--budget-secs",
+            "7",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         match cmd {
-            Command::Enumerate { alpha, beta, delta, theta, bi, algo, order, top, budget, threads, .. } => {
+            Command::Enumerate {
+                alpha,
+                beta,
+                delta,
+                theta,
+                bi,
+                algo,
+                order,
+                top,
+                budget,
+                threads,
+                ..
+            } => {
                 assert_eq!((alpha, beta, delta), (3, 2, 1));
                 assert_eq!(theta, Some(0.4));
                 assert!(bi);
@@ -411,7 +484,19 @@ mod tests {
     #[test]
     fn rejects_bad_values() {
         assert!(parse(&sv(&["generate", "--dataset", "nope", "--out", "x"])).is_err());
-        assert!(parse(&sv(&["enumerate", "g", "--alpha", "1", "--beta", "1", "--delta", "0", "--theta", "0.9"])).is_err());
+        assert!(parse(&sv(&[
+            "enumerate",
+            "g",
+            "--alpha",
+            "1",
+            "--beta",
+            "1",
+            "--delta",
+            "0",
+            "--theta",
+            "0.9"
+        ]))
+        .is_err());
         assert!(parse(&sv(&["enumerate", "g", "--beta", "1", "--delta", "0"])).is_err());
         assert!(parse(&sv(&["prune", "g", "--alpha", "1"])).is_err());
         assert!(parse(&sv(&["prune", "g", "--alpha", "x", "--beta", "1"])).is_err());

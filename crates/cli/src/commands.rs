@@ -16,7 +16,13 @@ pub fn execute(cmd: Command) -> Result<String, String> {
         Command::Help => Ok(crate::HELP.to_string()),
         Command::Generate { kind, out } => generate(kind, &out),
         Command::Stats { source } => stats(&source),
-        Command::Prune { source, alpha, beta, bi, kind } => prune(&source, alpha, beta, bi, kind),
+        Command::Prune {
+            source,
+            alpha,
+            beta,
+            bi,
+            kind,
+        } => prune(&source, alpha, beta, bi, kind),
         Command::Enumerate {
             source,
             alpha,
@@ -63,7 +69,9 @@ fn load(source: &GraphSource) -> Result<BipartiteGraph, String> {
         bigraph::io::read_edge_list(f, attr_domains.0, attr_domains.1)
             .map_err(|e| format!("parsing {stem}: {e}"))
     } else {
-        Err(format!("no such graph: {stem} (expected {stem}.edges or a bare edge file)"))
+        Err(format!(
+            "no such graph: {stem} (expected {stem}.edges or a bare edge file)"
+        ))
     }
 }
 
@@ -71,9 +79,18 @@ fn generate(kind: GenerateKind, out: &str) -> Result<String, String> {
     let (g, label) = match kind {
         GenerateKind::Dataset(d) => {
             let spec = fbe_datasets::corpus::spec(d);
-            (spec.build(), format!("{d} analog (defaults: {})", spec.single_params()))
+            (
+                spec.build(),
+                format!("{d} analog (defaults: {})", spec.single_params()),
+            )
         }
-        GenerateKind::Uniform { n_upper, n_lower, m, attrs, seed } => {
+        GenerateKind::Uniform {
+            n_upper,
+            n_lower,
+            m,
+            attrs,
+            seed,
+        } => {
             if n_upper == 0 || n_lower == 0 {
                 return Err("generate: sides must be non-empty".into());
             }
@@ -96,7 +113,7 @@ fn generate(kind: GenerateKind, out: &str) -> Result<String, String> {
     write(&uattr, &|w| bigraph::io::write_attrs(&g, Side::Upper, w))?;
     write(&lattr, &|w| bigraph::io::write_attrs(&g, Side::Lower, w))?;
     Ok(format!(
-        "wrote {label}: {} / {} / {}\n{}",
+        "wrote {label}: {} / {} / {}\n{}\n",
         edges.display(),
         uattr.display(),
         lattr.display(),
@@ -110,8 +127,12 @@ fn stats(source: &GraphSource) -> Result<String, String> {
     let butterflies = bigraph::butterfly::count_butterflies(&g);
     let mut out = String::new();
     writeln!(out, "{st}").unwrap();
-    writeln!(out, "attr counts U: {:?}  V: {:?}", st.upper.attr_counts, st.lower.attr_counts)
-        .unwrap();
+    writeln!(
+        out,
+        "attr counts U: {:?}  V: {:?}",
+        st.upper.attr_counts, st.lower.attr_counts
+    )
+    .unwrap();
     writeln!(out, "butterflies: {butterflies}").unwrap();
     Ok(out)
 }
@@ -131,7 +152,7 @@ fn prune(
         prune_single_side(&g, params, kind)
     };
     Ok(format!(
-        "{kind:?} ({}): {} -> {} vertices remaining ({} -> {} edges)",
+        "{kind:?} ({}): {} -> {} vertices remaining ({} -> {} edges)\n",
         if bi { "bi-side" } else { "single-side" },
         out.stats.upper_before + out.stats.lower_before,
         out.stats.remaining_vertices(),
@@ -209,7 +230,14 @@ fn enumerate(
     if let Some(k) = top {
         let mut sink = TopKSink::new(k);
         let (n, aborted) = run(&mut sink);
-        return Ok(render(model, n, aborted, false, Some(k), sink.into_sorted()));
+        return Ok(render(
+            model,
+            n,
+            aborted,
+            false,
+            Some(k),
+            sink.into_sorted(),
+        ));
     }
     let mut sink = CollectSink::default();
     let (n, aborted) = run(&mut sink);
@@ -225,7 +253,11 @@ fn render(
     bicliques: Vec<fair_biclique::biclique::Biclique>,
 ) -> String {
     let mut out = String::new();
-    let suffix = if aborted { " (budget hit; lower bound)" } else { "" };
+    let suffix = if aborted {
+        " (budget hit; lower bound)"
+    } else {
+        ""
+    };
     writeln!(out, "{model} count: {count}{suffix}").unwrap();
     if count_only {
         return out;
@@ -245,7 +277,10 @@ mod tests {
 
     #[test]
     fn load_rejects_missing() {
-        let src = GraphSource::Path { stem: "/definitely/not/here".into(), attr_domains: (2, 2) };
+        let src = GraphSource::Path {
+            stem: "/definitely/not/here".into(),
+            attr_domains: (2, 2),
+        };
         assert!(load(&src).is_err());
     }
 

@@ -82,7 +82,13 @@ mod tests {
 
         // generate (uniform)
         let out = run(&sv(&[
-            "generate", "--uniform", "30,30,200", "--seed", "7", "--out", stem_s,
+            "generate",
+            "--uniform",
+            "30,30,200",
+            "--seed",
+            "7",
+            "--out",
+            stem_s,
         ]))
         .unwrap();
         assert!(out.contains("wrote"), "{out}");
@@ -99,7 +105,14 @@ mod tests {
 
         // enumerate count-only
         let out = run(&sv(&[
-            "enumerate", stem_s, "--alpha", "2", "--beta", "1", "--delta", "1",
+            "enumerate",
+            stem_s,
+            "--alpha",
+            "2",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
             "--count-only",
         ]))
         .unwrap();
@@ -107,23 +120,50 @@ mod tests {
 
         // enumerate top-k, bi-side, parallel
         let out = run(&sv(&[
-            "enumerate", stem_s, "--alpha", "1", "--beta", "1", "--delta", "1",
-            "--bi", "--top", "2",
+            "enumerate",
+            stem_s,
+            "--alpha",
+            "1",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--bi",
+            "--top",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("BSFBC"), "{out}");
 
         let out = run(&sv(&[
-            "enumerate", stem_s, "--alpha", "2", "--beta", "1", "--delta", "1",
-            "--threads", "2", "--count-only",
+            "enumerate",
+            stem_s,
+            "--alpha",
+            "2",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--threads",
+            "2",
+            "--count-only",
         ]))
         .unwrap();
         assert!(out.contains("SSFBC count"), "{out}");
 
         // proportion
         let out = run(&sv(&[
-            "enumerate", stem_s, "--alpha", "2", "--beta", "1", "--delta", "1",
-            "--theta", "0.4", "--count-only",
+            "enumerate",
+            stem_s,
+            "--alpha",
+            "2",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--theta",
+            "0.4",
+            "--count-only",
         ]))
         .unwrap();
         assert!(out.contains("PSSFBC count"), "{out}");
@@ -137,7 +177,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("yt");
         let out = run(&sv(&[
-            "generate", "--dataset", "youtube", "--out", stem.to_str().unwrap(),
+            "generate",
+            "--dataset",
+            "youtube",
+            "--out",
+            stem.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("Youtube"), "{out}");
@@ -150,10 +194,37 @@ mod tests {
     fn bad_arguments_report_errors() {
         assert!(run(&sv(&["generate", "--out", "/tmp/x"])).is_err());
         assert!(run(&sv(&["generate", "--uniform", "bogus", "--out", "/tmp/x"])).is_err());
-        assert!(run(&sv(&["enumerate", "/nonexistent", "--alpha", "1", "--beta", "1", "--delta", "0"])).is_err());
-        assert!(run(&sv(&["prune", "/nonexistent", "--alpha", "1", "--beta", "1"])).is_err());
-        let err = run(&sv(&["enumerate", "/tmp/x", "--alpha", "0", "--beta", "1", "--delta", "0"]))
-            .unwrap_err();
+        assert!(run(&sv(&[
+            "enumerate",
+            "/nonexistent",
+            "--alpha",
+            "1",
+            "--beta",
+            "1",
+            "--delta",
+            "0"
+        ]))
+        .is_err());
+        assert!(run(&sv(&[
+            "prune",
+            "/nonexistent",
+            "--alpha",
+            "1",
+            "--beta",
+            "1"
+        ]))
+        .is_err());
+        let err = run(&sv(&[
+            "enumerate",
+            "/tmp/x",
+            "--alpha",
+            "0",
+            "--beta",
+            "1",
+            "--delta",
+            "0",
+        ]))
+        .unwrap_err();
         assert!(err.contains("alpha"), "{err}");
     }
 }

@@ -101,12 +101,7 @@ impl BicliqueSink for BiSideExpander<'_> {
                 }
                 cand.inc(attrs_l[v as usize]);
             }
-            if is_maximal_fair_subset(
-                base.as_slice(),
-                cand.as_slice(),
-                params.beta,
-                params.delta,
-            ) {
+            if is_maximal_fair_subset(base.as_slice(), cand.as_slice(), params.beta, params.delta) {
                 sink.emit(l_sub, r);
                 *emitted += 1;
             }

@@ -50,13 +50,19 @@ pub fn bfcore_masks(g: &BipartiteGraph, alpha: u32, beta: u32) -> (Vec<bool>, Ve
     let mut stack: Vec<(Side, VertexId)> = Vec::new();
 
     for u in 0..n_u {
-        if ad_u[u * na_lower..(u + 1) * na_lower].iter().any(|&d| d < beta) {
+        if ad_u[u * na_lower..(u + 1) * na_lower]
+            .iter()
+            .any(|&d| d < beta)
+        {
             alive_u[u] = false;
             stack.push((Side::Upper, u as VertexId));
         }
     }
     for v in 0..n_v {
-        if ad_v[v * na_upper..(v + 1) * na_upper].iter().any(|&d| d < alpha) {
+        if ad_v[v * na_upper..(v + 1) * na_upper]
+            .iter()
+            .any(|&d| d < alpha)
+        {
             alive_v[v] = false;
             stack.push((Side::Lower, v as VertexId));
         }
@@ -136,12 +142,7 @@ pub fn bcfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
 /// Colorful mask of one side: bi-side 2-hop projection with common-
 /// neighbor threshold `common_k` per opposite attribute value, degree
 /// filter `A_n·core_k − 1`, then ego colorful `core_k`-core.
-fn biside_colorful_mask(
-    g: &BipartiteGraph,
-    side: Side,
-    common_k: u32,
-    core_k: u32,
-) -> Vec<bool> {
+fn biside_colorful_mask(g: &BipartiteGraph, side: Side, common_k: u32, core_k: u32) -> Vec<bool> {
     let h = construct_2hop_biside(g, side, common_k as usize);
     let n_attrs = g.n_attr_values(side) as i64;
     let deg_thresh = n_attrs * core_k as i64 - 1;

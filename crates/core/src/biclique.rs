@@ -129,13 +129,20 @@ pub struct TopKSink {
 impl TopKSink {
     /// Retain the `k` largest results.
     pub fn new(k: usize) -> Self {
-        TopKSink { k, seen: 0, heap: std::collections::BinaryHeap::new() }
+        TopKSink {
+            k,
+            seen: 0,
+            heap: std::collections::BinaryHeap::new(),
+        }
     }
 
     /// The retained bicliques, largest first.
     pub fn into_sorted(self) -> Vec<Biclique> {
-        let mut v: Vec<(usize, Biclique)> =
-            self.heap.into_iter().map(|std::cmp::Reverse(x)| x).collect();
+        let mut v: Vec<(usize, Biclique)> = self
+            .heap
+            .into_iter()
+            .map(|std::cmp::Reverse(x)| x)
+            .collect();
         v.sort_by(|a, b| b.cmp(a));
         v.into_iter().map(|(_, bc)| bc).collect()
     }
@@ -151,14 +158,20 @@ impl BicliqueSink for TopKSink {
         if self.heap.len() < self.k {
             self.heap.push(std::cmp::Reverse((
                 size,
-                Biclique { upper: upper.to_vec(), lower: lower.to_vec() },
+                Biclique {
+                    upper: upper.to_vec(),
+                    lower: lower.to_vec(),
+                },
             )));
         } else if let Some(std::cmp::Reverse((min_size, _))) = self.heap.peek() {
             if size > *min_size {
                 self.heap.pop();
                 self.heap.push(std::cmp::Reverse((
                     size,
-                    Biclique { upper: upper.to_vec(), lower: lower.to_vec() },
+                    Biclique {
+                        upper: upper.to_vec(),
+                        lower: lower.to_vec(),
+                    },
                 )));
             }
         }

@@ -161,7 +161,10 @@ mod tests {
         let alive = ego_colorful_core(&h, 2);
         assert!(alive.iter().all(|&a| a), "fair K4 survives ego 2-core");
         let alive3 = ego_colorful_core(&h, 3);
-        assert!(alive3.iter().all(|&a| !a), "K4 cannot give 3 colors per attr");
+        assert!(
+            alive3.iter().all(|&a| !a),
+            "K4 cannot give 3 colors per attr"
+        );
     }
 
     #[test]
@@ -196,11 +199,7 @@ mod tests {
         // Path 0-1-2-3-4, alternating attrs: removal cascades fully
         // for k=2 (no vertex sees 2 colors of each attr in a path once
         // ends go).
-        let h = UniGraph::from_edges(
-            2,
-            vec![0, 1, 0, 1, 0],
-            &[(0, 1), (1, 2), (2, 3), (3, 4)],
-        );
+        let h = UniGraph::from_edges(2, vec![0, 1, 0, 1, 0], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let alive = ego_colorful_core(&h, 2);
         assert!(alive.iter().all(|&a| !a));
     }

@@ -133,16 +133,25 @@ pub struct Budget {
 
 impl Budget {
     /// No limits.
-    pub const UNLIMITED: Budget = Budget { max_nodes: None, max_time: None };
+    pub const UNLIMITED: Budget = Budget {
+        max_nodes: None,
+        max_time: None,
+    };
 
     /// Only a node cap.
     pub fn nodes(max_nodes: u64) -> Budget {
-        Budget { max_nodes: Some(max_nodes), max_time: None }
+        Budget {
+            max_nodes: Some(max_nodes),
+            max_time: None,
+        }
     }
 
     /// Only a wall-clock cap.
     pub fn time(max_time: Duration) -> Budget {
-        Budget { max_nodes: None, max_time: Some(max_time) }
+        Budget {
+            max_nodes: None,
+            max_time: Some(max_time),
+        }
     }
 
     pub(crate) fn start(&self) -> BudgetClock {
@@ -203,12 +212,18 @@ pub struct RunConfig {
 impl RunConfig {
     /// Config with everything default except the ordering.
     pub fn with_order(order: VertexOrder) -> Self {
-        RunConfig { order, ..Default::default() }
+        RunConfig {
+            order,
+            ..Default::default()
+        }
     }
 
     /// Config with everything default except the pruning stage.
     pub fn with_prune(prune: PruneKind) -> Self {
-        RunConfig { prune, ..Default::default() }
+        RunConfig {
+            prune,
+            ..Default::default()
+        }
     }
 }
 
@@ -230,7 +245,10 @@ mod tests {
             ProParams::new(1, 1, 1, -0.1),
             Err(ParamError::ThetaOutOfRange(_))
         ));
-        assert!(FairParams::new(0, 0, 0).unwrap_err().to_string().contains("alpha"));
+        assert!(FairParams::new(0, 0, 0)
+            .unwrap_err()
+            .to_string()
+            .contains("alpha"));
     }
 
     #[test]

@@ -274,15 +274,15 @@ mod tests {
         let g = random_uniform(10, 12, 60, 2, 2, 5);
         let params = FairParams::unchecked(1, 1, 2);
         let mut full = CollectSink::default();
-        fairbcem_on_pruned(
+        fairbcem_on_pruned(&g, params, VertexOrder::IdAsc, Budget::UNLIMITED, &mut full);
+        let mut capped = CollectSink::default();
+        let stats = fairbcem_on_pruned(
             &g,
             params,
             VertexOrder::IdAsc,
-            Budget::UNLIMITED,
-            &mut full,
+            Budget::nodes(10),
+            &mut capped,
         );
-        let mut capped = CollectSink::default();
-        let stats = fairbcem_on_pruned(&g, params, VertexOrder::IdAsc, Budget::nodes(10), &mut capped);
         assert!(stats.aborted);
         assert!(stats.nodes <= 11);
         let full_set: BTreeSet<_> = full.bicliques.into_iter().collect();
@@ -365,7 +365,11 @@ mod tests {
             &mut sink,
         );
         assert!(sink.bicliques.is_empty());
-        assert!(stats.nodes <= 10, "beta bound must cut depth, got {}", stats.nodes);
+        assert!(
+            stats.nodes <= 10,
+            "beta bound must cut depth, got {}",
+            stats.nodes
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn fairbcem_pp_on_pruned(
     let mut stats = walk_maximal_bicliques(
         g,
         params.alpha as usize,
-        RBound::AttrBeta { attrs: g.attrs(Side::Lower), beta: params.beta },
+        RBound::AttrBeta {
+            attrs: g.attrs(Side::Lower),
+            beta: params.beta,
+        },
         order,
         budget,
         &mut |l, r| expander.expand(l, r, sink),
@@ -188,7 +191,10 @@ mod tests {
         for seed in 0..8u64 {
             let base = random_uniform(9, 11, 20, 2, 2, seed);
             let g = plant_bicliques(&base, 2, 3, 4, 1.0, seed + 40);
-            for params in [FairParams::unchecked(2, 1, 1), FairParams::unchecked(2, 2, 2)] {
+            for params in [
+                FairParams::unchecked(2, 1, 1),
+                FairParams::unchecked(2, 2, 2),
+            ] {
                 let want = oracle_ssfbc(&g, params);
                 let got = run(&g, params, VertexOrder::DegreeDesc);
                 assert_eq!(got, want, "seed {seed} params {params}");
@@ -203,7 +209,13 @@ mod tests {
             let g = random_uniform(10, 12, 55, 2, 2, seed);
             let params = FairParams::unchecked(2, 1, 1);
             let mut a = CollectSink::default();
-            fairbcem_on_pruned(&g, params, VertexOrder::DegreeDesc, Budget::UNLIMITED, &mut a);
+            fairbcem_on_pruned(
+                &g,
+                params,
+                VertexOrder::DegreeDesc,
+                Budget::UNLIMITED,
+                &mut a,
+            );
             let b = run(&g, params, VertexOrder::DegreeDesc);
             let a: BTreeSet<Biclique> = a.bicliques.into_iter().collect();
             assert_eq!(a, b, "seed {seed}");
@@ -255,13 +267,8 @@ mod tests {
         let g = b.build().unwrap();
         let params = FairParams::unchecked(3, 1, 0);
         let mut sink = CollectSink::default();
-        let stats = fairbcem_pp_on_pruned(
-            &g,
-            params,
-            VertexOrder::IdAsc,
-            Budget::nodes(50),
-            &mut sink,
-        );
+        let stats =
+            fairbcem_pp_on_pruned(&g, params, VertexOrder::IdAsc, Budget::nodes(50), &mut sink);
         assert!(stats.aborted, "expansion budget must fire");
         assert!(
             sink.bicliques.len() <= 60,
@@ -272,13 +279,8 @@ mod tests {
         // setup): C(16,10) closure-filtered results still number
         // thousands.
         let mut full = CollectSink::default();
-        let full_stats = fairbcem_pp_on_pruned(
-            &g,
-            params,
-            VertexOrder::IdAsc,
-            Budget::UNLIMITED,
-            &mut full,
-        );
+        let full_stats =
+            fairbcem_pp_on_pruned(&g, params, VertexOrder::IdAsc, Budget::UNLIMITED, &mut full);
         assert!(!full_stats.aborted);
         assert!(full.bicliques.len() > 1000);
     }

@@ -61,7 +61,9 @@ pub struct AttrCounts {
 impl AttrCounts {
     /// All-zero counts over `n_attrs` attribute values.
     pub fn zeros(n_attrs: usize) -> Self {
-        AttrCounts { counts: vec![0; n_attrs] }
+        AttrCounts {
+            counts: vec![0; n_attrs],
+        }
     }
 
     /// Counts of `vertices` under the vertex→attribute map `attrs`.
@@ -214,7 +216,7 @@ pub fn exists_fair_extension(
     delta: u32,
     theta: Option<f64>,
 ) -> bool {
-#[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         base: &[u32],
         cand: &[u32],
@@ -303,12 +305,7 @@ pub fn combination_pro_paper_sizes(
 /// This is the exact `CombinationPro` used by the enumerators; the
 /// feasible lattice is tiny (`O(msize·(δ+1)^n)`) because the spread
 /// constraint pins all components within `δ` of the minimum.
-pub fn max_pro_fair_size_vectors(
-    counts: &[u32],
-    k: u32,
-    delta: u32,
-    theta: f64,
-) -> Vec<Vec<u32>> {
+pub fn max_pro_fair_size_vectors(counts: &[u32], k: u32, delta: u32, theta: f64) -> Vec<Vec<u32>> {
     debug_assert!(!counts.is_empty());
     let msize = *counts.iter().min().expect("non-empty counts");
     if msize < k {
@@ -358,7 +355,17 @@ pub fn max_pro_fair_size_vectors(
             c += 1;
         }
     }
-    rec(counts, k, delta, theta, 0, u32::MAX, 0, &mut cur, &mut feasible);
+    rec(
+        counts,
+        k,
+        delta,
+        theta,
+        0,
+        u32::MAX,
+        0,
+        &mut cur,
+        &mut feasible,
+    );
 
     // Keep only the maximal elements of the componentwise order.
     let mut maximal: Vec<Vec<u32>> = Vec::new();
@@ -380,7 +387,11 @@ pub fn max_pro_fair_size_vectors(
 /// The callback returns `true` to continue; returning `false` stops
 /// the enumeration early (budget enforcement — per-subset counts can
 /// be astronomically large). The function returns `false` iff stopped.
-pub fn for_each_ksubset(items: &[VertexId], k_: usize, f: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
+pub fn for_each_ksubset(
+    items: &[VertexId],
+    k_: usize,
+    f: &mut dyn FnMut(&[VertexId]) -> bool,
+) -> bool {
     if k_ > items.len() {
         return true;
     }
@@ -451,7 +462,11 @@ pub fn for_each_sized_product(
             }
         }
     }
-    let mut e = Emitter { f, buf: Vec::new(), scratch: Vec::new() };
+    let mut e = Emitter {
+        f,
+        buf: Vec::new(),
+        scratch: Vec::new(),
+    };
     e.rec(groups, sizes)
 }
 
@@ -609,9 +624,8 @@ mod tests {
                                 for c1 in 0..3u32 {
                                     let base = [b0, b1];
                                     let cand = [c0, c1];
-                                    let fast = is_maximal_fair_subset_pro(
-                                        &base, &cand, k, delta, theta,
-                                    );
+                                    let fast =
+                                        is_maximal_fair_subset_pro(&base, &cand, k, delta, theta);
                                     let slow = is_fair_pro(&base, k, delta, theta)
                                         && !exists_fair_extension(
                                             &base,
@@ -777,8 +791,9 @@ mod tests {
                             // be feasible itself:
                             assert!(
                                 !is_fair_pro(&w, 1, delta, theta)
-                                    || vecs.iter().any(|m| m != v
-                                        && v.iter().zip(m).all(|(a, b)| a <= b)),
+                                    || vecs
+                                        .iter()
+                                        .any(|m| m != v && v.iter().zip(m).all(|(a, b)| a <= b)),
                                 "extension {w:?} of {v:?} feasible"
                             );
                         }

@@ -29,6 +29,8 @@
 //! use fair_biclique::prelude::*;
 //!
 //! // A 3x4 complete bipartite block: attrs U = [0,1,0], V = [0,0,1,1].
+//! // `new` takes the attribute-domain sizes (2 values per side); the
+//! // vertex sets grow on demand from the attrs and edges below.
 //! let mut b = GraphBuilder::new(2, 2);
 //! b.set_attrs_upper(&[0, 1, 0]);
 //! b.set_attrs_lower(&[0, 0, 1, 1]);

@@ -47,7 +47,12 @@ pub struct MaxSink {
 impl MaxSink {
     /// New empty sink.
     pub fn new(metric: SizeMetric) -> Self {
-        MaxSink { metric, best: None, best_score: 0, seen: 0 }
+        MaxSink {
+            metric,
+            best: None,
+            best_score: 0,
+            seen: 0,
+        }
     }
 }
 
@@ -114,7 +119,11 @@ mod tests {
             .fold(None, |acc: Option<(u64, Biclique)>, (s, b)| match acc {
                 None => Some((s, b)),
                 Some((bs, bb)) => {
-                    if s > bs || (s == bs && (b.upper.clone(), b.lower.clone()) < (bb.upper.clone(), bb.lower.clone())) {
+                    if s > bs
+                        || (s == bs
+                            && (b.upper.clone(), b.lower.clone())
+                                < (bb.upper.clone(), bb.lower.clone()))
+                    {
                         Some((s, b))
                     } else {
                         Some((bs, bb))

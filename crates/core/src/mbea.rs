@@ -208,8 +208,8 @@ impl Walker<'_> {
                 (self.visit)(&l_new, &r_sorted);
 
                 if !p_new.is_empty() && self.rbound.admits(r, r_counts, &p_new) {
-                    let frame = (l_new.len() + p_new.len() + q_new.len())
-                        * std::mem::size_of::<VertexId>();
+                    let frame =
+                        (l_new.len() + p_new.len() + q_new.len()) * std::mem::size_of::<VertexId>();
                     self.cur_bytes += frame;
                     self.peak_bytes = self.peak_bytes.max(self.cur_bytes);
                     let l_child = l_new.clone();
@@ -251,19 +251,13 @@ pub fn maximal_bicliques(
     let min_l = min_l.max(1);
     let min_r = min_r.max(1);
     let mut emitted = 0u64;
-    let mut stats = walk_maximal_bicliques(
-        g,
-        min_l,
-        RBound::Size(min_r),
-        order,
-        budget,
-        &mut |l, r| {
+    let mut stats =
+        walk_maximal_bicliques(g, min_l, RBound::Size(min_r), order, budget, &mut |l, r| {
             if r.len() >= min_r {
                 sink.emit(l, r);
                 emitted += 1;
             }
-        },
-    );
+        });
     stats.emitted = emitted;
     stats
 }
@@ -277,7 +271,12 @@ mod tests {
     use bigraph::GraphBuilder;
     use std::collections::BTreeSet;
 
-    fn run(g: &BipartiteGraph, min_l: usize, min_r: usize, order: VertexOrder) -> BTreeSet<Biclique> {
+    fn run(
+        g: &BipartiteGraph,
+        min_l: usize,
+        min_r: usize,
+        order: VertexOrder,
+    ) -> BTreeSet<Biclique> {
         let mut sink = CollectSink::default();
         let stats = maximal_bicliques(g, min_l, min_r, order, Budget::UNLIMITED, &mut sink);
         assert!(!stats.aborted);

@@ -33,10 +33,7 @@ pub struct MemoryReport {
 impl MemoryReport {
     /// Total accounted bytes.
     pub fn total(&self) -> usize {
-        self.pruned_graph_bytes
-            + self.twohop_bytes
-            + self.colorful_tables_bytes
-            + self.search_bytes
+        self.pruned_graph_bytes + self.twohop_bytes + self.colorful_tables_bytes + self.search_bytes
     }
 }
 

@@ -170,13 +170,8 @@ mod tests {
             ] {
                 let want = oracle_ssfbc(&g, params);
                 let mut sink = CollectSink::default();
-                let stats = nsf_on_pruned(
-                    &g,
-                    params,
-                    VertexOrder::IdAsc,
-                    Budget::UNLIMITED,
-                    &mut sink,
-                );
+                let stats =
+                    nsf_on_pruned(&g, params, VertexOrder::IdAsc, Budget::UNLIMITED, &mut sink);
                 assert!(!stats.aborted);
                 let got: BTreeSet<Biclique> = sink.bicliques.iter().cloned().collect();
                 assert_eq!(got.len(), sink.bicliques.len(), "no duplicates");
@@ -211,10 +206,21 @@ mod tests {
         let g = random_uniform(10, 12, 60, 2, 2, 4);
         let params = FairParams::unchecked(2, 2, 1);
         let mut s1 = CollectSink::default();
-        let naive = nsf_on_pruned(&g, params, VertexOrder::DegreeDesc, Budget::UNLIMITED, &mut s1);
+        let naive = nsf_on_pruned(
+            &g,
+            params,
+            VertexOrder::DegreeDesc,
+            Budget::UNLIMITED,
+            &mut s1,
+        );
         let mut s2 = CollectSink::default();
-        let smart =
-            fairbcem_on_pruned(&g, params, VertexOrder::DegreeDesc, Budget::UNLIMITED, &mut s2);
+        let smart = fairbcem_on_pruned(
+            &g,
+            params,
+            VertexOrder::DegreeDesc,
+            Budget::UNLIMITED,
+            &mut s2,
+        );
         assert!(
             naive.nodes >= smart.nodes,
             "naive {} vs fairbcem {}",

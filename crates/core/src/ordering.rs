@@ -52,7 +52,10 @@ mod tests {
     #[test]
     fn id_order() {
         let g = toy();
-        assert_eq!(side_order(&g, Side::Lower, VertexOrder::IdAsc), vec![0, 1, 2]);
+        assert_eq!(
+            side_order(&g, Side::Lower, VertexOrder::IdAsc),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! algorithm never enters (any maximal biclique reachable from a
 //! later branch that was already enumerated under an earlier one
 //! contains an earlier vertex, which sits in `Q`). Work is distributed
-//! branch-at-a-time over crossbeam-scoped workers via an atomic
+//! branch-at-a-time over scoped worker threads via an atomic
 //! cursor — degree-descending order puts the heavy branches first,
 //! which doubles as a crude longest-processing-time schedule.
 //!
@@ -41,12 +41,12 @@ pub fn fairbcem_pp_par_on_pruned(
     let attrs = g.attrs(Side::Lower);
 
     let mut per_thread: Vec<(Vec<Biclique>, EnumStats)> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for _ in 0..n_threads {
             let p = &p;
             let cursor = &cursor;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut sink = CollectSink::default();
                 let mut expander = SsExpander::new(g, params, budget);
                 let mut agg = EnumStats::default();
@@ -58,7 +58,10 @@ pub fn fairbcem_pp_par_on_pruned(
                     let stats = walk_maximal_bicliques_from(
                         g,
                         params.alpha as usize,
-                        RBound::AttrBeta { attrs, beta: params.beta },
+                        RBound::AttrBeta {
+                            attrs,
+                            beta: params.beta,
+                        },
                         budget,
                         p[i..].to_vec(),
                         p[..i].to_vec(),
@@ -77,8 +80,7 @@ pub fn fairbcem_pp_par_on_pruned(
         for h in handles {
             per_thread.push(h.join().expect("enumeration worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut all = Vec::new();
     let mut agg = EnumStats::default();
@@ -121,7 +123,11 @@ pub fn par_enumerate_ssfbc(
         .collect();
     bicliques.sort_unstable();
     let prune: PruneStats = pruned.stats;
-    RunReport { bicliques, prune, stats }
+    RunReport {
+        bicliques,
+        prune,
+        stats,
+    }
 }
 
 #[cfg(test)]

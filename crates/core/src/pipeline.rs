@@ -87,15 +87,27 @@ pub fn run_ssfbc(
         sink,
     );
     let stats = match algo {
-        SsAlgorithm::Nsf => {
-            nsf_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
-        }
-        SsAlgorithm::FairBcem => {
-            fairbcem_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
-        }
-        SsAlgorithm::FairBcemPP => {
-            fairbcem_pp_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
-        }
+        SsAlgorithm::Nsf => nsf_on_pruned(
+            &pruned.sub.graph,
+            params,
+            cfg.order,
+            cfg.budget,
+            &mut mapped,
+        ),
+        SsAlgorithm::FairBcem => fairbcem_on_pruned(
+            &pruned.sub.graph,
+            params,
+            cfg.order,
+            cfg.budget,
+            &mut mapped,
+        ),
+        SsAlgorithm::FairBcemPP => fairbcem_pp_on_pruned(
+            &pruned.sub.graph,
+            params,
+            cfg.order,
+            cfg.budget,
+            &mut mapped,
+        ),
     };
     (pruned.stats, stats)
 }
@@ -115,15 +127,27 @@ pub fn run_bsfbc(
         sink,
     );
     let stats = match algo {
-        BiAlgorithm::Bnsf => {
-            bnsf_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
-        }
-        BiAlgorithm::BFairBcem => {
-            bfairbcem_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
-        }
-        BiAlgorithm::BFairBcemPP => {
-            bfairbcem_pp_on_pruned(&pruned.sub.graph, params, cfg.order, cfg.budget, &mut mapped)
-        }
+        BiAlgorithm::Bnsf => bnsf_on_pruned(
+            &pruned.sub.graph,
+            params,
+            cfg.order,
+            cfg.budget,
+            &mut mapped,
+        ),
+        BiAlgorithm::BFairBcem => bfairbcem_on_pruned(
+            &pruned.sub.graph,
+            params,
+            cfg.order,
+            cfg.budget,
+            &mut mapped,
+        ),
+        BiAlgorithm::BFairBcemPP => bfairbcem_pp_on_pruned(
+            &pruned.sub.graph,
+            params,
+            cfg.order,
+            cfg.budget,
+            &mut mapped,
+        ),
     };
     (pruned.stats, stats)
 }
@@ -169,14 +193,22 @@ pub fn run_pbsfbc(
 pub fn enumerate_ssfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
     let mut sink = CollectSink::default();
     let (prune, stats) = run_ssfbc(g, params, SsAlgorithm::FairBcemPP, cfg, &mut sink);
-    RunReport { bicliques: sink.bicliques, prune, stats }
+    RunReport {
+        bicliques: sink.bicliques,
+        prune,
+        stats,
+    }
 }
 
 /// Enumerate and collect all bi-side fair bicliques (Definition 4).
 pub fn enumerate_bsfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
     let mut sink = CollectSink::default();
     let (prune, stats) = run_bsfbc(g, params, BiAlgorithm::BFairBcemPP, cfg, &mut sink);
-    RunReport { bicliques: sink.bicliques, prune, stats }
+    RunReport {
+        bicliques: sink.bicliques,
+        prune,
+        stats,
+    }
 }
 
 /// Enumerate and collect all proportion single-side fair bicliques
@@ -184,7 +216,11 @@ pub fn enumerate_bsfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) 
 pub fn enumerate_pssfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
     let mut sink = CollectSink::default();
     let (prune, stats) = run_pssfbc(g, pro, cfg, &mut sink);
-    RunReport { bicliques: sink.bicliques, prune, stats }
+    RunReport {
+        bicliques: sink.bicliques,
+        prune,
+        stats,
+    }
 }
 
 /// Enumerate and collect all proportion bi-side fair bicliques
@@ -192,7 +228,11 @@ pub fn enumerate_pssfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> 
 pub fn enumerate_pbsfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
     let mut sink = CollectSink::default();
     let (prune, stats) = run_pbsfbc(g, pro, cfg, &mut sink);
-    RunReport { bicliques: sink.bicliques, prune, stats }
+    RunReport {
+        bicliques: sink.bicliques,
+        prune,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +251,11 @@ mod tests {
             let params = FairParams::unchecked(2, 1, 1);
             let want = oracle_ssfbc(&g, params);
             for prune in [PruneKind::None, PruneKind::FCore, PruneKind::Colorful] {
-                for algo in [SsAlgorithm::Nsf, SsAlgorithm::FairBcem, SsAlgorithm::FairBcemPP] {
+                for algo in [
+                    SsAlgorithm::Nsf,
+                    SsAlgorithm::FairBcem,
+                    SsAlgorithm::FairBcemPP,
+                ] {
                     let cfg = RunConfig::with_prune(prune);
                     let mut sink = CollectSink::default();
                     run_ssfbc(&g, params, algo, &cfg, &mut sink);
@@ -229,7 +273,11 @@ mod tests {
             let params = FairParams::unchecked(1, 1, 1);
             let want = oracle_bsfbc(&g, params);
             for prune in [PruneKind::None, PruneKind::FCore, PruneKind::Colorful] {
-                for algo in [BiAlgorithm::Bnsf, BiAlgorithm::BFairBcem, BiAlgorithm::BFairBcemPP] {
+                for algo in [
+                    BiAlgorithm::Bnsf,
+                    BiAlgorithm::BFairBcem,
+                    BiAlgorithm::BFairBcemPP,
+                ] {
                     let cfg = RunConfig::with_prune(prune);
                     let mut sink = CollectSink::default();
                     run_bsfbc(&g, params, algo, &cfg, &mut sink);
@@ -250,7 +298,10 @@ mod tests {
         for bc in &report.bicliques {
             for &u in &bc.upper {
                 for &v in &bc.lower {
-                    assert!(g.has_edge(u, v), "result must be a biclique in the ORIGINAL graph");
+                    assert!(
+                        g.has_edge(u, v),
+                        "result must be a biclique in the ORIGINAL graph"
+                    );
                 }
             }
         }
@@ -275,7 +326,13 @@ mod tests {
         let g = random_uniform(12, 14, 70, 2, 2, 22);
         let params = FairParams::unchecked(2, 1, 1);
         let mut count = CountSink::default();
-        let (_, stats) = run_ssfbc(&g, params, SsAlgorithm::FairBcemPP, &RunConfig::default(), &mut count);
+        let (_, stats) = run_ssfbc(
+            &g,
+            params,
+            SsAlgorithm::FairBcemPP,
+            &RunConfig::default(),
+            &mut count,
+        );
         let report = enumerate_ssfbc(&g, params, &RunConfig::default());
         assert_eq!(count.count as usize, report.bicliques.len());
         assert_eq!(stats.emitted, count.count);

@@ -40,7 +40,10 @@ pub fn fairbcem_pro_pp_on_pruned(
     let mut stats = walk_maximal_bicliques(
         g,
         params.alpha as usize,
-        RBound::AttrBeta { attrs, beta: params.beta },
+        RBound::AttrBeta {
+            attrs,
+            beta: params.beta,
+        },
         order,
         budget,
         &mut |l, r| {
@@ -256,8 +259,8 @@ mod tests {
 
     #[test]
     fn theta_zero_equals_plain_model() {
-        use crate::fairbcem_pp::fairbcem_pp_on_pruned;
         use crate::config::FairParams;
+        use crate::fairbcem_pp::fairbcem_pp_on_pruned;
         for seed in 30..40u64 {
             let g = random_uniform(9, 10, 40, 2, 2, seed);
             let pro = ProParams::new(2, 1, 1, 0.0).unwrap();

@@ -54,7 +54,11 @@ fn parse_side(tok: Option<&str>, line: usize) -> Result<Vec<VertexId>, String> {
         return Ok(Vec::new());
     }
     tok.split(',')
-        .map(|s| s.trim().parse::<VertexId>().map_err(|e| format!("line {line}: {e}")))
+        .map(|s| {
+            s.trim()
+                .parse::<VertexId>()
+                .map_err(|e| format!("line {line}: {e}"))
+        })
         .collect()
 }
 
@@ -306,7 +310,14 @@ mod tests {
         use crate::config::{Budget, VertexOrder};
         let g = random_uniform(12, 12, 60, 1, 1, 9);
         let mut sink = CollectSink::default();
-        crate::mbea::maximal_bicliques(&g, 1, 1, VertexOrder::DegreeDesc, Budget::UNLIMITED, &mut sink);
+        crate::mbea::maximal_bicliques(
+            &g,
+            1,
+            1,
+            VertexOrder::DegreeDesc,
+            Budget::UNLIMITED,
+            &mut sink,
+        );
         assert!(sink.bicliques.len() > 3);
         assert_eq!(count_contained_pairs(&sink.bicliques), 0);
     }

@@ -26,7 +26,10 @@ use std::collections::BTreeSet;
 const MAX_ORACLE_SIDE: usize = 25;
 
 fn subset_from_mask(mask: u32) -> Vec<VertexId> {
-    (0..32).filter(|i| mask & (1 << i) != 0).map(|i| i as VertexId).collect()
+    (0..32)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| i as VertexId)
+        .collect()
 }
 
 /// All single-side fair bicliques of `g` (Definition 3), by brute force.
@@ -47,7 +50,10 @@ fn oracle_ssfbc_inner(
     theta: Option<f64>,
 ) -> BTreeSet<Biclique> {
     let n_v = g.n_lower();
-    assert!(n_v <= MAX_ORACLE_SIDE, "oracle limited to {MAX_ORACLE_SIDE} fair-side vertices");
+    assert!(
+        n_v <= MAX_ORACLE_SIDE,
+        "oracle limited to {MAX_ORACLE_SIDE} fair-side vertices"
+    );
     let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
     let attrs = g.attrs(Side::Lower);
     let mut out = BTreeSet::new();
@@ -106,7 +112,10 @@ fn oracle_bsfbc_inner(
     theta: Option<f64>,
 ) -> BTreeSet<Biclique> {
     let n_v = g.n_lower();
-    assert!(n_v <= MAX_ORACLE_SIDE, "oracle limited to {MAX_ORACLE_SIDE} vertices per side");
+    assert!(
+        n_v <= MAX_ORACLE_SIDE,
+        "oracle limited to {MAX_ORACLE_SIDE} vertices per side"
+    );
     assert!(g.n_upper() <= MAX_ORACLE_SIDE);
     let na_l = (g.n_attr_values(Side::Lower) as usize).max(1);
     let na_u = (g.n_attr_values(Side::Upper) as usize).max(1);

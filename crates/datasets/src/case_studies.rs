@@ -46,7 +46,12 @@ impl CaseStudy {
         }
         out.push_str(&format!("[{}] upper side (", self.name));
         for (i, n) in self.upper_attr_names.iter().enumerate() {
-            out.push_str(&format!("{}{}={}", if i > 0 { ", " } else { "" }, n, u_tally[i]));
+            out.push_str(&format!(
+                "{}{}={}",
+                if i > 0 { ", " } else { "" },
+                n,
+                u_tally[i]
+            ));
         }
         out.push_str("): ");
         out.push_str(
@@ -58,7 +63,12 @@ impl CaseStudy {
         );
         out.push_str("\n        lower side (");
         for (i, n) in self.lower_attr_names.iter().enumerate() {
-            out.push_str(&format!("{}{}={}", if i > 0 { ", " } else { "" }, n, l_tally[i]));
+            out.push_str(&format!(
+                "{}{}={}",
+                if i > 0 { ", " } else { "" },
+                n,
+                l_tally[i]
+            ));
         }
         out.push_str("): ");
         out.push_str(
@@ -112,7 +122,11 @@ fn dblp_like(
         let n_papers = rng.random_range(6..13usize);
         for _ in 0..n_papers {
             let paper = paper_attr.len() as VertexId;
-            let area = if rng.random_bool(0.3) { 1 - home_area } else { home_area };
+            let area = if rng.random_bool(0.3) {
+                1 - home_area
+            } else {
+                home_area
+            };
             paper_attr.push(area);
             let n_auth = rng.random_range(3..=6usize).min(members.len());
             let mut authors = members.clone();
@@ -135,13 +149,22 @@ fn dblp_like(
     b.ensure_vertices(paper_attr.len(), scholar_attr.len());
     let graph = b.build().expect("case-study graphs are valid");
     let upper_labels = (0..graph.n_upper())
-        .map(|i| format!("paper-{i} ({})", area_names[graph.attrs(bigraph::Side::Upper)[i] as usize]))
+        .map(|i| {
+            format!(
+                "paper-{i} ({})",
+                area_names[graph.attrs(bigraph::Side::Upper)[i] as usize]
+            )
+        })
         .collect();
     let lower_labels = (0..graph.n_lower())
         .map(|i| {
             format!(
                 "scholar-{i} ({})",
-                if graph.attrs(bigraph::Side::Lower)[i] == 0 { "S" } else { "J" }
+                if graph.attrs(bigraph::Side::Lower)[i] == 0 {
+                    "S"
+                } else {
+                    "J"
+                }
             )
         })
         .collect();
@@ -193,10 +216,18 @@ fn rec_scenario(
 
     // Item attributes: first half advantaged (0), second half not (1) —
     // the paper splits jobs by application count at the median.
-    let item_attrs: Vec<u16> = (0..n_items).map(|i| if i < n_items / 2 { 0 } else { 1 }).collect();
-    let user_attrs: Vec<u16> = (0..n_users).map(|_| u16::from(rng.random_bool(0.35))).collect();
-    let user_group: Vec<usize> = (0..n_users).map(|_| rng.random_range(0..n_groups)).collect();
-    let item_group: Vec<usize> = (0..n_items).map(|_| rng.random_range(0..n_groups)).collect();
+    let item_attrs: Vec<u16> = (0..n_items)
+        .map(|i| if i < n_items / 2 { 0 } else { 1 })
+        .collect();
+    let user_attrs: Vec<u16> = (0..n_users)
+        .map(|_| u16::from(rng.random_bool(0.35)))
+        .collect();
+    let user_group: Vec<usize> = (0..n_users)
+        .map(|_| rng.random_range(0..n_groups))
+        .collect();
+    let item_group: Vec<usize> = (0..n_items)
+        .map(|_| rng.random_range(0..n_groups))
+        .collect();
 
     #[allow(clippy::needless_range_loop)]
     for u in 0..n_users {
@@ -218,7 +249,13 @@ fn rec_scenario(
         .map(|i| format!("user-{i} ({})", user_attr_names[user_attrs[i] as usize]))
         .collect();
     let lower_labels = (0..n_items)
-        .map(|i| format!("{}-{i} ({})", name.to_lowercase(), item_attr_names[item_attrs[i] as usize]))
+        .map(|i| {
+            format!(
+                "{}-{i} ({})",
+                name.to_lowercase(),
+                item_attr_names[item_attrs[i] as usize]
+            )
+        })
         .collect();
     CaseStudy {
         name,
@@ -240,7 +277,16 @@ pub fn jobs(seed: u64) -> CaseStudy {
 /// The Movies case study: users × movies (old `O` / new `N`), with
 /// exposure bias towards old movies (the paper's "cold start").
 pub fn movies(seed: u64) -> CaseStudy {
-    rec_scenario("Movies", ["A", "F"], ["O", "N"], 140, 90, 5, 2.5, seed ^ 0x4031e)
+    rec_scenario(
+        "Movies",
+        ["A", "F"],
+        ["O", "N"],
+        140,
+        90,
+        5,
+        2.5,
+        seed ^ 0x4031e,
+    )
 }
 
 #[cfg(test)]

@@ -58,7 +58,10 @@ pub fn recommend(g: &BipartiteGraph, user: VertexId, k: usize) -> Vec<Recommenda
     }
     let mut ranked: Vec<Recommendation> = (0..n_items as VertexId)
         .filter(|i| seen.binary_search(i).is_err())
-        .map(|item| Recommendation { item, score: score[item as usize] })
+        .map(|item| Recommendation {
+            item,
+            score: score[item as usize],
+        })
         .filter(|r| r.score > 0.0)
         .collect();
     ranked.sort_by(|a, b| {
@@ -75,11 +78,8 @@ pub fn recommend(g: &BipartiteGraph, user: VertexId, k: usize) -> Vec<Recommenda
 /// `i` is among user `u`'s top-k CF recommendations. Vertex sets and
 /// attributes are copied from the interaction graph.
 pub fn recommendation_graph(g: &BipartiteGraph, k: usize) -> BipartiteGraph {
-    let mut b = GraphBuilder::new(
-        g.n_attr_values(Side::Upper),
-        g.n_attr_values(Side::Lower),
-    )
-    .with_edge_capacity(g.n_upper() * k);
+    let mut b = GraphBuilder::new(g.n_attr_values(Side::Upper), g.n_attr_values(Side::Lower))
+        .with_edge_capacity(g.n_upper() * k);
     b.ensure_vertices(g.n_upper(), g.n_lower());
     for user in 0..g.n_upper() as VertexId {
         for rec in recommend(g, user, k) {

@@ -90,7 +90,11 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// Default single-side parameters as a [`FairParams`].
     pub fn single_params(&self) -> FairParams {
-        FairParams::unchecked(self.default_single.0, self.default_single.1, self.default_delta)
+        FairParams::unchecked(
+            self.default_single.0,
+            self.default_single.1,
+            self.default_delta,
+        )
     }
 
     /// Default bi-side parameters as a [`FairParams`].

@@ -16,7 +16,11 @@ use std::time::Instant;
 fn main() {
     let spec = spec(Dataset::Youtube);
     let g = spec.build();
-    println!("dataset {}: {}", spec.dataset, bigraph::stats::graph_stats(&g));
+    println!(
+        "dataset {}: {}",
+        spec.dataset,
+        bigraph::stats::graph_stats(&g)
+    );
     let params = spec.single_params();
     println!("single-side params: {params}");
 
@@ -53,7 +57,10 @@ fn main() {
     // Enumerate on the pruned graph with both algorithms.
     for (name, algo) in [
         ("FairBCEM  ", fair_biclique::pipeline::SsAlgorithm::FairBcem),
-        ("FairBCEM++", fair_biclique::pipeline::SsAlgorithm::FairBcemPP),
+        (
+            "FairBCEM++",
+            fair_biclique::pipeline::SsAlgorithm::FairBcemPP,
+        ),
     ] {
         let mut sink = CountSink::default();
         let t = Instant::now();

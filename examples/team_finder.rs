@@ -32,7 +32,10 @@ fn main() {
 
     // 1. The single largest fair team, by member count and by
     //    collaboration volume (papers x members).
-    for (name, metric) in [("most members+papers", SizeMetric::Vertices), ("most pairwise collaborations", SizeMetric::Edges)] {
+    for (name, metric) in [
+        ("most members+papers", SizeMetric::Vertices),
+        ("most pairwise collaborations", SizeMetric::Edges),
+    ] {
         let (best, _) = max_ssfbc(g, params, metric, &RunConfig::default());
         match best {
             Some(bc) => println!("largest team ({name}):\n{}\n", cs.describe(&bc)),

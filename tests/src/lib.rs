@@ -18,11 +18,19 @@ pub fn assert_biclique(g: &BipartiteGraph, bc: &Biclique) {
 }
 
 fn lower_counts(g: &BipartiteGraph, vs: &[VertexId]) -> AttrCounts {
-    AttrCounts::of(vs, g.attrs(Side::Lower), (g.n_attr_values(Side::Lower) as usize).max(1))
+    AttrCounts::of(
+        vs,
+        g.attrs(Side::Lower),
+        (g.n_attr_values(Side::Lower) as usize).max(1),
+    )
 }
 
 fn upper_counts(g: &BipartiteGraph, us: &[VertexId]) -> AttrCounts {
-    AttrCounts::of(us, g.attrs(Side::Upper), (g.n_attr_values(Side::Upper) as usize).max(1))
+    AttrCounts::of(
+        us,
+        g.attrs(Side::Upper),
+        (g.n_attr_values(Side::Upper) as usize).max(1),
+    )
 }
 
 /// Assert `bc` satisfies Definition 3 (single-side fair biclique) in
@@ -41,7 +49,13 @@ pub fn assert_valid_ssfbc(g: &BipartiteGraph, bc: &Biclique, params: FairParams)
     // No fair extension using vertices fully connected to L.
     let cand = fully_connected_lower_candidates(g, bc);
     assert!(
-        !exists_fair_extension(counts.as_slice(), cand.as_slice(), params.beta, params.delta, None),
+        !exists_fair_extension(
+            counts.as_slice(),
+            cand.as_slice(),
+            params.beta,
+            params.delta,
+            None
+        ),
         "R extendable in {bc}"
     );
 }
@@ -51,7 +65,12 @@ pub fn assert_valid_pssfbc(g: &BipartiteGraph, bc: &Biclique, pro: ProParams) {
     assert_biclique(g, bc);
     assert!(bc.upper.len() as u32 >= pro.base.alpha);
     let counts = lower_counts(g, &bc.lower);
-    assert!(is_fair_pro(counts.as_slice(), pro.base.beta, pro.base.delta, pro.theta));
+    assert!(is_fair_pro(
+        counts.as_slice(),
+        pro.base.beta,
+        pro.base.delta,
+        pro.theta
+    ));
     let closure = g.common_neighbors(Side::Lower, &bc.lower);
     assert_eq!(closure, bc.upper, "L != N(R) in {bc}");
     let cand = fully_connected_lower_candidates(g, bc);
@@ -82,8 +101,14 @@ pub fn assert_valid_bsfbc(g: &BipartiteGraph, bc: &Biclique, params: FairParams)
     assert_biclique(g, bc);
     let cu = upper_counts(g, &bc.upper);
     let cl = lower_counts(g, &bc.lower);
-    assert!(is_fair(cu.as_slice(), params.alpha, params.delta), "upper not fair in {bc}");
-    assert!(is_fair(cl.as_slice(), params.beta, params.delta), "lower not fair in {bc}");
+    assert!(
+        is_fair(cu.as_slice(), params.alpha, params.delta),
+        "upper not fair in {bc}"
+    );
+    assert!(
+        is_fair(cl.as_slice(), params.beta, params.delta),
+        "lower not fair in {bc}"
+    );
     // Maximality: no fair extension on either side (single-side
     // extension suffices; see verify-module docs).
     let n_au = (g.n_attr_values(Side::Upper) as usize).max(1);
@@ -96,12 +121,24 @@ pub fn assert_valid_bsfbc(g: &BipartiteGraph, bc: &Biclique, params: FairParams)
         }
     }
     assert!(
-        !exists_fair_extension(cu.as_slice(), cand_u.as_slice(), params.alpha, params.delta, None),
+        !exists_fair_extension(
+            cu.as_slice(),
+            cand_u.as_slice(),
+            params.alpha,
+            params.delta,
+            None
+        ),
         "upper extendable in {bc}"
     );
     let cand_l = fully_connected_lower_candidates(g, bc);
     assert!(
-        !exists_fair_extension(cl.as_slice(), cand_l.as_slice(), params.beta, params.delta, None),
+        !exists_fair_extension(
+            cl.as_slice(),
+            cand_l.as_slice(),
+            params.beta,
+            params.delta,
+            None
+        ),
         "lower extendable in {bc}"
     );
 }

@@ -5,7 +5,9 @@
 use bigraph::{BipartiteGraph, GraphBuilder};
 use fair_biclique::biclique::{Biclique, CollectSink};
 use fair_biclique::config::{Budget, FairParams, ProParams, PruneKind, RunConfig, VertexOrder};
-use fair_biclique::pipeline::{run_bsfbc, run_pbsfbc, run_pssfbc, run_ssfbc, BiAlgorithm, SsAlgorithm};
+use fair_biclique::pipeline::{
+    run_bsfbc, run_pbsfbc, run_pssfbc, run_ssfbc, BiAlgorithm, SsAlgorithm,
+};
 use fair_biclique::verify::{oracle_bsfbc, oracle_pbsfbc, oracle_pssfbc, oracle_ssfbc};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -43,7 +45,11 @@ fn collect_ss(
     prune: PruneKind,
     order: VertexOrder,
 ) -> BTreeSet<Biclique> {
-    let cfg = RunConfig { prune, order, budget: Budget::UNLIMITED };
+    let cfg = RunConfig {
+        prune,
+        order,
+        budget: Budget::UNLIMITED,
+    };
     let mut sink = CollectSink::default();
     run_ssfbc(g, params, algo, &cfg, &mut sink);
     let set: BTreeSet<Biclique> = sink.bicliques.iter().cloned().collect();

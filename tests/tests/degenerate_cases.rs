@@ -22,7 +22,14 @@ fn degenerate_params_reduce_to_maximal_biclique_enumeration() {
         let report = enumerate_ssfbc(&g, params, &RunConfig::default());
         let ssfbc: BTreeSet<Biclique> = report.bicliques.into_iter().collect();
         let mut sink = CollectSink::default();
-        maximal_bicliques(&g, 1, 1, VertexOrder::DegreeDesc, Budget::UNLIMITED, &mut sink);
+        maximal_bicliques(
+            &g,
+            1,
+            1,
+            VertexOrder::DegreeDesc,
+            Budget::UNLIMITED,
+            &mut sink,
+        );
         let mbe: BTreeSet<Biclique> = sink.bicliques.into_iter().collect();
         assert_eq!(ssfbc, mbe, "seed {seed}");
     }
@@ -32,15 +39,21 @@ fn degenerate_params_reduce_to_maximal_biclique_enumeration() {
 fn empty_and_tiny_graphs() {
     let empty = GraphBuilder::new(2, 2).build().unwrap();
     let params = FairParams::unchecked(1, 1, 1);
-    assert!(enumerate_ssfbc(&empty, params, &RunConfig::default()).bicliques.is_empty());
-    assert!(enumerate_bsfbc(&empty, params, &RunConfig::default()).bicliques.is_empty());
+    assert!(enumerate_ssfbc(&empty, params, &RunConfig::default())
+        .bicliques
+        .is_empty());
+    assert!(enumerate_bsfbc(&empty, params, &RunConfig::default())
+        .bicliques
+        .is_empty());
 
     // Single edge, both attrs 0 of a 2-value domain: beta=1 needs the
     // missing attribute value -> nothing.
     let mut b = GraphBuilder::new(2, 2);
     b.add_edge(0, 0);
     let g = b.build().unwrap();
-    assert!(enumerate_ssfbc(&g, params, &RunConfig::default()).bicliques.is_empty());
+    assert!(enumerate_ssfbc(&g, params, &RunConfig::default())
+        .bicliques
+        .is_empty());
 
     // Same edge with a single-value domain: {({0},{0})} is the unique
     // fair biclique.
@@ -112,7 +125,10 @@ fn all_same_attribute_on_fair_side_yields_nothing_for_beta_one() {
     b.set_attrs_lower(&[0, 0, 0, 0]);
     let g = b.build().unwrap();
     let report = enumerate_ssfbc(&g, FairParams::unchecked(1, 1, 4), &RunConfig::default());
-    assert!(report.bicliques.is_empty(), "missing attribute value can never reach beta=1");
+    assert!(
+        report.bicliques.is_empty(),
+        "missing attribute value can never reach beta=1"
+    );
 }
 
 #[test]
@@ -126,7 +142,10 @@ fn theta_at_half_forces_perfect_balance() {
             for &v in &bc.lower {
                 counts[g.attr(Side::Lower, v) as usize] += 1;
             }
-            assert_eq!(counts[0], counts[1], "theta=0.5 requires an even split: {bc}");
+            assert_eq!(
+                counts[0], counts[1],
+                "theta=0.5 requires an even split: {bc}"
+            );
         }
     }
 }
@@ -163,9 +182,18 @@ fn duplicate_edges_in_input_are_harmless() {
 #[test]
 fn zero_node_budget_aborts_immediately_without_panicking() {
     let g = bigraph::generate::random_uniform(10, 10, 50, 2, 2, 4);
-    let cfg = RunConfig { budget: Budget::nodes(0), ..RunConfig::default() };
+    let cfg = RunConfig {
+        budget: Budget::nodes(0),
+        ..RunConfig::default()
+    };
     let mut sink = CollectSink::default();
-    let (_, stats) = run_ssfbc(&g, FairParams::unchecked(1, 1, 1), SsAlgorithm::FairBcemPP, &cfg, &mut sink);
+    let (_, stats) = run_ssfbc(
+        &g,
+        FairParams::unchecked(1, 1, 1),
+        SsAlgorithm::FairBcemPP,
+        &cfg,
+        &mut sink,
+    );
     assert!(stats.aborted);
     assert!(sink.bicliques.is_empty());
 }
@@ -183,5 +211,8 @@ fn isolated_vertices_do_not_disturb_results() {
     b.ensure_vertices(30, 40); // plenty of isolated vertices
     let g = b.build().unwrap();
     let report = enumerate_ssfbc(&g, FairParams::unchecked(2, 2, 0), &RunConfig::default());
-    assert_eq!(report.bicliques, vec![Biclique::new(vec![0, 1, 2], vec![0, 1, 2, 3])]);
+    assert_eq!(
+        report.bicliques,
+        vec![Biclique::new(vec![0, 1, 2], vec![0, 1, 2, 3])]
+    );
 }

@@ -23,7 +23,13 @@ fn youtube_corpus_pipeline_finds_planted_structure() {
     let s = spec(Dataset::Youtube);
     let g = s.build();
     let mut sink = CountSink::default();
-    let (prune, stats) = run_ssfbc(&g, s.single_params(), SsAlgorithm::FairBcemPP, &default_cfg(), &mut sink);
+    let (prune, stats) = run_ssfbc(
+        &g,
+        s.single_params(),
+        SsAlgorithm::FairBcemPP,
+        &default_cfg(),
+        &mut sink,
+    );
     assert!(!stats.aborted, "scaled Youtube must finish in seconds");
     assert!(sink.count > 0, "planted blocks must yield SSFBCs");
     assert!(prune.remaining_vertices() < prune.upper_before + prune.lower_before);
@@ -34,7 +40,13 @@ fn youtube_corpus_bi_side_pipeline() {
     let s = spec(Dataset::Youtube);
     let g = s.build();
     let mut sink = CountSink::default();
-    let (_, stats) = run_bsfbc(&g, s.bi_params(), BiAlgorithm::BFairBcemPP, &default_cfg(), &mut sink);
+    let (_, stats) = run_bsfbc(
+        &g,
+        s.bi_params(),
+        BiAlgorithm::BFairBcemPP,
+        &default_cfg(),
+        &mut sink,
+    );
     assert!(!stats.aborted);
     assert!(sink.count > 0, "planted blocks must yield BSFBCs");
 }
@@ -45,9 +57,21 @@ fn fairbcem_pp_dominates_fairbcem_on_corpus() {
     let s = spec(Dataset::Youtube);
     let g = s.build();
     let mut a = CountSink::default();
-    let (_, slow) = run_ssfbc(&g, s.single_params(), SsAlgorithm::FairBcem, &default_cfg(), &mut a);
+    let (_, slow) = run_ssfbc(
+        &g,
+        s.single_params(),
+        SsAlgorithm::FairBcem,
+        &default_cfg(),
+        &mut a,
+    );
     let mut b = CountSink::default();
-    let (_, fast) = run_ssfbc(&g, s.single_params(), SsAlgorithm::FairBcemPP, &default_cfg(), &mut b);
+    let (_, fast) = run_ssfbc(
+        &g,
+        s.single_params(),
+        SsAlgorithm::FairBcemPP,
+        &default_cfg(),
+        &mut b,
+    );
     assert_eq!(a.count, b.count, "same result count");
     assert!(
         fast.nodes * 10 <= slow.nodes,
@@ -68,7 +92,10 @@ fn dblp_scale_pruning_is_fast_and_consistent() {
     assert!(c.stats.remaining_vertices() <= f.stats.remaining_vertices());
     // Pruning must preserve all results.
     let mut full = CountSink::default();
-    let cfg_none = RunConfig { prune: PruneKind::FCore, ..default_cfg() };
+    let cfg_none = RunConfig {
+        prune: PruneKind::FCore,
+        ..default_cfg()
+    };
     run_ssfbc(&g, p, SsAlgorithm::FairBcemPP, &cfg_none, &mut full);
     let mut pruned = CountSink::default();
     run_ssfbc(&g, p, SsAlgorithm::FairBcemPP, &default_cfg(), &mut pruned);
@@ -115,7 +142,11 @@ fn case_study_recommendation_bias_is_corrected() {
         let rg = recommendation_graph(&cs.graph, 10);
         let params = fair_biclique::config::FairParams::unchecked(2, 2, 1);
         let report = fair_biclique::pipeline::enumerate_ssfbc(&rg, params, &default_cfg());
-        assert!(!report.bicliques.is_empty(), "{}: no fair bicliques", cs.name);
+        assert!(
+            !report.bicliques.is_empty(),
+            "{}: no fair bicliques",
+            cs.name
+        );
         for bc in &report.bicliques {
             let mut tally = [0i64; 2];
             for &v in &bc.lower {
@@ -142,8 +173,20 @@ fn io_roundtrip_preserves_enumeration_results() {
     let g2 = bigraph::io::load_graph(&ep, Some(&up), Some(&lp), 2, 2).unwrap();
     let mut c1 = CountSink::default();
     let mut c2 = CountSink::default();
-    run_ssfbc(&g, s.single_params(), SsAlgorithm::FairBcemPP, &default_cfg(), &mut c1);
-    run_ssfbc(&g2, s.single_params(), SsAlgorithm::FairBcemPP, &default_cfg(), &mut c2);
+    run_ssfbc(
+        &g,
+        s.single_params(),
+        SsAlgorithm::FairBcemPP,
+        &default_cfg(),
+        &mut c1,
+    );
+    run_ssfbc(
+        &g2,
+        s.single_params(),
+        SsAlgorithm::FairBcemPP,
+        &default_cfg(),
+        &mut c2,
+    );
     assert_eq!(c1.count, c2.count);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -158,8 +201,20 @@ fn edge_sampling_scales_results_monotonically_in_structure() {
         let sub = bigraph::subgraph::sample_edges(&g, frac, 11);
         let mut a = CountSink::default();
         let mut b = CountSink::default();
-        run_ssfbc(&sub, s.single_params(), SsAlgorithm::FairBcem, &default_cfg(), &mut a);
-        run_ssfbc(&sub, s.single_params(), SsAlgorithm::FairBcemPP, &default_cfg(), &mut b);
+        run_ssfbc(
+            &sub,
+            s.single_params(),
+            SsAlgorithm::FairBcem,
+            &default_cfg(),
+            &mut a,
+        );
+        run_ssfbc(
+            &sub,
+            s.single_params(),
+            SsAlgorithm::FairBcemPP,
+            &default_cfg(),
+            &mut b,
+        );
         assert_eq!(a.count, b.count, "frac {frac}");
     }
 }

@@ -2,9 +2,7 @@
 //! subsets of a small attributed set, keep the fair & maximal ones by
 //! definition, and compare against `Combination` / `CombinationPro`.
 
-use fair_biclique::fairset::{
-    is_fair, is_fair_pro, max_fair_subsets, max_pro_fair_subsets,
-};
+use fair_biclique::fairset::{is_fair, is_fair_pro, max_fair_subsets, max_pro_fair_subsets};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 

@@ -21,7 +21,11 @@ fn parallel_matches_serial_on_youtube_corpus() {
     for threads in [2usize, 4, 8] {
         let par = par_enumerate_ssfbc(&g, params, &RunConfig::default(), threads);
         let got: BTreeSet<Biclique> = par.bicliques.iter().cloned().collect();
-        assert_eq!(got.len(), par.bicliques.len(), "threads {threads}: duplicates");
+        assert_eq!(
+            got.len(),
+            par.bicliques.len(),
+            "threads {threads}: duplicates"
+        );
         assert_eq!(got, serial, "threads {threads}");
     }
 }
@@ -36,10 +40,16 @@ fn attribute_skew_starves_fair_bicliques() {
     let mut counts = Vec::new();
     for p in [0.5, 0.2, 0.05, 0.0] {
         let g = bigraph::generate::with_skewed_lower_attrs(&base, p, 99);
-        let n = enumerate_ssfbc(&g, params, &RunConfig::default()).bicliques.len();
+        let n = enumerate_ssfbc(&g, params, &RunConfig::default())
+            .bicliques
+            .len();
         counts.push(n);
     }
-    assert_eq!(*counts.last().unwrap(), 0, "no minority vertices -> no fair bicliques");
+    assert_eq!(
+        *counts.last().unwrap(),
+        0,
+        "no minority vertices -> no fair bicliques"
+    );
     assert!(
         counts[0] >= counts[2],
         "balanced attrs should allow at least as many results as 5% skew: {counts:?}"

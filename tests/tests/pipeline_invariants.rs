@@ -18,7 +18,11 @@ fn ss_set(
     prune: PruneKind,
     order: VertexOrder,
 ) -> BTreeSet<Biclique> {
-    let cfg = RunConfig { prune, order, budget: Budget::UNLIMITED };
+    let cfg = RunConfig {
+        prune,
+        order,
+        budget: Budget::UNLIMITED,
+    };
     let mut sink = CollectSink::default();
     run_ssfbc(g, params, algo, &cfg, &mut sink);
     let set: BTreeSet<Biclique> = sink.bicliques.iter().cloned().collect();
@@ -31,8 +35,17 @@ fn ssfbc_agreement_across_algorithms_prunings_orderings() {
     for seed in 0..6u64 {
         let g = medium_graph(seed);
         let params = FairParams::unchecked(2, 2, 1);
-        let reference = ss_set(&g, params, SsAlgorithm::FairBcemPP, PruneKind::Colorful, VertexOrder::DegreeDesc);
-        assert!(!reference.is_empty(), "seed {seed} should have results (planted blocks)");
+        let reference = ss_set(
+            &g,
+            params,
+            SsAlgorithm::FairBcemPP,
+            PruneKind::Colorful,
+            VertexOrder::DegreeDesc,
+        );
+        assert!(
+            !reference.is_empty(),
+            "seed {seed} should have results (planted blocks)"
+        );
         for algo in [SsAlgorithm::FairBcem, SsAlgorithm::FairBcemPP] {
             for prune in [PruneKind::None, PruneKind::FCore, PruneKind::Colorful] {
                 for order in [VertexOrder::IdAsc, VertexOrder::DegreeDesc] {
@@ -51,7 +64,10 @@ fn ssfbc_agreement_across_algorithms_prunings_orderings() {
 fn ssfbc_results_satisfy_definition() {
     for seed in 10..16u64 {
         let g = medium_graph(seed);
-        for params in [FairParams::unchecked(2, 2, 1), FairParams::unchecked(3, 2, 2)] {
+        for params in [
+            FairParams::unchecked(2, 2, 1),
+            FairParams::unchecked(3, 2, 2),
+        ] {
             let report = enumerate_ssfbc(&g, params, &RunConfig::default());
             for bc in &report.bicliques {
                 assert_valid_ssfbc(&g, bc, params);
@@ -72,7 +88,11 @@ fn bsfbc_results_satisfy_definition_and_algorithms_agree() {
         let reference: BTreeSet<Biclique> = report.bicliques.into_iter().collect();
         for algo in [BiAlgorithm::BFairBcem, BiAlgorithm::BFairBcemPP] {
             for prune in [PruneKind::FCore, PruneKind::Colorful] {
-                let cfg = RunConfig { prune, order: VertexOrder::IdAsc, budget: Budget::UNLIMITED };
+                let cfg = RunConfig {
+                    prune,
+                    order: VertexOrder::IdAsc,
+                    budget: Budget::UNLIMITED,
+                };
                 let mut sink = CollectSink::default();
                 run_bsfbc(&g, params, algo, &cfg, &mut sink);
                 let got: BTreeSet<Biclique> = sink.bicliques.into_iter().collect();

@@ -1,0 +1,214 @@
+//! Minimal, self-contained stand-in for the `rand` crate (0.9 API
+//! subset). The build environment has no crates.io access, so the
+//! workspace vendors exactly the surface it uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::random_range`],
+//! [`Rng::random_bool`], and [`seq::SliceRandom::shuffle`].
+//!
+//! All output is deterministic in the seed. The generator is
+//! SplitMix64 — statistically solid for synthetic-graph generation and
+//! tests, but *not* stream-compatible with the real `rand` crate and
+//! not cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (the subset the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive integer
+    /// ranges, or a half-open `f64` range). Panics on empty ranges.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can be sampled from uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample. Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Multiply-shift bounded sampling (Lemire); unbiased
+                // enough for the small spans this workspace draws.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Slice sampling helpers.
+pub mod seq {
+    use crate::RngCore;
+
+    /// Random slice operations (only `shuffle` is provided).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let span = i as u64 + 1;
+                let j = ((rng.next_u64() as u128 * span as u128) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// One-stop imports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u16 = rng.random_range(0..2u16);
+            assert!(y < 2);
+            let f: f64 = rng.random_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+            let z: u32 = rng.random_range(5..=5u32);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,14 @@
+//! Vendored stand-in for `serde` (no crates.io access in this build
+//! environment). Provides the `Serialize` / `Deserialize` trait names
+//! and, under the `derive` feature, no-op derive macros, so annotated
+//! types compile unchanged. No serialization machinery is implemented
+//! — the workspace never serializes through serde today.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

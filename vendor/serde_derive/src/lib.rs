@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the vendored
+//! serde stand-in. Types keep their derive annotations and the macro
+//! names resolve, but no code is generated — the workspace never
+//! serializes through serde today (see `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
