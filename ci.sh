@@ -33,8 +33,10 @@ cargo test -q
 # the smoke steps against the debug profile and skip the bench build
 # so no release compilation happens at all.
 if [[ $quick -eq 0 ]]; then
-    step "cargo bench --no-run (all 11 bench targets must compile)"
+    step "cargo bench --no-run (all 12 bench targets must compile)"
     cargo bench --no-run
+    step "cargo bench --bench parallel_scaling --no-run (engine scaling target)"
+    cargo bench --bench parallel_scaling --no-run
     profile_flag=(--release)
 else
     profile_flag=()
@@ -45,5 +47,20 @@ cargo run "${profile_flag[@]}" --example quickstart >/dev/null
 
 step "smoke: cargo run --bin fbe -- --help"
 cargo run "${profile_flag[@]}" --bin fbe -- --help >/dev/null
+
+step "smoke: parallel engine — sorted output identical at 1 vs 4 threads"
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+cargo run "${profile_flag[@]}" --bin fbe -- \
+    generate --uniform 40,40,300 --seed 11 --out "$smokedir/g" >/dev/null
+cargo run "${profile_flag[@]}" --bin fbe -- \
+    enumerate "$smokedir/g" --alpha 2 --beta 1 --delta 1 --sorted --threads 1 \
+    > "$smokedir/t1.out"
+cargo run "${profile_flag[@]}" --bin fbe -- \
+    enumerate "$smokedir/g" --alpha 2 --beta 1 --delta 1 --sorted --threads 4 \
+    > "$smokedir/t4.out"
+diff "$smokedir/t1.out" "$smokedir/t4.out"
+cargo run "${profile_flag[@]}" --bin fbe -- \
+    maximum "$smokedir/g" --alpha 2 --beta 1 --delta 1 --threads 4 >/dev/null
 
 printf '\n\033[1;32mCI green.\033[0m\n'

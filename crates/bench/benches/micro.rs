@@ -65,6 +65,7 @@ fn bench_enumeration(c: &mut Criterion) {
         prune: PruneKind::Colorful,
         order: VertexOrder::DegreeDesc,
         budget: Budget::UNLIMITED,
+        ..RunConfig::default()
     };
     let mut group = c.benchmark_group("enumeration_youtube");
     group.sample_size(10);

@@ -80,6 +80,11 @@ fn main() {
         exp::ablation_pruning(&opts),
         "ablation",
     );
+    section(
+        "Exp-8: parallel engine scaling (extension)",
+        exp::exp8_parallel_scaling(&opts),
+        "parallel_scaling",
+    );
 
     println!("\nAll experiments done. TSVs written to target/experiments/.");
 }

@@ -54,6 +54,7 @@ fn cfg(opts: &Opts, order: VertexOrder) -> RunConfig {
         prune: PruneKind::Colorful,
         order,
         budget: Budget::time(opts.budget),
+        ..RunConfig::default()
     }
 }
 
@@ -732,6 +733,7 @@ pub fn ablation_pruning(opts: &Opts) -> Vec<Table> {
                 prune,
                 order: VertexOrder::DegreeDesc,
                 budget: Budget::time(opts.budget),
+                ..RunConfig::default()
             };
             let ((_, stats), t) = timed(|| {
                 run_ssfbc(
@@ -756,6 +758,7 @@ pub fn ablation_pruning(opts: &Opts) -> Vec<Table> {
                 prune,
                 order: VertexOrder::DegreeDesc,
                 budget: Budget::time(opts.budget),
+                ..RunConfig::default()
             };
             let ((_, stats), t) =
                 timed(|| run_bsfbc(&g, s.bi_params(), BiAlgorithm::BFairBcemPP, &c, &mut sink));
@@ -766,6 +769,81 @@ pub fn ablation_pruning(opts: &Opts) -> Vec<Table> {
         bi.push(row);
     }
     vec![ss, bi]
+}
+
+// ---------------------------------------------------------------
+// Exp-8: parallel engine scaling (extension; not in the paper).
+// ---------------------------------------------------------------
+
+/// Runtime of every miner on the work-stealing engine at 1/2/4/8
+/// worker threads (1 = the serial pipeline; all runs on one shared
+/// global budget).
+pub fn exp8_parallel_scaling(opts: &Opts) -> Vec<Table> {
+    use fair_biclique::maximum::{max_ssfbc, SizeMetric};
+    use fair_biclique::pipeline::{
+        enumerate_bsfbc, enumerate_pbsfbc, enumerate_pssfbc, enumerate_ssfbc,
+    };
+
+    let d = if opts.quick {
+        Dataset::Youtube
+    } else {
+        Dataset::Dblp
+    };
+    let s = spec(d);
+    let g = graph_for(d);
+    let threads = [1usize, 2, 4, 8];
+    let mut t = Table::new(
+        format!("Parallel scaling {d} (work-stealing engine, vary threads)"),
+        &["miner", "t=1(s)", "t=2(s)", "t=4(s)", "t=8(s)", "results"],
+    );
+    let params = s.single_params();
+    let bi = s.bi_params();
+    let pro = s.single_pro_params();
+    let bi_pro = s.bi_pro_params();
+    type Runner<'a> = Box<dyn Fn(&RunConfig) -> (usize, bool) + 'a>;
+    let report = |r: fair_biclique::pipeline::RunReport| (r.bicliques.len(), r.stats.aborted);
+    let miners: Vec<(&str, Runner)> = vec![
+        (
+            "FairBCEM++ (SSFBC)",
+            Box::new(|cfg: &RunConfig| report(enumerate_ssfbc(&g, params, cfg))),
+        ),
+        (
+            "BFairBCEM++ (BSFBC)",
+            Box::new(|cfg: &RunConfig| report(enumerate_bsfbc(&g, bi, cfg))),
+        ),
+        (
+            "FairBCEMPro++ (PSSFBC)",
+            Box::new(|cfg: &RunConfig| report(enumerate_pssfbc(&g, pro, cfg))),
+        ),
+        (
+            "BFairBCEMPro++ (PBSFBC)",
+            Box::new(|cfg: &RunConfig| report(enumerate_pbsfbc(&g, bi_pro, cfg))),
+        ),
+        (
+            "maximum (SSFBC)",
+            Box::new(|cfg: &RunConfig| {
+                let (best, _) = max_ssfbc(&g, params, SizeMetric::Vertices, cfg);
+                (usize::from(best.is_some()), false)
+            }),
+        ),
+    ];
+    for (name, run) in miners {
+        let mut row = vec![name.to_string()];
+        let mut count = 0usize;
+        for &n in &threads {
+            let cfg = RunConfig {
+                budget: Budget::time(opts.budget),
+                threads: n,
+                ..RunConfig::default()
+            };
+            let ((c, aborted), elapsed) = timed(|| run(&cfg));
+            count = c;
+            row.push(fmt_time(elapsed, aborted));
+        }
+        row.push(count.to_string());
+        t.push(row);
+    }
+    vec![t]
 }
 
 #[cfg(test)]
@@ -818,6 +896,14 @@ mod tests {
     fn table2_quick_runs() {
         let tables = exp2_table2(&quick_opts());
         assert_eq!(tables[0].rows.len(), 8);
+    }
+
+    #[test]
+    fn parallel_scaling_quick() {
+        let tables = exp8_parallel_scaling(&quick_opts());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 5, "one row per miner");
+        assert_eq!(tables[0].headers.len(), 6);
     }
 
     #[test]

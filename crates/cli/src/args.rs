@@ -1,7 +1,8 @@
-//! Hand-rolled argument parsing (no CLI dependency needed for four
+//! Hand-rolled argument parsing (no CLI dependency needed for five
 //! subcommands) producing a typed [`Command`].
 
 use fair_biclique::config::VertexOrder;
+use fair_biclique::maximum::SizeMetric;
 use fair_biclique::pipeline::{BiAlgorithm, SsAlgorithm};
 use fbe_datasets::corpus::Dataset;
 use std::time::Duration;
@@ -92,7 +93,30 @@ pub enum Command {
         top: Option<usize>,
         /// Per-run wall-clock budget.
         budget: Option<Duration>,
-        /// Worker threads (>1 uses the parallel FairBCEM++ driver).
+        /// Worker threads (>1 runs any model on the parallel engine).
+        threads: usize,
+        /// Sort results into the canonical deterministic order.
+        sorted: bool,
+    },
+    /// `fbe maximum`.
+    Maximum {
+        /// Input graph.
+        source: GraphSource,
+        /// `α`.
+        alpha: u32,
+        /// `β`.
+        beta: u32,
+        /// `δ`.
+        delta: u32,
+        /// Bi-side model.
+        bi: bool,
+        /// Size metric.
+        metric: SizeMetric,
+        /// Vertex ordering.
+        order: VertexOrder,
+        /// Per-run wall-clock budget.
+        budget: Option<Duration>,
+        /// Worker threads (>1 searches on the parallel engine).
         threads: usize,
     },
 }
@@ -163,6 +187,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "prune" => parse_prune(&mut c),
         "enumerate" => parse_enumerate(&mut c),
+        "maximum" => parse_maximum(&mut c),
         other => Err(format!("unknown subcommand {other:?}; try `fbe help`")),
     }
 }
@@ -287,6 +312,7 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
     let mut top = None;
     let mut budget = None;
     let mut threads = 1usize;
+    let mut sorted = false;
     while let Some(a) = c.next() {
         match a {
             "--alpha" => alpha = Some(parse_u32(c.value("--alpha")?, "--alpha")?),
@@ -336,6 +362,7 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
                     .parse::<usize>()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--sorted" => sorted = true,
             other => return Err(format!("enumerate: unknown argument {other:?}")),
         }
     }
@@ -359,6 +386,70 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
         order,
         count_only,
         top,
+        budget,
+        threads: threads.max(1),
+        sorted,
+    })
+}
+
+fn parse_maximum(c: &mut Cursor<'_>) -> Result<Command, String> {
+    let (source, _) = parse_source(c)?;
+    let mut alpha = None;
+    let mut beta = None;
+    let mut delta = None;
+    let mut bi = false;
+    let mut metric = SizeMetric::Vertices;
+    let mut order = VertexOrder::DegreeDesc;
+    let mut budget = None;
+    let mut threads = 1usize;
+    while let Some(a) = c.next() {
+        match a {
+            "--alpha" => alpha = Some(parse_u32(c.value("--alpha")?, "--alpha")?),
+            "--beta" => beta = Some(parse_u32(c.value("--beta")?, "--beta")?),
+            "--delta" => delta = Some(parse_u32(c.value("--delta")?, "--delta")?),
+            "--bi" => bi = true,
+            "--metric" => {
+                metric = match c.value("--metric")? {
+                    "vertices" | "v" => SizeMetric::Vertices,
+                    "edges" | "e" => SizeMetric::Edges,
+                    other => return Err(format!("--metric: unknown {other:?}")),
+                }
+            }
+            "--order" => {
+                order = match c.value("--order")? {
+                    "id" => VertexOrder::IdAsc,
+                    "degree" | "deg" => VertexOrder::DegreeDesc,
+                    other => return Err(format!("--order: unknown {other:?}")),
+                }
+            }
+            "--budget-secs" => {
+                budget = Some(Duration::from_secs(
+                    c.value("--budget-secs")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--budget-secs: {e}"))?,
+                ))
+            }
+            "--threads" => {
+                threads = c
+                    .value("--threads")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            other => return Err(format!("maximum: unknown argument {other:?}")),
+        }
+    }
+    let alpha = alpha.ok_or("maximum: --alpha required")?;
+    if alpha == 0 {
+        return Err("maximum: alpha must be >= 1".into());
+    }
+    Ok(Command::Maximum {
+        source,
+        alpha,
+        beta: beta.ok_or("maximum: --beta required")?,
+        delta: delta.ok_or("maximum: --delta required")?,
+        bi,
+        metric,
+        order,
         budget,
         threads: threads.max(1),
     })
@@ -452,6 +543,7 @@ mod tests {
             "7",
             "--threads",
             "4",
+            "--sorted",
         ]))
         .unwrap();
         match cmd {
@@ -466,6 +558,7 @@ mod tests {
                 top,
                 budget,
                 threads,
+                sorted,
                 ..
             } => {
                 assert_eq!((alpha, beta, delta), (3, 2, 1));
@@ -476,9 +569,52 @@ mod tests {
                 assert_eq!(top, Some(5));
                 assert_eq!(budget, Some(Duration::from_secs(7)));
                 assert_eq!(threads, 4);
+                assert!(sorted);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_maximum() {
+        let cmd = parse(&sv(&[
+            "maximum",
+            "g",
+            "--alpha",
+            "2",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--bi",
+            "--metric",
+            "edges",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Maximum {
+                alpha,
+                beta,
+                delta,
+                bi,
+                metric,
+                threads,
+                ..
+            } => {
+                assert_eq!((alpha, beta, delta), (2, 1, 1));
+                assert!(bi);
+                assert_eq!(metric, SizeMetric::Edges);
+                assert_eq!(threads, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&sv(&["maximum", "g", "--beta", "1", "--delta", "0"])).is_err());
+        assert!(parse(&sv(&[
+            "maximum", "g", "--alpha", "1", "--beta", "1", "--delta", "0", "--metric", "bogus",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -36,8 +36,23 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             top,
             budget,
             threads,
+            sorted,
         } => enumerate(
             &source, alpha, beta, delta, theta, bi, algo, order, count_only, top, budget, threads,
+            sorted,
+        ),
+        Command::Maximum {
+            source,
+            alpha,
+            beta,
+            delta,
+            bi,
+            metric,
+            order,
+            budget,
+            threads,
+        } => maximum(
+            &source, alpha, beta, delta, bi, metric, order, budget, threads,
         ),
     }
 }
@@ -161,6 +176,29 @@ fn prune(
     ))
 }
 
+/// Run the parallel engine for whichever model `(bi, pro)` selects,
+/// streaming into per-worker sinks built by `make_sink`.
+fn par_stream<S: fair_biclique::biclique::BicliqueSink + Send>(
+    g: &BipartiteGraph,
+    params: FairParams,
+    pro: Option<ProParams>,
+    bi: bool,
+    cfg: &RunConfig,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (
+    Vec<S>,
+    fair_biclique::fcore::PruneStats,
+    fair_biclique::biclique::EnumStats,
+) {
+    use fair_biclique::parallel::{par_run_bsfbc, par_run_pbsfbc, par_run_pssfbc, par_run_ssfbc};
+    match (bi, pro) {
+        (false, None) => par_run_ssfbc(g, params, cfg, make_sink),
+        (true, None) => par_run_bsfbc(g, params, cfg, make_sink),
+        (false, Some(p)) => par_run_pssfbc(g, p, cfg, make_sink),
+        (true, Some(p)) => par_run_pbsfbc(g, p, cfg, make_sink),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn enumerate(
     source: &GraphSource,
@@ -175,12 +213,15 @@ fn enumerate(
     top: Option<usize>,
     budget: Option<std::time::Duration>,
     threads: usize,
+    sorted: bool,
 ) -> Result<String, String> {
     let g = load(source)?;
     let params = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
     let cfg = RunConfig {
         order,
         budget: budget.map_or(Budget::UNLIMITED, Budget::time),
+        threads,
+        sorted,
         ..RunConfig::default()
     };
     let model = match (bi, theta.is_some()) {
@@ -189,35 +230,65 @@ fn enumerate(
         (true, false) => "BSFBC",
         (true, true) => "PBSFBC",
     };
+    let pro = match theta {
+        Some(t) => Some(ProParams::new(alpha, beta, delta, t).map_err(|e| e.to_string())?),
+        None => None,
+    };
 
-    // Parallel fast path: plain SSFBC with FairBCEM++ only.
-    if threads > 1 && !bi && theta.is_none() && algo == SsAlgorithm::FairBcemPP {
-        let report = fair_biclique::parallel::par_enumerate_ssfbc(&g, params, &cfg, threads);
-        return Ok(render(
-            model,
-            report.bicliques.len() as u64,
-            report.stats.aborted,
-            count_only,
-            top,
-            report.bicliques,
-        ));
+    // Multi-threaded runs go through the parallel engine (it works
+    // for every model); `--algo` selects among the serial algorithms
+    // only, so reject non-default choices.
+    if threads > 1 {
+        if algo != SsAlgorithm::FairBcemPP {
+            return Err("enumerate: --threads > 1 requires the default --algo bcem++".into());
+        }
+        // Counting and top-k stream into bounded per-worker sinks —
+        // no mode materializes more than it prints.
+        if count_only {
+            let (_, _, stats) = par_stream(&g, params, pro, bi, &cfg, &CountSink::default);
+            return Ok(render(
+                model,
+                stats.emitted,
+                stats.aborted,
+                true,
+                None,
+                Vec::new(),
+            ));
+        }
+        if let Some(k) = top {
+            let (sinks, _, stats) = par_stream(&g, params, pro, bi, &cfg, &|| TopKSink::new(k));
+            let mut merged = TopKSink::new(k);
+            for sink in sinks {
+                for bc in sink.into_sorted() {
+                    fair_biclique::biclique::BicliqueSink::emit(&mut merged, &bc.upper, &bc.lower);
+                }
+            }
+            return Ok(render(
+                model,
+                stats.emitted,
+                stats.aborted,
+                false,
+                Some(k),
+                merged.into_sorted(),
+            ));
+        }
+        let report = match (bi, pro) {
+            (false, None) => fair_biclique::pipeline::enumerate_ssfbc(&g, params, &cfg),
+            (true, None) => fair_biclique::pipeline::enumerate_bsfbc(&g, params, &cfg),
+            (false, Some(p)) => fair_biclique::pipeline::enumerate_pssfbc(&g, p, &cfg),
+            (true, Some(p)) => fair_biclique::pipeline::enumerate_pbsfbc(&g, p, &cfg),
+        };
+        let n = report.bicliques.len() as u64;
+        let aborted = report.stats.aborted;
+        return Ok(render(model, n, aborted, false, None, report.bicliques));
     }
 
     let run = |sink: &mut dyn fair_biclique::biclique::BicliqueSink| -> (u64, bool) {
-        let stats = match (bi, theta) {
+        let stats = match (bi, pro) {
             (false, None) => run_ssfbc(&g, params, algo, &cfg, sink).1,
             (true, None) => run_bsfbc(&g, params, bi_algo_of(algo), &cfg, sink).1,
-            (false, Some(t)) => {
-                let pro = ProParams::new(alpha, beta, delta, t).map_err(|e| e.to_string());
-                match pro {
-                    Ok(pro) => run_pssfbc(&g, pro, &cfg, sink).1,
-                    Err(_) => unreachable!("theta validated at parse time"),
-                }
-            }
-            (true, Some(t)) => {
-                let pro = ProParams::new(alpha, beta, delta, t).expect("validated");
-                run_pbsfbc(&g, pro, &cfg, sink).1
-            }
+            (false, Some(p)) => run_pssfbc(&g, p, &cfg, sink).1,
+            (true, Some(p)) => run_pbsfbc(&g, p, &cfg, sink).1,
         };
         (stats.emitted, stats.aborted)
     };
@@ -241,7 +312,47 @@ fn enumerate(
     }
     let mut sink = CollectSink::default();
     let (n, aborted) = run(&mut sink);
-    Ok(render(model, n, aborted, false, None, sink.bicliques))
+    let mut bicliques = sink.bicliques;
+    if sorted {
+        fair_biclique::results::canonical_order(&mut bicliques);
+    }
+    Ok(render(model, n, aborted, false, None, bicliques))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn maximum(
+    source: &GraphSource,
+    alpha: u32,
+    beta: u32,
+    delta: u32,
+    bi: bool,
+    metric: fair_biclique::maximum::SizeMetric,
+    order: VertexOrder,
+    budget: Option<std::time::Duration>,
+    threads: usize,
+) -> Result<String, String> {
+    let g = load(source)?;
+    let params = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
+    let cfg = RunConfig {
+        order,
+        budget: budget.map_or(Budget::UNLIMITED, Budget::time),
+        threads,
+        ..RunConfig::default()
+    };
+    let (best, _) = if bi {
+        fair_biclique::maximum::max_bsfbc(&g, params, metric, &cfg)
+    } else {
+        fair_biclique::maximum::max_ssfbc(&g, params, metric, &cfg)
+    };
+    let model = if bi { "BSFBC" } else { "SSFBC" };
+    Ok(match best {
+        Some(bc) => format!(
+            "maximum {model} ({metric:?}): |L|={} |R|={}\n  {bc}\n",
+            bc.upper.len(),
+            bc.lower.len()
+        ),
+        None => format!("maximum {model} ({metric:?}): none\n"),
+    })
 }
 
 fn render(

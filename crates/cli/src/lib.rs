@@ -8,7 +8,14 @@
 //! * `fbe prune` — run `FCore`/`CFCore` (or the bi-side variants) and
 //!   report the reduction;
 //! * `fbe enumerate` — enumerate SSFBC/BSFBC/PSSFBC/PBSFBC, printing
-//!   results, the top-k largest, or just the count.
+//!   results, the top-k largest, or just the count;
+//! * `fbe maximum` — the single largest fair biclique under a size
+//!   metric.
+//!
+//! Every mining subcommand takes `--threads <N>`: values above 1 run
+//! the model on the work-stealing parallel engine with a global
+//! budget ([`fair_biclique::parallel`]); `--sorted` makes enumerate
+//! output byte-identical across thread counts.
 //!
 //! The binary is a thin wrapper around [`run`], which is fully unit
 //! tested (argument parsing and command execution return strings).
@@ -30,6 +37,9 @@ USAGE:
   fbe enumerate <stem> --alpha <N> --beta <N> --delta <N>
         [--theta <F>] [--bi] [--algo <nsf|bcem|bcem++>]
         [--order <id|degree>] [--count-only] [--top <K>]
+        [--budget-secs <N>] [--threads <N>] [--sorted]
+  fbe maximum <stem> --alpha <N> --beta <N> --delta <N>
+        [--bi] [--metric <vertices|edges>] [--order <id|degree>]
         [--budget-secs <N>] [--threads <N>]
 
 A <stem> refers to the three files written by `fbe generate`:
@@ -37,12 +47,18 @@ A <stem> refers to the three files written by `fbe generate`:
 A bare edges file may be given instead (attributes default to value 0;
 combine with --attrs to declare domain sizes).
 
+--threads <N> with N > 1 runs any model (enumerate or maximum) on the
+work-stealing parallel engine; budgets stay global, and with --sorted
+the output is byte-identical across thread counts.
+
 EXAMPLES:
   fbe generate --dataset youtube --out /tmp/yt
   fbe stats /tmp/yt
   fbe prune /tmp/yt --alpha 8 --beta 8 --kind colorful
   fbe enumerate /tmp/yt --alpha 8 --beta 8 --delta 2 --top 3
   fbe enumerate /tmp/yt --alpha 5 --beta 5 --delta 2 --bi --count-only
+  fbe enumerate /tmp/yt --alpha 8 --beta 8 --delta 2 --threads 4 --sorted
+  fbe maximum /tmp/yt --alpha 8 --beta 8 --delta 2 --metric edges --threads 4
 ";
 
 /// Parse `argv` (without the program name) and execute, returning the
@@ -150,6 +166,99 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("SSFBC count"), "{out}");
+
+        // sorted output is byte-identical across thread counts
+        let base = sv(&[
+            "enumerate",
+            stem_s,
+            "--alpha",
+            "2",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--sorted",
+        ]);
+        let one = run(&base).unwrap();
+        for threads in ["2", "4"] {
+            let mut argv = base.clone();
+            argv.extend(sv(&["--threads", threads]));
+            assert_eq!(run(&argv).unwrap(), one, "threads {threads}");
+        }
+
+        // parallel count-only and top-k stream; results match serial
+        for extra in [vec!["--count-only"], vec!["--top", "2"]] {
+            let mut serial = sv(&[
+                "enumerate",
+                stem_s,
+                "--alpha",
+                "2",
+                "--beta",
+                "1",
+                "--delta",
+                "1",
+            ]);
+            serial.extend(sv(&extra));
+            let mut par = serial.clone();
+            par.extend(sv(&["--threads", "3"]));
+            assert_eq!(run(&par).unwrap(), run(&serial).unwrap(), "{extra:?}");
+        }
+
+        // bi-side parallel goes through the engine too
+        let out = run(&sv(&[
+            "enumerate",
+            stem_s,
+            "--alpha",
+            "1",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--bi",
+            "--threads",
+            "3",
+            "--count-only",
+        ]))
+        .unwrap();
+        assert!(out.contains("BSFBC count"), "{out}");
+
+        // maximum search, serial and parallel, agree
+        let m1 = run(&sv(&[
+            "maximum", stem_s, "--alpha", "2", "--beta", "1", "--delta", "1",
+        ]))
+        .unwrap();
+        let m4 = run(&sv(&[
+            "maximum",
+            stem_s,
+            "--alpha",
+            "2",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert!(m1.contains("maximum SSFBC"), "{m1}");
+        assert_eq!(m1, m4);
+
+        // --threads with a non-default algorithm is rejected
+        assert!(run(&sv(&[
+            "enumerate",
+            stem_s,
+            "--alpha",
+            "2",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--algo",
+            "nsf",
+            "--threads",
+            "2",
+        ]))
+        .is_err());
 
         // proportion
         let out = run(&sv(&[

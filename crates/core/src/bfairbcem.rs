@@ -16,19 +16,22 @@
 //! (`L' = N(R')`), and `Combination` emits each `l'` once.
 
 use crate::biclique::{BicliqueSink, EnumStats};
-use crate::config::{Budget, BudgetClock, FairParams, VertexOrder};
-use crate::fairbcem::fairbcem_on_pruned;
-use crate::fairbcem_pp::fairbcem_pp_on_pruned;
+use crate::config::{Budget, BudgetClock, BudgetLane, FairParams, SharedBudget, VertexOrder};
+use crate::fairbcem::fairbcem_with_clock;
+use crate::fairbcem_pp::fairbcem_pp_shared;
 use crate::fairset::{for_each_max_fair_subset, is_maximal_fair_subset, AttrCounts};
 use bigraph::{BipartiteGraph, Side, VertexId};
 
-/// A [`BicliqueSink`] adapter that receives SSFBCs and emits the
-/// BSFBCs contained in them (the body of Algorithm 9, lines 4–8).
+/// The upper-side expansion step of Algorithm 9 (lines 4–8): given an
+/// SSFBC `(L', R')`, emit the BSFBCs contained in it.
+///
+/// Holds no sink — callers pass one per call ([`BiChainSink`] wires
+/// it behind an SSFBC enumerator; the parallel engine gives each
+/// worker its own expander + sink pair).
 pub(crate) struct BiSideExpander<'a> {
     g: &'a BipartiteGraph,
     params: FairParams,
     n_attrs_l: usize,
-    sink: &'a mut dyn BicliqueSink,
     /// Budget over upper-side expansion steps (one `Combination` can
     /// be binomially large).
     clock: BudgetClock,
@@ -38,11 +41,12 @@ pub(crate) struct BiSideExpander<'a> {
 }
 
 impl<'a> BiSideExpander<'a> {
-    pub(crate) fn new(
+    /// Constructor taking an explicit clock — the parallel engine
+    /// hands every worker a clock drawing from one shared countdown.
+    pub(crate) fn with_clock(
         g: &'a BipartiteGraph,
         params: FairParams,
-        budget: Budget,
-        sink: &'a mut dyn BicliqueSink,
+        clock: BudgetClock,
     ) -> Self {
         let n_attrs_u = (g.n_attr_values(Side::Upper) as usize).max(1);
         let n_attrs_l = (g.n_attr_values(Side::Lower) as usize).max(1);
@@ -50,8 +54,7 @@ impl<'a> BiSideExpander<'a> {
             g,
             params,
             n_attrs_l,
-            sink,
-            clock: budget.start(),
+            clock,
             emitted: 0,
             groups: vec![Vec::new(); n_attrs_u],
         }
@@ -61,10 +64,8 @@ impl<'a> BiSideExpander<'a> {
     pub(crate) fn aborted(&self) -> bool {
         self.clock.exhausted
     }
-}
 
-impl BicliqueSink for BiSideExpander<'_> {
-    fn emit(&mut self, l: &[VertexId], r: &[VertexId]) {
+    pub(crate) fn expand(&mut self, l: &[VertexId], r: &[VertexId], sink: &mut dyn BicliqueSink) {
         if self.clock.exhausted {
             return;
         }
@@ -83,7 +84,6 @@ impl BicliqueSink for BiSideExpander<'_> {
         let g = self.g;
         let params = self.params;
         let n_attrs_l = self.n_attrs_l;
-        let sink = &mut *self.sink;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
         for_each_max_fair_subset(&group_refs, params.alpha, params.delta, &mut |l_sub| {
@@ -101,12 +101,29 @@ impl BicliqueSink for BiSideExpander<'_> {
                 }
                 cand.inc(attrs_l[v as usize]);
             }
-            if is_maximal_fair_subset(base.as_slice(), cand.as_slice(), params.beta, params.delta) {
+            if is_maximal_fair_subset(base.as_slice(), cand.as_slice(), params.beta, params.delta)
+                && clock.try_result()
+            {
                 sink.emit(l_sub, r);
                 *emitted += 1;
             }
             clock.tick()
         });
+    }
+}
+
+/// [`BicliqueSink`] adapter chaining an SSFBC enumerator into
+/// [`BiSideExpander::expand`] with a downstream sink.
+pub(crate) struct BiChainSink<'x, 'g> {
+    /// The bi-side expansion state.
+    pub(crate) exp: &'x mut BiSideExpander<'g>,
+    /// Where BSFBCs land.
+    pub(crate) sink: &'x mut dyn BicliqueSink,
+}
+
+impl BicliqueSink for BiChainSink<'_, '_> {
+    fn emit(&mut self, l: &[VertexId], r: &[VertexId]) {
+        self.exp.expand(l, r, self.sink);
     }
 }
 
@@ -118,8 +135,17 @@ pub fn bfairbcem_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    let mut expander = BiSideExpander::new(g, params, budget, sink);
-    let mut stats = fairbcem_on_pruned(g, params, order, budget, &mut expander);
+    // One shared budget across all stages: the SSFBC stage is
+    // intermediate (exempt from the result cap — only BSFBCs are
+    // final results), but any tripped limit stops the whole chain.
+    let shared = SharedBudget::new(budget);
+    let mut expander = BiSideExpander::with_clock(g, params, shared.clock(BudgetLane::Expand));
+    let mut chain = BiChainSink {
+        exp: &mut expander,
+        sink,
+    };
+    let inner_clock = shared.clock(BudgetLane::Walk).exempt_results();
+    let mut stats = fairbcem_with_clock(g, params, order, inner_clock, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
     stats
@@ -133,8 +159,13 @@ pub fn bfairbcem_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    let mut expander = BiSideExpander::new(g, params, budget, sink);
-    let mut stats = fairbcem_pp_on_pruned(g, params, order, budget, &mut expander);
+    let shared = SharedBudget::new(budget);
+    let mut expander = BiSideExpander::with_clock(g, params, shared.clock(BudgetLane::Expand));
+    let mut chain = BiChainSink {
+        exp: &mut expander,
+        sink,
+    };
+    let mut stats = fairbcem_pp_shared(g, params, order, &shared, true, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
     stats

@@ -1,6 +1,8 @@
 //! Parameters and run configuration for the fair biclique models.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The three integer thresholds of the absolute fairness models
@@ -121,14 +123,22 @@ pub enum VertexOrder {
 /// Resource limits for a single enumeration run.
 ///
 /// The paper uses a 24-hour wall-clock limit and prints `INF` for runs
-/// that exceed it; [`Budget`] supports both a deadline and a
-/// deterministic search-node cap (the latter is what tests use).
+/// that exceed it; [`Budget`] supports a deadline, a deterministic
+/// search-node cap (what most tests use), and a hard cap on emitted
+/// results.
+///
+/// All three limits are **global** to a run: a multi-threaded run
+/// draws every worker's ticks from one shared countdown (see
+/// [`crate::parallel`]), so `max_results = K` yields at most `K`
+/// results regardless of the thread count.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Budget {
     /// Abort after visiting this many search-tree nodes.
     pub max_nodes: Option<u64>,
     /// Abort after this much wall-clock time.
     pub max_time: Option<Duration>,
+    /// Emit at most this many results, then abort.
+    pub max_results: Option<u64>,
 }
 
 impl Budget {
@@ -136,21 +146,30 @@ impl Budget {
     pub const UNLIMITED: Budget = Budget {
         max_nodes: None,
         max_time: None,
+        max_results: None,
     };
 
     /// Only a node cap.
     pub fn nodes(max_nodes: u64) -> Budget {
         Budget {
             max_nodes: Some(max_nodes),
-            max_time: None,
+            ..Self::UNLIMITED
         }
     }
 
     /// Only a wall-clock cap.
     pub fn time(max_time: Duration) -> Budget {
         Budget {
-            max_nodes: None,
             max_time: Some(max_time),
+            ..Self::UNLIMITED
+        }
+    }
+
+    /// Only a result cap: emit at most `max_results` results.
+    pub fn results(max_results: u64) -> Budget {
+        Budget {
+            max_results: Some(max_results),
+            ..Self::UNLIMITED
         }
     }
 
@@ -160,20 +179,133 @@ impl Budget {
             deadline: self.max_time.map(|d| Instant::now() + d),
             nodes: 0,
             exhausted: false,
+            max_results: self.max_results.unwrap_or(u64::MAX),
+            results: 0,
+            results_exempt: false,
+            shared: None,
         }
     }
 }
 
+/// Which shared countdown a clock's node ticks draw from.
+///
+/// Mirroring the serial enumerators — where the maximal-biclique
+/// walker and the combinatorial expander each start their own
+/// [`BudgetClock`] from the same [`Budget`] — a shared budget keeps
+/// two independent node countdowns, one per role. Results always
+/// share a single countdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BudgetLane {
+    /// Search-tree nodes of the maximal-biclique walk.
+    Walk,
+    /// Expansion steps (`Combination` subsets and fair-set checks).
+    Expand,
+}
+
+/// Atomic countdowns shared by every worker of a parallel run.
+///
+/// `tick`/`try_result` acquire from these *before* doing work, so the
+/// totals are exact: across all workers at most `max_nodes` node
+/// ticks succeed per lane and at most `max_results` results are
+/// emitted, regardless of the thread count. Once any limit trips, the
+/// sticky `exhausted` flag stops every other worker at its next tick.
+#[derive(Debug)]
+pub(crate) struct SharedBudget {
+    walk_nodes: AtomicU64,
+    expand_nodes: AtomicU64,
+    results: AtomicU64,
+    max_nodes: u64,
+    max_results: u64,
+    deadline: Option<Instant>,
+    exhausted: AtomicBool,
+}
+
+impl SharedBudget {
+    pub(crate) fn new(budget: Budget) -> Arc<SharedBudget> {
+        Arc::new(SharedBudget {
+            walk_nodes: AtomicU64::new(0),
+            expand_nodes: AtomicU64::new(0),
+            results: AtomicU64::new(0),
+            max_nodes: budget.max_nodes.unwrap_or(u64::MAX),
+            max_results: budget.max_results.unwrap_or(u64::MAX),
+            deadline: budget.max_time.map(|d| Instant::now() + d),
+            exhausted: AtomicBool::new(false),
+        })
+    }
+
+    /// A worker-local clock drawing node ticks from `lane`.
+    pub(crate) fn clock(self: &Arc<Self>, lane: BudgetLane) -> BudgetClock {
+        BudgetClock {
+            max_nodes: u64::MAX, // enforced via the shared countdown
+            deadline: self.deadline,
+            nodes: 0,
+            exhausted: false,
+            max_results: u64::MAX,
+            results: 0,
+            results_exempt: false,
+            shared: Some((Arc::clone(self), lane)),
+        }
+    }
+
+    /// True once any global limit has tripped.
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    fn trip(&self) {
+        self.exhausted.store(true, Ordering::Relaxed);
+    }
+
+    /// Acquire one node tick from `lane`; false when the cap is spent.
+    fn acquire_node(&self, lane: BudgetLane) -> bool {
+        let ctr = match lane {
+            BudgetLane::Walk => &self.walk_nodes,
+            BudgetLane::Expand => &self.expand_nodes,
+        };
+        if ctr.fetch_add(1, Ordering::Relaxed) >= self.max_nodes {
+            self.trip();
+            return false;
+        }
+        true
+    }
+
+    /// Acquire the right to emit one result; false when spent.
+    fn acquire_result(&self) -> bool {
+        if self.results.fetch_add(1, Ordering::Relaxed) >= self.max_results {
+            self.trip();
+            return false;
+        }
+        true
+    }
+}
+
 /// Running budget state threaded through the enumerators.
+///
+/// Standalone by default; [`SharedBudget::clock`] produces clocks
+/// whose ticks draw from a run-global atomic countdown instead, so
+/// concurrent workers stop together. `nodes` always counts this
+/// clock's local tick attempts (per-worker statistics).
 #[derive(Debug, Clone)]
 pub(crate) struct BudgetClock {
     max_nodes: u64,
     deadline: Option<Instant>,
     pub(crate) nodes: u64,
     pub(crate) exhausted: bool,
+    max_results: u64,
+    results: u64,
+    /// When set, `try_result` does not draw from the result budget
+    /// (this clock feeds an intermediate stage, not final output).
+    results_exempt: bool,
+    shared: Option<(Arc<SharedBudget>, BudgetLane)>,
 }
 
 impl BudgetClock {
+    /// This clock with result accounting disabled (intermediate
+    /// stages still honor node/time limits and the global stop flag).
+    pub(crate) fn exempt_results(mut self) -> Self {
+        self.results_exempt = true;
+        self
+    }
     /// Record one search node; returns false when the budget is spent.
     #[inline]
     pub(crate) fn tick(&mut self) -> bool {
@@ -181,7 +313,12 @@ impl BudgetClock {
             return false;
         }
         self.nodes += 1;
-        if self.nodes > self.max_nodes {
+        if let Some((shared, lane)) = &self.shared {
+            if shared.is_exhausted() || !shared.acquire_node(*lane) {
+                self.exhausted = true;
+                return false;
+            }
+        } else if self.nodes > self.max_nodes {
             self.exhausted = true;
             return false;
         }
@@ -190,16 +327,51 @@ impl BudgetClock {
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     self.exhausted = true;
+                    if let Some((shared, _)) = &self.shared {
+                        shared.trip();
+                    }
                     return false;
                 }
             }
         }
         true
     }
+
+    /// Acquire the right to emit one result. Emission sites call this
+    /// *before* `sink.emit`, so a result cap of `K` yields exactly
+    /// `min(K, total)` results — globally, when the clock is shared.
+    #[inline]
+    pub(crate) fn try_result(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if self.results_exempt {
+            if let Some((shared, _)) = &self.shared {
+                if shared.is_exhausted() {
+                    self.exhausted = true;
+                    return false;
+                }
+            }
+            return true;
+        }
+        if let Some((shared, _)) = &self.shared {
+            if shared.is_exhausted() || !shared.acquire_result() {
+                self.exhausted = true;
+                return false;
+            }
+        } else {
+            if self.results >= self.max_results {
+                self.exhausted = true;
+                return false;
+            }
+            self.results += 1;
+        }
+        true
+    }
 }
 
 /// Full configuration of an enumeration run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Pruning stage (default: colorful core, the paper's setting).
     pub prune: PruneKind,
@@ -207,6 +379,35 @@ pub struct RunConfig {
     pub order: VertexOrder,
     /// Resource limits (default: unlimited).
     pub budget: Budget,
+    /// Worker threads for the collected pipelines (default 1 =
+    /// serial). Values above 1 run `FairBCEM++` / `BFairBCEM++` / the
+    /// proportion enumerators / maximum search on the work-stealing
+    /// engine in [`crate::parallel`]. The engine clamps the actual
+    /// worker count to the available work and a hard cap of 512.
+    pub threads: usize,
+    /// Opt-in deterministic output: sort results into the canonical
+    /// order ([`crate::results::canonical_order`]) so collected runs
+    /// are byte-identical across thread counts (default off —
+    /// discovery order).
+    pub sorted: bool,
+    /// Enumeration-tree depth down to which the parallel engine
+    /// re-splits subtrees into stealable tasks (default 1: top-level
+    /// branches only). Raise for skewed instances where a handful of
+    /// top-level branches dominate the work. Ignored by serial runs.
+    pub split_depth: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            prune: PruneKind::default(),
+            order: VertexOrder::default(),
+            budget: Budget::default(),
+            threads: 1,
+            sorted: false,
+            split_depth: 1,
+        }
+    }
 }
 
 impl RunConfig {
@@ -222,6 +423,14 @@ impl RunConfig {
     pub fn with_prune(prune: PruneKind) -> Self {
         RunConfig {
             prune,
+            ..Default::default()
+        }
+    }
+
+    /// Config with everything default except the worker thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        RunConfig {
+            threads: threads.max(1),
             ..Default::default()
         }
     }
@@ -284,6 +493,80 @@ mod tests {
             }
         }
         assert!(!ok);
+    }
+
+    #[test]
+    fn budget_result_cap_is_exact() {
+        let mut c = Budget::results(2).start();
+        assert!(c.try_result());
+        assert!(c.try_result());
+        assert!(!c.try_result(), "third result must be refused");
+        assert!(c.exhausted);
+        assert!(!c.tick(), "exhaustion is sticky across limits");
+
+        let mut z = Budget::results(0).start();
+        assert!(!z.try_result(), "zero budget admits nothing");
+    }
+
+    #[test]
+    fn unlimited_results_never_trip() {
+        let mut c = Budget::UNLIMITED.start();
+        for _ in 0..10_000 {
+            assert!(c.try_result());
+        }
+        assert!(!c.exhausted);
+    }
+
+    #[test]
+    fn shared_budget_counts_globally() {
+        let shared = SharedBudget::new(Budget::nodes(5));
+        let mut a = shared.clock(BudgetLane::Walk);
+        let mut b = shared.clock(BudgetLane::Walk);
+        let mut ok = 0;
+        for _ in 0..4 {
+            ok += usize::from(a.tick());
+            ok += usize::from(b.tick());
+        }
+        assert_eq!(ok, 5, "exactly max_nodes ticks succeed across clocks");
+        assert!(shared.is_exhausted());
+        assert!(!shared.clock(BudgetLane::Walk).tick(), "new clocks see it");
+        // The expand lane has its own countdown but shares the trip.
+        assert!(!shared.clock(BudgetLane::Expand).tick());
+    }
+
+    #[test]
+    fn shared_budget_lanes_are_independent() {
+        let shared = SharedBudget::new(Budget::nodes(3));
+        let mut w = shared.clock(BudgetLane::Walk);
+        let mut e = shared.clock(BudgetLane::Expand);
+        for _ in 0..3 {
+            assert!(w.tick());
+            assert!(e.tick());
+        }
+        assert!(!shared.is_exhausted(), "3 + 3 ticks fit in separate lanes");
+    }
+
+    #[test]
+    fn shared_budget_results_are_exact_across_clocks() {
+        let shared = SharedBudget::new(Budget::results(3));
+        let mut a = shared.clock(BudgetLane::Expand);
+        let mut b = shared.clock(BudgetLane::Expand);
+        let mut emitted = 0;
+        for _ in 0..10 {
+            emitted += usize::from(a.try_result());
+            emitted += usize::from(b.try_result());
+        }
+        assert_eq!(emitted, 3);
+    }
+
+    #[test]
+    fn run_config_defaults() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.threads, 1);
+        assert!(!cfg.sorted);
+        assert_eq!(cfg.split_depth, 1);
+        assert_eq!(RunConfig::with_threads(0).threads, 1);
+        assert_eq!(RunConfig::with_threads(7).threads, 7);
     }
 
     #[test]

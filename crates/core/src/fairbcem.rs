@@ -39,13 +39,25 @@ pub fn fairbcem_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
+    fairbcem_with_clock(g, params, order, budget.start(), sink)
+}
+
+/// [`fairbcem_on_pruned`] with an explicit clock — bi-side drivers
+/// hand in a shared-budget clock so the whole chain stops together.
+pub(crate) fn fairbcem_with_clock(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    clock: BudgetClock,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
     let mut search = Search {
         g,
         params,
         n_attrs: (g.n_attr_values(Side::Lower) as usize).max(1),
         attrs: g.attrs(Side::Lower),
         sink,
-        clock: budget.start(),
+        clock,
         emitted: 0,
         cur_bytes: 0,
         peak_bytes: 0,
@@ -167,7 +179,8 @@ impl Search<'_> {
                         cand.as_slice(),
                         self.params.beta,
                         self.params.delta,
-                    ) {
+                    ) && self.clock.try_result()
+                    {
                         let mut r_sorted = r.clone();
                         r_sorted.sort_unstable();
                         self.sink.emit(&l_new, &r_sorted);

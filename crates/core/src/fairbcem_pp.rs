@@ -20,10 +20,11 @@
 //! subsets with `N(R*) = L*`.
 
 use crate::biclique::{BicliqueSink, EnumStats};
-use crate::config::{Budget, BudgetClock, FairParams, VertexOrder};
+use crate::config::{Budget, BudgetClock, BudgetLane, FairParams, SharedBudget, VertexOrder};
 use crate::fairset::{for_each_max_fair_subset, is_fair, AttrCounts};
-use crate::mbea::{walk_maximal_bicliques, RBound};
+use crate::mbea::{root_task, RBound, Walker};
 use bigraph::{intersect_sorted_into, BipartiteGraph, Side, VertexId};
+use std::sync::Arc;
 
 /// Run `FairBCEM++` on `g` (assumed already pruned; fair side = lower).
 pub fn fairbcem_pp_on_pruned(
@@ -33,18 +34,40 @@ pub fn fairbcem_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    let mut expander = SsExpander::new(g, params, budget);
-    let mut stats = walk_maximal_bicliques(
+    fairbcem_pp_shared(g, params, order, &SharedBudget::new(budget), false, sink)
+}
+
+/// `FairBCEM++` with walker and expander clocks drawn from one shared
+/// budget, so *any* exhausted limit — including the result cap, which
+/// only the expander's clock consumes — stops the whole walk.
+/// `intermediate` exempts emissions from the result budget (bi-side
+/// chains: SSFBCs feeding an upper-side expansion are not final
+/// results).
+pub(crate) fn fairbcem_pp_shared(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    shared: &Arc<SharedBudget>,
+    intermediate: bool,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let expand_clock = if intermediate {
+        shared.clock(BudgetLane::Expand).exempt_results()
+    } else {
+        shared.clock(BudgetLane::Expand)
+    };
+    let mut expander = SsExpander::with_clock(g, params, expand_clock);
+    let mut walker = Walker::new(
         g,
         params.alpha as usize,
         RBound::AttrBeta {
             attrs: g.attrs(Side::Lower),
             beta: params.beta,
         },
-        order,
-        budget,
-        &mut |l, r| expander.expand(l, r, sink),
+        shared.clock(BudgetLane::Walk),
     );
+    walker.run(root_task(g, order), &mut |l, r| expander.expand(l, r, sink));
+    let mut stats = walker.stats();
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
     stats
@@ -68,7 +91,13 @@ pub(crate) struct SsExpander<'a> {
 }
 
 impl<'a> SsExpander<'a> {
-    pub(crate) fn new(g: &'a BipartiteGraph, params: FairParams, budget: Budget) -> Self {
+    /// Constructor taking an explicit clock — the parallel engine
+    /// hands every worker a clock drawing from one shared countdown.
+    pub(crate) fn with_clock(
+        g: &'a BipartiteGraph,
+        params: FairParams,
+        clock: BudgetClock,
+    ) -> Self {
         let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
         SsExpander {
             g,
@@ -76,7 +105,7 @@ impl<'a> SsExpander<'a> {
             attrs: g.attrs(Side::Lower),
             n_attrs,
             groups: vec![Vec::new(); n_attrs],
-            clock: budget.start(),
+            clock,
             emitted: 0,
         }
     }
@@ -93,8 +122,10 @@ impl<'a> SsExpander<'a> {
         }
         let counts = AttrCounts::of(r, self.attrs, self.n_attrs);
         if is_fair(counts.as_slice(), self.params.beta, self.params.delta) {
-            sink.emit(l, r);
-            self.emitted += 1;
+            if self.clock.try_result() {
+                sink.emit(l, r);
+                self.emitted += 1;
+            }
             self.clock.tick();
             return;
         }
@@ -117,7 +148,7 @@ impl<'a> SsExpander<'a> {
                 // With beta = 0 the unique maximal fair subset can be
                 // empty (e.g. counts (3,0) at delta 0); an empty fair
                 // side is a degenerate non-result in every model.
-                if !r_sub.is_empty() && closure_equals(g, r_sub, l) {
+                if !r_sub.is_empty() && closure_equals(g, r_sub, l) && clock.try_result() {
                     sink.emit(l, r_sub);
                     *emitted += 1;
                 }

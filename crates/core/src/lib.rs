@@ -19,8 +19,10 @@
 //! * **Verification** — brute-force oracles ([`verify`]) used by the
 //!   test suite to certify every enumerator on thousands of random
 //!   graphs.
-//! * **Extensions** — multi-threaded `FairBCEM++` ([`parallel`]) and
-//!   maximum fair biclique search ([`maximum`]).
+//! * **Extensions** — a work-stealing parallel enumeration engine
+//!   driving all of the `++` miners and maximum search ([`parallel`];
+//!   opt in with [`config::RunConfig::threads`]), and maximum fair
+//!   biclique search ([`maximum`]).
 //!
 //! ## Quickstart
 //!

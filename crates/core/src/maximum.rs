@@ -80,25 +80,38 @@ impl BicliqueSink for MaxSink {
 
 /// The largest single-side fair biclique of `g` under `metric`
 /// (`None` when no SSFBC exists). Exact; runs the `FairBCEM++`
-/// pipeline under the hood.
+/// pipeline under the hood. `cfg.threads > 1` searches on the
+/// parallel engine ([`crate::parallel`]) with per-worker best-so-far
+/// sinks merged under the same deterministic tie-break.
 pub fn max_ssfbc(
     g: &BipartiteGraph,
     params: FairParams,
     metric: SizeMetric,
     cfg: &RunConfig,
 ) -> (Option<Biclique>, PruneStats) {
+    if cfg.threads > 1 {
+        let pruned = crate::pipeline::prune_single_side(g, params, cfg.prune);
+        let sink = crate::parallel::par_max_ssfbc(&pruned, params, metric, cfg);
+        return (sink.best, pruned.stats);
+    }
     let mut sink = MaxSink::new(metric);
     let (prune, _) = run_ssfbc(g, params, SsAlgorithm::FairBcemPP, cfg, &mut sink);
     (sink.best, prune)
 }
 
 /// The largest bi-side fair biclique of `g` under `metric`.
+/// `cfg.threads > 1` searches on the parallel engine.
 pub fn max_bsfbc(
     g: &BipartiteGraph,
     params: FairParams,
     metric: SizeMetric,
     cfg: &RunConfig,
 ) -> (Option<Biclique>, PruneStats) {
+    if cfg.threads > 1 {
+        let pruned = crate::pipeline::prune_bi_side(g, params, cfg.prune);
+        let sink = crate::parallel::par_max_bsfbc(&pruned, params, metric, cfg);
+        return (sink.best, pruned.stats);
+    }
     let mut sink = MaxSink::new(metric);
     let (prune, _) = run_bsfbc(g, params, BiAlgorithm::BFairBcemPP, cfg, &mut sink);
     (sink.best, prune)

@@ -22,6 +22,7 @@ use crate::ordering::side_order;
 use bigraph::{intersect_sorted_count, intersect_sorted_into, BipartiteGraph, Side, VertexId};
 
 /// How to prune branches on the reachable size of `R`.
+#[derive(Clone, Copy)]
 pub(crate) enum RBound<'a> {
     /// Plain size bound: `|R'| + |P'| ≥ min_r`.
     Size(usize),
@@ -63,56 +64,51 @@ pub(crate) fn walk_maximal_bicliques(
     budget: Budget,
     visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
 ) -> EnumStats {
-    let p = side_order(g, Side::Lower, order);
-    walk_maximal_bicliques_from(g, min_l, rbound, budget, p, Vec::new(), usize::MAX, visit)
+    let mut w = Walker::new(g, min_l, rbound, budget.start());
+    w.run(root_task(g, order), visit);
+    w.stats()
 }
 
-/// Like [`walk_maximal_bicliques`] but starting from an explicit
-/// candidate list `p` and already-expanded list `q`, and processing at
-/// most `root_limit` branches at the root level.
+/// One independent unit of enumeration work: the subtree rooted at
+/// search state `(L, R, P, Q)`.
 ///
-/// This is the unit of work of the parallel driver: task `i` runs
-/// `(p[i..], q = p[..i], root_limit = 1)`, which explores exactly the
-/// serial tree's `i`-th top-level branch (the duplicate-suppression
-/// `q` makes branches independent).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn walk_maximal_bicliques_from(
-    g: &BipartiteGraph,
-    min_l: usize,
-    rbound: RBound<'_>,
-    budget: Budget,
-    p: Vec<VertexId>,
-    q: Vec<VertexId>,
-    root_limit: usize,
-    visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
-) -> EnumStats {
-    assert!(min_l >= 1, "min_l must be positive");
-    let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
-    let mut w = Walker {
-        g,
-        min_l,
-        rbound,
-        attrs: g.attrs(Side::Lower),
-        clock: budget.start(),
-        visited: 0,
-        cur_bytes: 0,
-        peak_bytes: 0,
-        root_limit,
-        visit,
-    };
-    let l: Vec<VertexId> = (0..g.n_upper() as VertexId).collect();
-    let mut r: Vec<VertexId> = Vec::new();
-    let mut r_counts = AttrCounts::zeros(n_attrs);
-    w.rec(&l, &mut r, &mut r_counts, p, &q, 0);
-    EnumStats {
-        nodes: w.clock.nodes,
-        emitted: w.visited,
-        aborted: w.clock.exhausted,
-        peak_search_bytes: w.peak_bytes,
+/// Tasks are exactly the states the serial walker passes to its
+/// recursive calls, so executing every spawned task visits exactly
+/// the serial tree — same maximal bicliques, same node count. The
+/// duplicate-suppression set `q` makes tasks independent: the
+/// fully-connected-`Q` check kills exactly the subtrees the serial
+/// algorithm never enters.
+#[derive(Debug, Clone)]
+pub(crate) struct BranchTask {
+    /// Upper side `L` of the subtree root (sorted).
+    pub(crate) l: Vec<VertexId>,
+    /// Fair-side vertices `R` chosen so far (discovery order).
+    pub(crate) r: Vec<VertexId>,
+    /// Remaining candidates, in processing order.
+    pub(crate) p: Vec<VertexId>,
+    /// Expanded/consumed vertices (duplicate suppression).
+    pub(crate) q: Vec<VertexId>,
+    /// Enumeration-tree depth of this subtree's root (root = 0).
+    pub(crate) depth: u32,
+}
+
+/// The whole-graph root task under `order`.
+pub(crate) fn root_task(g: &BipartiteGraph, order: VertexOrder) -> BranchTask {
+    BranchTask {
+        l: (0..g.n_upper() as VertexId).collect(),
+        r: Vec::new(),
+        p: side_order(g, Side::Lower, order),
+        q: Vec::new(),
+        depth: 0,
     }
 }
 
-struct Walker<'a> {
+/// Reusable maximal-biclique walker over [`BranchTask`]s.
+///
+/// A parallel worker keeps one `Walker` for its whole run: the clock
+/// (possibly drawing from a shared budget) and the statistics
+/// accumulate across every task it executes.
+pub(crate) struct Walker<'a> {
     g: &'a BipartiteGraph,
     min_l: usize,
     rbound: RBound<'a>,
@@ -121,14 +117,96 @@ struct Walker<'a> {
     visited: u64,
     cur_bytes: usize,
     peak_bytes: usize,
-    root_limit: usize,
-    visit: &'a mut dyn FnMut(&[VertexId], &[VertexId]),
 }
 
-impl Walker<'_> {
-    /// `BackTrackFBCEM++` skeleton. `p` is consumed in order; `q` holds
-    /// expanded/consumed vertices.
-    fn rec(
+impl<'a> Walker<'a> {
+    pub(crate) fn new(
+        g: &'a BipartiteGraph,
+        min_l: usize,
+        rbound: RBound<'a>,
+        clock: BudgetClock,
+    ) -> Self {
+        assert!(min_l >= 1, "min_l must be positive");
+        Walker {
+            g,
+            min_l,
+            rbound,
+            attrs: g.attrs(Side::Lower),
+            clock,
+            visited: 0,
+            cur_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Statistics accumulated over every task run so far. `emitted`
+    /// counts *visited maximal bicliques* (drivers overwrite it with
+    /// their own emission counts).
+    pub(crate) fn stats(&self) -> EnumStats {
+        EnumStats {
+            nodes: self.clock.nodes,
+            emitted: self.visited,
+            aborted: self.clock.exhausted,
+            peak_search_bytes: self.peak_bytes,
+        }
+    }
+
+    /// Execute `task` to completion, recursing into its subtree.
+    pub(crate) fn run(
+        &mut self,
+        task: BranchTask,
+        visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
+    ) {
+        self.execute(task, visit, None);
+    }
+
+    /// Execute only `task`'s top level, handing each child subtree to
+    /// `spawn` instead of recursing (the engine's re-splitting mode).
+    pub(crate) fn split(
+        &mut self,
+        task: BranchTask,
+        visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
+        spawn: &mut dyn FnMut(BranchTask),
+    ) {
+        self.execute(task, visit, Some(spawn));
+    }
+
+    fn execute(
+        &mut self,
+        task: BranchTask,
+        visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
+        spawn: Option<&mut dyn FnMut(BranchTask)>,
+    ) {
+        let n_attrs = (self.g.n_attr_values(Side::Lower) as usize).max(1);
+        let mut r = task.r;
+        let mut r_counts = AttrCounts::of(&r, self.attrs, n_attrs);
+        // Approximate the ancestor frames a mid-tree task inherits
+        // (the root task starts at zero, matching the serial walk).
+        let frame = (task.l.len() + task.p.len() + task.q.len() + r.len())
+            * std::mem::size_of::<VertexId>();
+        let seed = if task.depth > 0 { frame } else { 0 };
+        self.cur_bytes += seed;
+        let l = task.l;
+        self.level(
+            &l,
+            &mut r,
+            &mut r_counts,
+            task.p,
+            &task.q,
+            task.depth,
+            visit,
+            spawn,
+        );
+        self.cur_bytes -= seed;
+    }
+
+    /// `BackTrackFBCEM++` skeleton: one level of the enumeration tree.
+    /// `p` is consumed in order; `q` holds expanded/consumed vertices.
+    /// Children either recurse (serial) or become [`BranchTask`]s
+    /// (`spawn` mode) — the spawned state is bit-identical to the
+    /// recursive call's arguments.
+    #[allow(clippy::too_many_arguments)]
+    fn level(
         &mut self,
         l: &[VertexId],
         r: &mut Vec<VertexId>,
@@ -136,19 +214,14 @@ impl Walker<'_> {
         mut p: Vec<VertexId>,
         q: &[VertexId],
         depth: u32,
+        visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
+        mut spawn: Option<&mut dyn FnMut(BranchTask)>,
     ) {
         let mut q_local: Vec<VertexId> = q.to_vec();
         let mut l_new: Vec<VertexId> = Vec::new();
         let mut r_sorted: Vec<VertexId> = Vec::new();
-        let mut root_branches = 0usize;
 
         while !p.is_empty() {
-            if depth == 0 {
-                if root_branches >= self.root_limit {
-                    return;
-                }
-                root_branches += 1;
-            }
             if !self.clock.tick() {
                 return;
             }
@@ -205,16 +278,36 @@ impl Walker<'_> {
                 r_sorted.extend_from_slice(r);
                 r_sorted.sort_unstable();
                 self.visited += 1;
-                (self.visit)(&l_new, &r_sorted);
+                visit(&l_new, &r_sorted);
 
                 if !p_new.is_empty() && self.rbound.admits(r, r_counts, &p_new) {
-                    let frame =
-                        (l_new.len() + p_new.len() + q_new.len()) * std::mem::size_of::<VertexId>();
-                    self.cur_bytes += frame;
-                    self.peak_bytes = self.peak_bytes.max(self.cur_bytes);
-                    let l_child = l_new.clone();
-                    self.rec(&l_child, r, r_counts, p_new, &q_new, depth + 1);
-                    self.cur_bytes -= frame;
+                    match spawn.as_deref_mut() {
+                        Some(sp) => sp(BranchTask {
+                            l: l_new.clone(),
+                            r: r.clone(),
+                            p: p_new,
+                            q: q_new,
+                            depth: depth + 1,
+                        }),
+                        None => {
+                            let frame = (l_new.len() + p_new.len() + q_new.len())
+                                * std::mem::size_of::<VertexId>();
+                            self.cur_bytes += frame;
+                            self.peak_bytes = self.peak_bytes.max(self.cur_bytes);
+                            let l_child = l_new.clone();
+                            self.level(
+                                &l_child,
+                                r,
+                                r_counts,
+                                p_new,
+                                &q_new,
+                                depth + 1,
+                                visit,
+                                None,
+                            );
+                            self.cur_bytes -= frame;
+                        }
+                    }
                 }
 
                 // Restore R.
@@ -251,14 +344,16 @@ pub fn maximal_bicliques(
     let min_l = min_l.max(1);
     let min_r = min_r.max(1);
     let mut emitted = 0u64;
+    let mut results_clock = budget.start();
     let mut stats =
         walk_maximal_bicliques(g, min_l, RBound::Size(min_r), order, budget, &mut |l, r| {
-            if r.len() >= min_r {
+            if r.len() >= min_r && results_clock.try_result() {
                 sink.emit(l, r);
                 emitted += 1;
             }
         });
     stats.emitted = emitted;
+    stats.aborted |= results_clock.exhausted;
     stats
 }
 

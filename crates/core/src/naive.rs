@@ -15,7 +15,7 @@
 
 use crate::bfairbcem::BiSideExpander;
 use crate::biclique::{BicliqueSink, EnumStats};
-use crate::config::{Budget, BudgetClock, FairParams, VertexOrder};
+use crate::config::{Budget, BudgetClock, BudgetLane, FairParams, SharedBudget, VertexOrder};
 use crate::fairset::{is_fair, is_maximal_fair_subset, AttrCounts};
 use crate::ordering::side_order;
 use bigraph::{intersect_sorted_count, intersect_sorted_into, BipartiteGraph, Side, VertexId};
@@ -28,13 +28,25 @@ pub fn nsf_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
+    nsf_with_clock(g, params, order, budget.start(), sink)
+}
+
+/// [`nsf_on_pruned`] with an explicit clock — `BNSF` hands in a
+/// shared-budget clock so the whole chain stops together.
+pub(crate) fn nsf_with_clock(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    clock: BudgetClock,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
     let mut s = Naive {
         g,
         params,
         n_attrs: (g.n_attr_values(Side::Lower) as usize).max(1),
         attrs: g.attrs(Side::Lower),
         sink,
-        clock: budget.start(),
+        clock,
         emitted: 0,
     };
     let l: Vec<VertexId> = (0..g.n_upper() as VertexId).collect();
@@ -58,8 +70,16 @@ pub fn bnsf_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    let mut expander = BiSideExpander::new(g, params, budget, sink);
-    let mut stats = nsf_on_pruned(g, params, order, budget, &mut expander);
+    // One shared budget: the NSF stage is intermediate (exempt from
+    // the result cap), and any tripped limit stops the whole chain.
+    let shared = SharedBudget::new(budget);
+    let mut expander = BiSideExpander::with_clock(g, params, shared.clock(BudgetLane::Expand));
+    let mut chain = crate::bfairbcem::BiChainSink {
+        exp: &mut expander,
+        sink,
+    };
+    let inner_clock = shared.clock(BudgetLane::Walk).exempt_results();
+    let mut stats = nsf_with_clock(g, params, order, inner_clock, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
     stats
@@ -130,6 +150,7 @@ impl Naive<'_> {
                     self.params.beta,
                     self.params.delta,
                 )
+                && self.clock.try_result()
             {
                 let mut r_sorted = r.clone();
                 r_sorted.sort_unstable();

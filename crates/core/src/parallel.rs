@@ -1,140 +1,735 @@
-//! Multi-threaded `FairBCEM++`.
+//! Work-stealing parallel enumeration engine shared by every miner.
 //!
-//! The enumeration tree's top-level branches are independent once the
-//! duplicate-suppression set `Q` is seeded correctly: branch `i`
-//! explores candidate order position `i` with `Q = p[0..i]`, and the
-//! fully-connected-`Q` check kills exactly the subtrees the serial
-//! algorithm never enters (any maximal biclique reachable from a
-//! later branch that was already enumerated under an earlier one
-//! contains an earlier vertex, which sits in `Q`). Work is distributed
-//! branch-at-a-time over scoped worker threads via an atomic
-//! cursor — degree-descending order puts the heavy branches first,
-//! which doubles as a crude longest-processing-time schedule.
+//! The paper's extension section parallelizes only single-side
+//! `FairBCEM++`; this module generalizes that into one engine that
+//! drives `FairBCEM++`, `BFairBCEM++`, the proportion enumerators
+//! (`FairBCEMPro++` / `BFairBCEMPro++`), and maximum fair biclique
+//! search. The serial enumerators are untouched — the engine reuses
+//! their [`Walker`](crate::mbea) and expander components verbatim.
 //!
-//! The parallel driver trades two things for speed: results arrive in
-//! nondeterministic *order* (the result *set* is identical — tests
-//! enforce it), and budgets apply per worker rather than globally.
+//! # Design
+//!
+//! * **Shared branch deque.** Work units are [`BranchTask`]s: exact
+//!   search states `(L, R, P, Q)` of the serial enumeration tree,
+//!   held in a shared deque that idle workers steal from. The whole
+//!   run starts as one root task; a worker executing a task above
+//!   `split_depth` runs only that task's top level and pushes each
+//!   child subtree back onto the deque (subtree re-splitting), so
+//!   skewed instances where a few top-level branches dominate still
+//!   load-balance.
+//! * **Correctness (Q-seeding under stealing).** A spawned task
+//!   carries the same duplicate-suppression set `Q` the serial
+//!   recursion would have passed down: when the splitting worker
+//!   expands branch `i` of a level, the earlier branches' vertices
+//!   (expanded or consumed) are already in the task's `q`. The
+//!   fully-connected-`Q` check therefore kills exactly the subtrees
+//!   the serial algorithm never enters — any maximal biclique
+//!   reachable from a later branch that was already enumerated under
+//!   an earlier one contains an earlier vertex, which sits in `Q`.
+//!   Consequently the task set *is* the serial tree, partitioned:
+//!   result sets are identical to serial runs, each result is emitted
+//!   exactly once, and the summed per-worker node counts equal the
+//!   serial node count (tested).
+//! * **Global budget.** All workers draw node ticks and result slots
+//!   from one [`SharedBudget`] — atomic countdowns acquired *before*
+//!   work happens. A `Budget::results(K)` therefore yields exactly
+//!   `min(K, total)` results regardless of thread count (the old
+//!   per-worker budgets could emit `threads × K`), and node/time
+//!   exhaustion in any worker stops all of them at their next tick.
+//! * **Deterministic aggregation.** Per-worker [`EnumStats`] are
+//!   merged in worker order: node and emission counts sum, abort
+//!   flags OR, peak search bytes take the per-worker maximum (a
+//!   per-worker peak, *not* comparable to the serial peak).
+//! * **Sorted output.** Discovery order across workers is
+//!   nondeterministic; with [`RunConfig::sorted`] the collected
+//!   pipelines sort results into [`crate::results::canonical_order`],
+//!   making output byte-identical across thread counts (and equal to
+//!   a sorted serial run).
 
-use crate::biclique::{Biclique, CollectSink, EnumStats};
-use crate::config::{Budget, FairParams, RunConfig};
+use crate::bfairbcem::{BiChainSink, BiSideExpander};
+use crate::biclique::{Biclique, BicliqueSink, CollectSink, EnumStats, MappingSink};
+use crate::config::{
+    Budget, BudgetClock, BudgetLane, FairParams, ProParams, RunConfig, SharedBudget, VertexOrder,
+};
 use crate::fairbcem_pp::SsExpander;
-use crate::fcore::PruneStats;
-use crate::mbea::{walk_maximal_bicliques_from, RBound};
-use crate::ordering::side_order;
-use crate::pipeline::{prune_single_side, RunReport};
-use bigraph::{BipartiteGraph, Side};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::fcore::{PruneOutcome, PruneStats};
+use crate::maximum::{MaxSink, SizeMetric};
+use crate::mbea::{root_task, BranchTask, RBound, Walker};
+use crate::pipeline::{prune_bi_side, prune_single_side, RunReport};
+use crate::proportion::{ProBiChainSink, ProBiSideExpander, ProSsExpander};
+use bigraph::{BipartiteGraph, Side, VertexId};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Hard ceiling on engine worker threads (values beyond this waste
+/// spawns and can hit OS thread limits long before they help).
+const MAX_THREADS: usize = 512;
+
+/// How a parallel run distributes work.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineOpts {
+    /// Worker thread count (≥ 1).
+    pub(crate) threads: usize,
+    /// Depth down to which tasks re-split instead of running to
+    /// completion (≥ 1; 1 = top-level branches only).
+    pub(crate) split_depth: u32,
+}
+
+impl EngineOpts {
+    pub(crate) fn from_run(cfg: &RunConfig) -> Self {
+        EngineOpts {
+            threads: cfg.threads.max(1),
+            split_depth: cfg.split_depth.max(1),
+        }
+    }
+}
+
+/// Per-worker enumeration state driven by the engine: receives every
+/// maximal biclique of the worker's stolen subtrees.
+pub(crate) trait WalkVisitor: Send {
+    /// One maximal biclique (both sides sorted; borrow only for the
+    /// call).
+    fn visit(&mut self, l: &[VertexId], r: &[VertexId]);
+}
+
+/// The shared branch deque plus termination tracking.
+///
+/// `active` counts tasks currently executing; workers block on the
+/// condvar while the deque is empty but producers may still spawn,
+/// and exit once the deque is empty with nothing in flight.
+struct TaskQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    deque: VecDeque<BranchTask>,
+    active: usize,
+}
+
+impl TaskQueue {
+    fn new(root: BranchTask) -> Self {
+        let mut deque = VecDeque::new();
+        deque.push_back(root);
+        TaskQueue {
+            state: Mutex::new(QueueState { deque, active: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, task: BranchTask) {
+        let mut st = self.state.lock().expect("task queue poisoned");
+        st.deque.push_back(task);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Steal the next task, blocking while producers are active.
+    /// `None` means the run is complete.
+    fn steal(&self) -> Option<BranchTask> {
+        let mut st = self.state.lock().expect("task queue poisoned");
+        loop {
+            if let Some(task) = st.deque.pop_front() {
+                st.active += 1;
+                return Some(task);
+            }
+            if st.active == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).expect("task queue poisoned");
+        }
+    }
+
+    /// Mark the last stolen task finished (children already pushed).
+    fn finish(&self) {
+        let mut st = self.state.lock().expect("task queue poisoned");
+        st.active -= 1;
+        if st.active == 0 && st.deque.is_empty() {
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Run the maximal-biclique walk across `opts.threads` workers, each
+/// owning a visitor built by `make` (which receives a clock drawing
+/// from the run's shared expansion countdown).
+///
+/// Returns the visitors in worker order plus the deterministically
+/// merged walk statistics (`emitted` counts *visited maximal
+/// bicliques*; drivers overwrite it with their emission counts).
+pub(crate) fn parallel_walk<V: WalkVisitor>(
+    g: &BipartiteGraph,
+    min_l: usize,
+    rbound: RBound<'_>,
+    order: VertexOrder,
+    budget: Budget,
+    opts: EngineOpts,
+    make: &(dyn Fn(BudgetClock) -> V + Sync),
+) -> (Vec<V>, EnumStats) {
+    let split_depth = opts.split_depth.max(1);
+    let root = root_task(g, order);
+    // Clamp the worker count: with top-level-only splitting no more
+    // than one task per root candidate ever exists, and an absolute
+    // cap keeps a huge `--threads` from hitting OS spawn limits.
+    let task_bound = if split_depth == 1 {
+        root.p.len().max(1)
+    } else {
+        MAX_THREADS
+    };
+    let threads = opts.threads.clamp(1, task_bound.min(MAX_THREADS));
+    let shared = SharedBudget::new(budget);
+    let queue = TaskQueue::new(root);
+
+    let mut per_worker: Vec<(V, EnumStats)> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let queue = &queue;
+            let shared = &shared;
+            handles.push(s.spawn(move || {
+                let mut visitor = make(shared.clock(BudgetLane::Expand));
+                let mut walker = Walker::new(g, min_l, rbound, shared.clock(BudgetLane::Walk));
+                while let Some(task) = queue.steal() {
+                    // Drain without work once any global limit trips.
+                    if !shared.is_exhausted() {
+                        if task.depth < split_depth {
+                            walker.split(task, &mut |l, r| visitor.visit(l, r), &mut |t| {
+                                queue.push(t)
+                            });
+                        } else {
+                            walker.run(task, &mut |l, r| visitor.visit(l, r));
+                        }
+                    }
+                    queue.finish();
+                }
+                (visitor, walker.stats())
+            }));
+        }
+        for h in handles {
+            per_worker.push(h.join().expect("enumeration worker panicked"));
+        }
+    });
+
+    let mut agg = EnumStats::default();
+    let mut visitors = Vec::with_capacity(per_worker.len());
+    for (v, st) in per_worker {
+        agg.nodes += st.nodes;
+        agg.emitted += st.emitted;
+        agg.aborted |= st.aborted;
+        agg.peak_search_bytes = agg.peak_search_bytes.max(st.peak_search_bytes);
+        visitors.push(v);
+    }
+    agg.aborted |= shared.is_exhausted();
+    (visitors, agg)
+}
+
+fn fair_rbound(g: &BipartiteGraph, params: FairParams) -> RBound<'_> {
+    RBound::AttrBeta {
+        attrs: g.attrs(Side::Lower),
+        beta: params.beta,
+    }
+}
+
+// ---------------------------------------------------------------
+// Per-miner workers, generic over the per-worker sink.
+//
+// Emissions are translated to original-graph ids inline (the engine
+// runs on the compacted pruned graph), so every sink — counting,
+// top-k, best-so-far, collecting — sees final ids, and streaming
+// modes never materialize the result set.
+// ---------------------------------------------------------------
+
+struct SsWorker<'g, S> {
+    expander: SsExpander<'g>,
+    umap: &'g [VertexId],
+    lmap: &'g [VertexId],
+    sink: S,
+}
+
+impl<S: BicliqueSink + Send> WalkVisitor for SsWorker<'_, S> {
+    fn visit(&mut self, l: &[VertexId], r: &[VertexId]) {
+        let mut mapped = MappingSink::new(self.umap, self.lmap, &mut self.sink);
+        self.expander.expand(l, r, &mut mapped);
+    }
+}
+
+struct BiWorker<'g, S> {
+    ss: SsExpander<'g>,
+    bi: BiSideExpander<'g>,
+    umap: &'g [VertexId],
+    lmap: &'g [VertexId],
+    sink: S,
+}
+
+impl<S: BicliqueSink + Send> WalkVisitor for BiWorker<'_, S> {
+    fn visit(&mut self, l: &[VertexId], r: &[VertexId]) {
+        let mut mapped = MappingSink::new(self.umap, self.lmap, &mut self.sink);
+        let mut chain = BiChainSink {
+            exp: &mut self.bi,
+            sink: &mut mapped,
+        };
+        self.ss.expand(l, r, &mut chain);
+    }
+}
+
+struct ProSsWorker<'g, S> {
+    expander: ProSsExpander<'g>,
+    umap: &'g [VertexId],
+    lmap: &'g [VertexId],
+    sink: S,
+}
+
+impl<S: BicliqueSink + Send> WalkVisitor for ProSsWorker<'_, S> {
+    fn visit(&mut self, l: &[VertexId], r: &[VertexId]) {
+        let mut mapped = MappingSink::new(self.umap, self.lmap, &mut self.sink);
+        self.expander.expand(l, r, &mut mapped);
+    }
+}
+
+struct ProBiWorker<'g, S> {
+    ss: ProSsExpander<'g>,
+    bi: ProBiSideExpander<'g>,
+    umap: &'g [VertexId],
+    lmap: &'g [VertexId],
+    sink: S,
+}
+
+impl<S: BicliqueSink + Send> WalkVisitor for ProBiWorker<'_, S> {
+    fn visit(&mut self, l: &[VertexId], r: &[VertexId]) {
+        let mut mapped = MappingSink::new(self.umap, self.lmap, &mut self.sink);
+        let mut chain = ProBiChainSink {
+            exp: &mut self.bi,
+            sink: &mut mapped,
+        };
+        self.ss.expand(l, r, &mut chain);
+    }
+}
+
+// ---------------------------------------------------------------
+// Parallel miners on an already-pruned graph. Each returns the
+// per-worker sinks in worker order plus merged statistics.
+// ---------------------------------------------------------------
+
+/// The enumeration graph plus the id maps back to the caller's graph
+/// (identity maps when the graph was not pruned).
+pub(crate) struct MappedGraph<'g> {
+    pub(crate) g: &'g BipartiteGraph,
+    pub(crate) umap: &'g [VertexId],
+    pub(crate) lmap: &'g [VertexId],
+}
+
+impl<'g> MappedGraph<'g> {
+    fn of_pruned(pruned: &'g PruneOutcome) -> Self {
+        MappedGraph {
+            g: &pruned.sub.graph,
+            umap: &pruned.sub.upper_to_parent,
+            lmap: &pruned.sub.lower_to_parent,
+        }
+    }
+}
+
+pub(crate) fn par_ssfbc_workers<'g, S: BicliqueSink + Send>(
+    mg: &MappedGraph<'g>,
+    params: FairParams,
+    order: VertexOrder,
+    budget: Budget,
+    opts: EngineOpts,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (Vec<S>, EnumStats) {
+    let MappedGraph { g, umap, lmap } = *mg;
+    let (workers, mut stats) = parallel_walk(
+        g,
+        params.alpha as usize,
+        fair_rbound(g, params),
+        order,
+        budget,
+        opts,
+        &|clock| SsWorker {
+            expander: SsExpander::with_clock(g, params, clock),
+            umap,
+            lmap,
+            sink: make_sink(),
+        },
+    );
+    let mut sinks = Vec::with_capacity(workers.len());
+    let mut emitted = 0u64;
+    for w in workers {
+        emitted += w.expander.emitted;
+        stats.aborted |= w.expander.aborted();
+        sinks.push(w.sink);
+    }
+    stats.emitted = emitted;
+    (sinks, stats)
+}
+
+pub(crate) fn par_bsfbc_workers<'g, S: BicliqueSink + Send>(
+    mg: &MappedGraph<'g>,
+    params: FairParams,
+    order: VertexOrder,
+    budget: Budget,
+    opts: EngineOpts,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (Vec<S>, EnumStats) {
+    let MappedGraph { g, umap, lmap } = *mg;
+    let (workers, mut stats) = parallel_walk(
+        g,
+        params.alpha as usize,
+        fair_rbound(g, params),
+        order,
+        budget,
+        opts,
+        &|clock| BiWorker {
+            // The SSFBC stage is intermediate: exempt from the result
+            // budget (only BSFBCs are final results).
+            ss: SsExpander::with_clock(g, params, clock.clone().exempt_results()),
+            bi: BiSideExpander::with_clock(g, params, clock),
+            umap,
+            lmap,
+            sink: make_sink(),
+        },
+    );
+    let mut sinks = Vec::with_capacity(workers.len());
+    let mut emitted = 0u64;
+    for w in workers {
+        emitted += w.bi.emitted;
+        stats.aborted |= w.ss.aborted() | w.bi.aborted();
+        sinks.push(w.sink);
+    }
+    stats.emitted = emitted;
+    (sinks, stats)
+}
+
+pub(crate) fn par_pssfbc_workers<'g, S: BicliqueSink + Send>(
+    mg: &MappedGraph<'g>,
+    pro: ProParams,
+    order: VertexOrder,
+    budget: Budget,
+    opts: EngineOpts,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (Vec<S>, EnumStats) {
+    let MappedGraph { g, umap, lmap } = *mg;
+    let (workers, mut stats) = parallel_walk(
+        g,
+        pro.base.alpha as usize,
+        fair_rbound(g, pro.base),
+        order,
+        budget,
+        opts,
+        &|clock| ProSsWorker {
+            expander: ProSsExpander::with_clock(g, pro, clock),
+            umap,
+            lmap,
+            sink: make_sink(),
+        },
+    );
+    let mut sinks = Vec::with_capacity(workers.len());
+    let mut emitted = 0u64;
+    for w in workers {
+        emitted += w.expander.emitted;
+        stats.aborted |= w.expander.aborted();
+        sinks.push(w.sink);
+    }
+    stats.emitted = emitted;
+    (sinks, stats)
+}
+
+pub(crate) fn par_pbsfbc_workers<'g, S: BicliqueSink + Send>(
+    mg: &MappedGraph<'g>,
+    pro: ProParams,
+    order: VertexOrder,
+    budget: Budget,
+    opts: EngineOpts,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (Vec<S>, EnumStats) {
+    let MappedGraph { g, umap, lmap } = *mg;
+    let (workers, mut stats) = parallel_walk(
+        g,
+        pro.base.alpha as usize,
+        fair_rbound(g, pro.base),
+        order,
+        budget,
+        opts,
+        &|clock| ProBiWorker {
+            ss: ProSsExpander::with_clock(g, pro, clock.clone().exempt_results()),
+            bi: ProBiSideExpander::with_clock(g, pro, clock),
+            umap,
+            lmap,
+            sink: make_sink(),
+        },
+    );
+    let mut sinks = Vec::with_capacity(workers.len());
+    let mut emitted = 0u64;
+    for w in workers {
+        emitted += w.bi.emitted;
+        stats.aborted |= w.ss.aborted() | w.bi.aborted();
+        sinks.push(w.sink);
+    }
+    stats.emitted = emitted;
+    (sinks, stats)
+}
+
+// ---------------------------------------------------------------
+// Public streaming pipelines: prune → parallel enumerate into
+// per-worker sinks. The parallel analog of the `run_*` functions in
+// `pipeline` — counting or top-k runs never materialize the full
+// result set.
+// ---------------------------------------------------------------
+
+/// Parallel streaming SSFBC pipeline: prune, then enumerate across
+/// `cfg.threads` workers, each emitting (original ids) into its own
+/// sink from `make_sink`. Returns the sinks in worker order for the
+/// caller to merge, plus pruning and merged search statistics
+/// (`stats.emitted` is the total result count).
+pub fn par_run_ssfbc<S: BicliqueSink + Send>(
+    g: &BipartiteGraph,
+    params: FairParams,
+    cfg: &RunConfig,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (Vec<S>, PruneStats, EnumStats) {
+    let pruned = prune_single_side(g, params, cfg.prune);
+    let (sinks, stats) = par_ssfbc_workers(
+        &MappedGraph::of_pruned(&pruned),
+        params,
+        cfg.order,
+        cfg.budget,
+        EngineOpts::from_run(cfg),
+        make_sink,
+    );
+    (sinks, pruned.stats, stats)
+}
+
+/// Parallel streaming BSFBC pipeline (see [`par_run_ssfbc`]).
+pub fn par_run_bsfbc<S: BicliqueSink + Send>(
+    g: &BipartiteGraph,
+    params: FairParams,
+    cfg: &RunConfig,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (Vec<S>, PruneStats, EnumStats) {
+    let pruned = prune_bi_side(g, params, cfg.prune);
+    let (sinks, stats) = par_bsfbc_workers(
+        &MappedGraph::of_pruned(&pruned),
+        params,
+        cfg.order,
+        cfg.budget,
+        EngineOpts::from_run(cfg),
+        make_sink,
+    );
+    (sinks, pruned.stats, stats)
+}
+
+/// Parallel streaming PSSFBC pipeline (see [`par_run_ssfbc`]).
+pub fn par_run_pssfbc<S: BicliqueSink + Send>(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    cfg: &RunConfig,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (Vec<S>, PruneStats, EnumStats) {
+    let pruned = prune_single_side(g, pro.base, cfg.prune);
+    let (sinks, stats) = par_pssfbc_workers(
+        &MappedGraph::of_pruned(&pruned),
+        pro,
+        cfg.order,
+        cfg.budget,
+        EngineOpts::from_run(cfg),
+        make_sink,
+    );
+    (sinks, pruned.stats, stats)
+}
+
+/// Parallel streaming PBSFBC pipeline (see [`par_run_ssfbc`]).
+pub fn par_run_pbsfbc<S: BicliqueSink + Send>(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    cfg: &RunConfig,
+    make_sink: &(dyn Fn() -> S + Sync),
+) -> (Vec<S>, PruneStats, EnumStats) {
+    let pruned = prune_bi_side(g, pro.base, cfg.prune);
+    let (sinks, stats) = par_pbsfbc_workers(
+        &MappedGraph::of_pruned(&pruned),
+        pro,
+        cfg.order,
+        cfg.budget,
+        EngineOpts::from_run(cfg),
+        make_sink,
+    );
+    (sinks, pruned.stats, stats)
+}
+
+// ---------------------------------------------------------------
+// Collected pipelines: prune → parallel enumerate → report.
+// ---------------------------------------------------------------
+
+fn finish_report(
+    sinks: Vec<CollectSink>,
+    prune: PruneStats,
+    stats: EnumStats,
+    cfg: &RunConfig,
+) -> RunReport {
+    let mut bicliques: Vec<Biclique> = Vec::new();
+    for s in sinks {
+        bicliques.extend(s.bicliques);
+    }
+    if cfg.sorted {
+        crate::results::canonical_order(&mut bicliques);
+    }
+    RunReport {
+        bicliques,
+        prune,
+        stats,
+        threads: cfg.threads.max(1),
+    }
+}
+
+/// Parallel SSFBC pipeline (called by
+/// [`crate::pipeline::enumerate_ssfbc`] when `cfg.threads > 1`).
+pub(crate) fn report_ssfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
+    let (sinks, prune, stats) = par_run_ssfbc(g, params, cfg, &CollectSink::default);
+    finish_report(sinks, prune, stats, cfg)
+}
+
+/// Parallel BSFBC pipeline.
+pub(crate) fn report_bsfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
+    let (sinks, prune, stats) = par_run_bsfbc(g, params, cfg, &CollectSink::default);
+    finish_report(sinks, prune, stats, cfg)
+}
+
+/// Parallel PSSFBC pipeline.
+pub(crate) fn report_pssfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
+    let (sinks, prune, stats) = par_run_pssfbc(g, pro, cfg, &CollectSink::default);
+    finish_report(sinks, prune, stats, cfg)
+}
+
+/// Parallel PBSFBC pipeline.
+pub(crate) fn report_pbsfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
+    let (sinks, prune, stats) = par_run_pbsfbc(g, pro, cfg, &CollectSink::default);
+    finish_report(sinks, prune, stats, cfg)
+}
+
+// ---------------------------------------------------------------
+// Maximum fair biclique search.
+// ---------------------------------------------------------------
+
+fn merge_max(metric: SizeMetric, sinks: impl IntoIterator<Item = MaxSink>) -> MaxSink {
+    let mut merged = MaxSink::new(metric);
+    let mut seen = 0u64;
+    for s in sinks {
+        seen += s.seen;
+        if let Some(b) = s.best {
+            merged.emit(&b.upper, &b.lower);
+        }
+    }
+    merged.seen = seen;
+    merged
+}
+
+/// Parallel maximum-SSFBC search over an already-pruned graph; the
+/// returned sink holds the best biclique in *original* ids (the
+/// per-worker sinks rank translated emissions, so the `(score,
+/// lexicographic)` tie-break matches the serial pipeline).
+pub(crate) fn par_max_ssfbc(
+    pruned: &PruneOutcome,
+    params: FairParams,
+    metric: SizeMetric,
+    cfg: &RunConfig,
+) -> MaxSink {
+    let (sinks, _) = par_ssfbc_workers(
+        &MappedGraph::of_pruned(pruned),
+        params,
+        cfg.order,
+        cfg.budget,
+        EngineOpts::from_run(cfg),
+        &|| MaxSink::new(metric),
+    );
+    merge_max(metric, sinks)
+}
+
+/// Parallel maximum-BSFBC search over an already-pruned graph.
+pub(crate) fn par_max_bsfbc(
+    pruned: &PruneOutcome,
+    params: FairParams,
+    metric: SizeMetric,
+    cfg: &RunConfig,
+) -> MaxSink {
+    let (sinks, _) = par_bsfbc_workers(
+        &MappedGraph::of_pruned(pruned),
+        params,
+        cfg.order,
+        cfg.budget,
+        EngineOpts::from_run(cfg),
+        &|| MaxSink::new(metric),
+    );
+    merge_max(metric, sinks)
+}
+
+// ---------------------------------------------------------------
+// Back-compat wrappers around the engine.
+// ---------------------------------------------------------------
 
 /// Run `FairBCEM++` on an already-pruned graph across `n_threads`
 /// workers, returning the collected results (order unspecified) and
 /// aggregated statistics.
+///
+/// The budget is **global**: all workers share one countdown (earlier
+/// versions applied it per worker, allowing an `n_threads ×` overrun).
 pub fn fairbcem_pp_par_on_pruned(
     g: &BipartiteGraph,
     params: FairParams,
-    order: crate::config::VertexOrder,
+    order: VertexOrder,
     n_threads: usize,
     budget: Budget,
 ) -> (Vec<Biclique>, EnumStats) {
-    let p = side_order(g, Side::Lower, order);
-    let n_threads = n_threads.clamp(1, p.len().max(1));
-    let cursor = AtomicUsize::new(0);
-    let attrs = g.attrs(Side::Lower);
-
-    let mut per_thread: Vec<(Vec<Biclique>, EnumStats)> = Vec::new();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for _ in 0..n_threads {
-            let p = &p;
-            let cursor = &cursor;
-            handles.push(s.spawn(move || {
-                let mut sink = CollectSink::default();
-                let mut expander = SsExpander::new(g, params, budget);
-                let mut agg = EnumStats::default();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= p.len() {
-                        break;
-                    }
-                    let stats = walk_maximal_bicliques_from(
-                        g,
-                        params.alpha as usize,
-                        RBound::AttrBeta {
-                            attrs,
-                            beta: params.beta,
-                        },
-                        budget,
-                        p[i..].to_vec(),
-                        p[..i].to_vec(),
-                        1,
-                        &mut |l, r| expander.expand(l, r, &mut sink),
-                    );
-                    agg.nodes += stats.nodes;
-                    agg.aborted |= stats.aborted;
-                    agg.peak_search_bytes = agg.peak_search_bytes.max(stats.peak_search_bytes);
-                }
-                agg.emitted = expander.emitted;
-                agg.aborted |= expander.aborted();
-                (sink.bicliques, agg)
-            }));
-        }
-        for h in handles {
-            per_thread.push(h.join().expect("enumeration worker panicked"));
-        }
-    });
-
+    // The caller's graph is the enumeration graph: identity maps.
+    let umap: Vec<VertexId> = (0..g.n_upper() as VertexId).collect();
+    let lmap: Vec<VertexId> = (0..g.n_lower() as VertexId).collect();
+    let mg = MappedGraph {
+        g,
+        umap: &umap,
+        lmap: &lmap,
+    };
+    let (sinks, stats) = par_ssfbc_workers(
+        &mg,
+        params,
+        order,
+        budget,
+        EngineOpts {
+            threads: n_threads.max(1),
+            split_depth: 1,
+        },
+        &CollectSink::default,
+    );
     let mut all = Vec::new();
-    let mut agg = EnumStats::default();
-    for (bicliques, stats) in per_thread {
-        all.extend(bicliques);
-        agg.nodes += stats.nodes;
-        agg.emitted += stats.emitted;
-        agg.aborted |= stats.aborted;
-        agg.peak_search_bytes += stats.peak_search_bytes;
+    for s in sinks {
+        all.extend(s.bicliques);
     }
-    (all, agg)
+    (all, stats)
 }
 
-/// Full parallel pipeline: prune (serial — it is near-linear), then
-/// enumerate SSFBCs across `n_threads` workers, mapping ids back to
-/// the original graph. Results are sorted for determinism.
+/// Full parallel SSFBC pipeline: prune (serial — it is near-linear),
+/// enumerate across `n_threads` workers, map ids back to the original
+/// graph, and sort for determinism.
+///
+/// Equivalent to [`crate::pipeline::enumerate_ssfbc`] with
+/// `cfg.threads = n_threads` and `cfg.sorted = true`.
 pub fn par_enumerate_ssfbc(
     g: &BipartiteGraph,
     params: FairParams,
     cfg: &RunConfig,
     n_threads: usize,
 ) -> RunReport {
-    let pruned = prune_single_side(g, params, cfg.prune);
-    let (raw, stats) =
-        fairbcem_pp_par_on_pruned(&pruned.sub.graph, params, cfg.order, n_threads, cfg.budget);
-    let mut bicliques: Vec<Biclique> = raw
-        .into_iter()
-        .map(|bc| {
-            Biclique::new(
-                bc.upper
-                    .iter()
-                    .map(|&u| pruned.sub.upper_to_parent[u as usize])
-                    .collect(),
-                bc.lower
-                    .iter()
-                    .map(|&v| pruned.sub.lower_to_parent[v as usize])
-                    .collect(),
-            )
-        })
-        .collect();
-    bicliques.sort_unstable();
-    let prune: PruneStats = pruned.stats;
-    RunReport {
-        bicliques,
-        prune,
-        stats,
-    }
+    let cfg = RunConfig {
+        threads: n_threads.max(1),
+        sorted: true,
+        ..cfg.clone()
+    };
+    report_ssfbc(g, params, &cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::VertexOrder;
-    use crate::pipeline::enumerate_ssfbc;
+    use crate::pipeline::{enumerate_bsfbc, enumerate_pbsfbc, enumerate_pssfbc, enumerate_ssfbc};
     use bigraph::generate::{plant_bicliques, random_uniform};
     use std::collections::BTreeSet;
 
@@ -153,6 +748,7 @@ mod tests {
                 assert_eq!(got.len(), par.bicliques.len(), "no duplicates");
                 assert_eq!(got, serial, "seed {seed} threads {threads}");
                 assert_eq!(par.stats.emitted as usize, serial.len());
+                assert_eq!(par.threads, threads);
             }
         }
     }
@@ -192,5 +788,180 @@ mod tests {
         let par = par_enumerate_ssfbc(&g, params, &RunConfig::default(), 1);
         let ser = enumerate_ssfbc(&g, params, &RunConfig::default());
         assert_eq!(par.bicliques.len(), ser.bicliques.len());
+        assert_eq!(par.stats.nodes, ser.stats.nodes);
+    }
+
+    #[test]
+    fn all_miners_match_serial_via_engine() {
+        let g = random_uniform(10, 12, 55, 2, 2, 17);
+        let params = FairParams::unchecked(2, 1, 1);
+        let pro = ProParams::new(2, 1, 1, 0.3).unwrap();
+        let serial = |cfg: &RunConfig| {
+            (
+                enumerate_ssfbc(&g, params, cfg).bicliques,
+                enumerate_bsfbc(&g, params, cfg).bicliques,
+                enumerate_pssfbc(&g, pro, cfg).bicliques,
+                enumerate_pbsfbc(&g, pro, cfg).bicliques,
+            )
+        };
+        let base = RunConfig {
+            sorted: true,
+            ..RunConfig::default()
+        };
+        let want = serial(&base);
+        for threads in [2usize, 3, 7] {
+            for split_depth in [1u32, 2] {
+                let cfg = RunConfig {
+                    threads,
+                    split_depth,
+                    ..base.clone()
+                };
+                let got = serial(&cfg);
+                assert_eq!(got, want, "threads {threads} split {split_depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_stats_merge_to_serial_totals() {
+        for seed in [1u64, 9, 23] {
+            let g = random_uniform(14, 16, 95, 2, 2, seed);
+            let params = FairParams::unchecked(2, 1, 1);
+            let ser = enumerate_ssfbc(&g, params, &RunConfig::default());
+            for threads in [2usize, 4, 7] {
+                for split_depth in [1u32, 3] {
+                    let cfg = RunConfig {
+                        threads,
+                        split_depth,
+                        ..RunConfig::default()
+                    };
+                    let par = enumerate_ssfbc(&g, params, &cfg);
+                    assert_eq!(
+                        par.stats.nodes, ser.stats.nodes,
+                        "seed {seed} threads {threads} split {split_depth}"
+                    );
+                    assert_eq!(par.stats.emitted, ser.stats.emitted);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_cap_stops_the_serial_walk_early() {
+        // Serial and parallel budget semantics agree: once the result
+        // cap trips, the maximal-biclique walk stops instead of
+        // visiting the rest of the tree emitting nothing.
+        let g = random_uniform(16, 18, 120, 2, 2, 4);
+        let params = FairParams::unchecked(1, 1, 2);
+        let full = enumerate_ssfbc(&g, params, &RunConfig::default());
+        assert!(full.bicliques.len() > 10);
+        let capped = enumerate_ssfbc(
+            &g,
+            params,
+            &RunConfig {
+                budget: Budget::results(1),
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(capped.bicliques.len(), 1);
+        assert!(capped.stats.aborted);
+        assert!(
+            capped.stats.nodes < full.stats.nodes,
+            "capped walk visited {} of {} nodes — it must stop early",
+            capped.stats.nodes,
+            full.stats.nodes
+        );
+        // Same for the bi-side chain, where the cap lives two stages
+        // downstream of the walker.
+        let full_bi = enumerate_bsfbc(&g, params, &RunConfig::default());
+        assert!(full_bi.bicliques.len() > 1);
+        let capped_bi = enumerate_bsfbc(
+            &g,
+            params,
+            &RunConfig {
+                budget: Budget::results(1),
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(capped_bi.bicliques.len(), 1);
+        assert!(capped_bi.stats.nodes < full_bi.stats.nodes);
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_clamped_not_fatal() {
+        let g = random_uniform(10, 10, 50, 2, 2, 3);
+        let params = FairParams::unchecked(2, 1, 1);
+        let want = enumerate_ssfbc(&g, params, &RunConfig::default())
+            .bicliques
+            .into_iter()
+            .collect::<BTreeSet<_>>();
+        for split_depth in [1u32, 2] {
+            let cfg = RunConfig {
+                threads: 1_000_000,
+                split_depth,
+                ..RunConfig::default()
+            };
+            let got: BTreeSet<Biclique> = enumerate_ssfbc(&g, params, &cfg)
+                .bicliques
+                .into_iter()
+                .collect();
+            assert_eq!(got, want, "split {split_depth}");
+        }
+    }
+
+    #[test]
+    fn streaming_sinks_match_collected_runs() {
+        use crate::biclique::{CountSink, TopKSink};
+        let g = random_uniform(12, 14, 80, 2, 2, 6);
+        let params = FairParams::unchecked(2, 1, 1);
+        let cfg = RunConfig::with_threads(4);
+        let report = enumerate_ssfbc(&g, params, &cfg);
+        let (counts, prune, stats) = par_run_ssfbc(&g, params, &cfg, &CountSink::default);
+        assert_eq!(
+            counts.iter().map(|c| c.count).sum::<u64>(),
+            report.bicliques.len() as u64
+        );
+        assert_eq!(stats.emitted as usize, report.bicliques.len());
+        assert_eq!(prune, report.prune);
+        // Per-worker top-k sinks merge to the serial top-k set.
+        let k = 5usize;
+        let (tops, _, _) = par_run_ssfbc(&g, params, &cfg, &|| TopKSink::new(k));
+        let mut merged = TopKSink::new(k);
+        for t in tops {
+            for bc in t.into_sorted() {
+                crate::biclique::BicliqueSink::emit(&mut merged, &bc.upper, &bc.lower);
+            }
+        }
+        let mut serial_top = TopKSink::new(k);
+        for bc in &report.bicliques {
+            crate::biclique::BicliqueSink::emit(&mut serial_top, &bc.upper, &bc.lower);
+        }
+        assert_eq!(merged.into_sorted(), serial_top.into_sorted());
+    }
+
+    #[test]
+    fn global_result_budget_is_exact() {
+        let g = random_uniform(14, 16, 100, 2, 2, 12);
+        let params = FairParams::unchecked(1, 1, 2);
+        let total = enumerate_ssfbc(&g, params, &RunConfig::default())
+            .bicliques
+            .len();
+        assert!(total > 8, "need a graph with enough results, got {total}");
+        for threads in [1usize, 2, 4, 7] {
+            for k in [0usize, 1, 3, total, total + 5] {
+                let cfg = RunConfig {
+                    threads,
+                    budget: Budget::results(k as u64),
+                    ..RunConfig::default()
+                };
+                let report = enumerate_ssfbc(&g, params, &cfg);
+                assert_eq!(
+                    report.bicliques.len(),
+                    k.min(total),
+                    "threads {threads} k {k}"
+                );
+                assert_eq!(report.stats.aborted, k < total, "threads {threads} k {k}");
+            }
+        }
     }
 }

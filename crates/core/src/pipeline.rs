@@ -45,11 +45,17 @@ pub enum BiAlgorithm {
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// The fair bicliques, in the original graph's vertex ids.
+    /// Discovery order, unless the run's [`RunConfig::sorted`] put
+    /// them in [`crate::results::canonical_order`].
     pub bicliques: Vec<Biclique>,
     /// Pruning statistics.
     pub prune: PruneStats,
-    /// Search statistics.
+    /// Search statistics (parallel runs merge per-worker stats; see
+    /// [`crate::parallel`]).
     pub stats: EnumStats,
+    /// Worker threads the run was configured with (1 = serial; the
+    /// engine may clamp the spawned count to the available work).
+    pub threads: usize,
 }
 
 /// Run the pruning stage configured for a single-side problem.
@@ -188,51 +194,67 @@ pub fn run_pbsfbc(
     (pruned.stats, stats)
 }
 
-/// Enumerate and collect all single-side fair bicliques (Definition 3)
-/// with the paper's best pipeline (`CFCore` + `FairBCEM++` by default).
-pub fn enumerate_ssfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
-    let mut sink = CollectSink::default();
-    let (prune, stats) = run_ssfbc(g, params, SsAlgorithm::FairBcemPP, cfg, &mut sink);
+/// Assemble a serial run's report, honoring `cfg.sorted`.
+fn serial_report(
+    mut bicliques: Vec<Biclique>,
+    prune: PruneStats,
+    stats: EnumStats,
+    cfg: &RunConfig,
+) -> RunReport {
+    if cfg.sorted {
+        crate::results::canonical_order(&mut bicliques);
+    }
     RunReport {
-        bicliques: sink.bicliques,
+        bicliques,
         prune,
         stats,
+        threads: 1,
     }
+}
+
+/// Enumerate and collect all single-side fair bicliques (Definition 3)
+/// with the paper's best pipeline (`CFCore` + `FairBCEM++` by default).
+/// `cfg.threads > 1` runs on the parallel engine ([`crate::parallel`]).
+pub fn enumerate_ssfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
+    if cfg.threads > 1 {
+        return crate::parallel::report_ssfbc(g, params, cfg);
+    }
+    let mut sink = CollectSink::default();
+    let (prune, stats) = run_ssfbc(g, params, SsAlgorithm::FairBcemPP, cfg, &mut sink);
+    serial_report(sink.bicliques, prune, stats, cfg)
 }
 
 /// Enumerate and collect all bi-side fair bicliques (Definition 4).
+/// `cfg.threads > 1` runs on the parallel engine.
 pub fn enumerate_bsfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
+    if cfg.threads > 1 {
+        return crate::parallel::report_bsfbc(g, params, cfg);
+    }
     let mut sink = CollectSink::default();
     let (prune, stats) = run_bsfbc(g, params, BiAlgorithm::BFairBcemPP, cfg, &mut sink);
-    RunReport {
-        bicliques: sink.bicliques,
-        prune,
-        stats,
-    }
+    serial_report(sink.bicliques, prune, stats, cfg)
 }
 
 /// Enumerate and collect all proportion single-side fair bicliques
-/// (Definition 5).
+/// (Definition 5). `cfg.threads > 1` runs on the parallel engine.
 pub fn enumerate_pssfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
+    if cfg.threads > 1 {
+        return crate::parallel::report_pssfbc(g, pro, cfg);
+    }
     let mut sink = CollectSink::default();
     let (prune, stats) = run_pssfbc(g, pro, cfg, &mut sink);
-    RunReport {
-        bicliques: sink.bicliques,
-        prune,
-        stats,
-    }
+    serial_report(sink.bicliques, prune, stats, cfg)
 }
 
 /// Enumerate and collect all proportion bi-side fair bicliques
-/// (Definition 6).
+/// (Definition 6). `cfg.threads > 1` runs on the parallel engine.
 pub fn enumerate_pbsfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
+    if cfg.threads > 1 {
+        return crate::parallel::report_pbsfbc(g, pro, cfg);
+    }
     let mut sink = CollectSink::default();
     let (prune, stats) = run_pbsfbc(g, pro, cfg, &mut sink);
-    RunReport {
-        bicliques: sink.bicliques,
-        prune,
-        stats,
-    }
+    serial_report(sink.bicliques, prune, stats, cfg)
 }
 
 #[cfg(test)]

@@ -12,13 +12,17 @@
 //!   form on the paper's two-value domains — property-tested).
 
 use crate::biclique::{BicliqueSink, EnumStats};
-use crate::config::{Budget, BudgetClock, ProParams, VertexOrder};
+use crate::config::{Budget, BudgetClock, BudgetLane, ProParams, SharedBudget, VertexOrder};
 use crate::fairbcem_pp::closure_equals;
 use crate::fairset::{
     for_each_max_pro_fair_subset, is_fair_pro, is_maximal_fair_subset_pro, AttrCounts,
 };
-use crate::mbea::{walk_maximal_bicliques, RBound};
+use crate::mbea::{root_task, RBound, Walker};
 use bigraph::{BipartiteGraph, Side, VertexId};
+
+/// Shorthand for the shared-budget handle the chained drivers pass
+/// around.
+type SharedArc = std::sync::Arc<SharedBudget>;
 
 /// Run `FairBCEMPro++` on `g` (assumed already pruned; fair side =
 /// lower): enumerate all proportion single-side fair bicliques.
@@ -29,60 +33,121 @@ pub fn fairbcem_pro_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    let params = pro.base;
-    let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
-    let attrs = g.attrs(Side::Lower);
-    let mut emitted = 0u64;
-    let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); n_attrs];
-    // Expansion budget: a single CombinationPro can be binomially large.
-    let mut expand_clock = budget.start();
+    fairbcem_pro_pp_shared(g, pro, order, &SharedBudget::new(budget), false, sink)
+}
 
-    let mut stats = walk_maximal_bicliques(
+/// `FairBCEMPro++` with all clocks drawn from one shared budget, so
+/// any exhausted limit — including the result cap — stops the whole
+/// walk. `intermediate` exempts emissions from the result budget
+/// (the PBSFBC chain).
+pub(crate) fn fairbcem_pro_pp_shared(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    order: VertexOrder,
+    shared: &SharedArc,
+    intermediate: bool,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let params = pro.base;
+    let expand_clock = if intermediate {
+        shared.clock(BudgetLane::Expand).exempt_results()
+    } else {
+        shared.clock(BudgetLane::Expand)
+    };
+    let mut expander = ProSsExpander::with_clock(g, pro, expand_clock);
+    let mut walker = Walker::new(
         g,
         params.alpha as usize,
         RBound::AttrBeta {
-            attrs,
+            attrs: g.attrs(Side::Lower),
             beta: params.beta,
         },
-        order,
-        budget,
-        &mut |l, r| {
-            if expand_clock.exhausted {
-                return;
-            }
-            let counts = AttrCounts::of(r, attrs, n_attrs);
-            if is_fair_pro(counts.as_slice(), params.beta, params.delta, pro.theta) {
-                sink.emit(l, r);
-                emitted += 1;
-                expand_clock.tick();
-                return;
-            }
-            for g_attr in groups.iter_mut() {
-                g_attr.clear();
-            }
-            for &v in r {
-                groups[attrs[v as usize] as usize].push(v);
-            }
-            let group_refs: Vec<&[VertexId]> = groups.iter().map(|g| g.as_slice()).collect();
-            for_each_max_pro_fair_subset(
-                &group_refs,
-                params.beta,
-                params.delta,
-                pro.theta,
-                &mut |r_sub| {
-                    // Empty fair sides are degenerate non-results.
-                    if !r_sub.is_empty() && closure_equals(g, r_sub, l) {
-                        sink.emit(l, r_sub);
-                        emitted += 1;
-                    }
-                    expand_clock.tick()
-                },
-            );
-        },
+        shared.clock(BudgetLane::Walk),
     );
-    stats.emitted = emitted;
-    stats.aborted |= expand_clock.exhausted;
+    walker.run(root_task(g, order), &mut |l, r| expander.expand(l, r, sink));
+    let mut stats = walker.stats();
+    stats.emitted = expander.emitted;
+    stats.aborted |= expander.aborted();
     stats
+}
+
+/// The proportion analog of [`crate::fairbcem_pp::SsExpander`]: given
+/// a maximal biclique `(L, R)`, emit the PSSFBCs it contains via the
+/// exact `CombinationPro`.
+pub(crate) struct ProSsExpander<'a> {
+    g: &'a BipartiteGraph,
+    pro: ProParams,
+    attrs: &'a [bigraph::AttrValueId],
+    n_attrs: usize,
+    groups: Vec<Vec<VertexId>>,
+    /// Budget over expansion steps: a single `CombinationPro` can be
+    /// binomially large.
+    clock: BudgetClock,
+    /// PSSFBCs emitted so far.
+    pub(crate) emitted: u64,
+}
+
+impl<'a> ProSsExpander<'a> {
+    /// Constructor taking an explicit clock — the parallel engine
+    /// hands every worker a clock drawing from one shared countdown.
+    pub(crate) fn with_clock(g: &'a BipartiteGraph, pro: ProParams, clock: BudgetClock) -> Self {
+        let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
+        ProSsExpander {
+            g,
+            pro,
+            attrs: g.attrs(Side::Lower),
+            n_attrs,
+            groups: vec![Vec::new(); n_attrs],
+            clock,
+            emitted: 0,
+        }
+    }
+
+    /// True when the expansion budget expired mid-run (results are a
+    /// correct subset).
+    pub(crate) fn aborted(&self) -> bool {
+        self.clock.exhausted
+    }
+
+    pub(crate) fn expand(&mut self, l: &[VertexId], r: &[VertexId], sink: &mut dyn BicliqueSink) {
+        if self.clock.exhausted {
+            return;
+        }
+        let params = self.pro.base;
+        let counts = AttrCounts::of(r, self.attrs, self.n_attrs);
+        if is_fair_pro(counts.as_slice(), params.beta, params.delta, self.pro.theta) {
+            if self.clock.try_result() {
+                sink.emit(l, r);
+                self.emitted += 1;
+            }
+            self.clock.tick();
+            return;
+        }
+        for g_attr in self.groups.iter_mut() {
+            g_attr.clear();
+        }
+        for &v in r {
+            self.groups[self.attrs[v as usize] as usize].push(v);
+        }
+        let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
+        let g = self.g;
+        let emitted = &mut self.emitted;
+        let clock = &mut self.clock;
+        for_each_max_pro_fair_subset(
+            &group_refs,
+            params.beta,
+            params.delta,
+            self.pro.theta,
+            &mut |r_sub| {
+                // Empty fair sides are degenerate non-results.
+                if !r_sub.is_empty() && closure_equals(g, r_sub, l) && clock.try_result() {
+                    sink.emit(l, r_sub);
+                    *emitted += 1;
+                }
+                clock.tick()
+            },
+        );
+    }
 }
 
 /// Run `BFairBCEMPro++` on `g`: enumerate all proportion bi-side fair
@@ -95,47 +160,54 @@ pub fn bfairbcem_pro_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    let mut expander = ProBiSideExpander::new(g, pro, budget, sink);
-    let mut stats = fairbcem_pro_pp_on_pruned(g, pro, order, budget, &mut expander);
+    // One shared budget: the PSSFBC stage is intermediate (exempt
+    // from the result cap — only PBSFBCs are final results), and any
+    // tripped limit stops the whole chain.
+    let shared = SharedBudget::new(budget);
+    let mut expander = ProBiSideExpander::with_clock(g, pro, shared.clock(BudgetLane::Expand));
+    let mut chain = ProBiChainSink {
+        exp: &mut expander,
+        sink,
+    };
+    let mut stats = fairbcem_pro_pp_shared(g, pro, order, &shared, true, &mut chain);
     stats.emitted = expander.emitted;
-    stats.aborted |= expander.clock.exhausted;
+    stats.aborted |= expander.aborted();
     stats
 }
 
-/// Adapter from PSSFBCs to the PBSFBCs contained in them.
-struct ProBiSideExpander<'a> {
+/// The upper-side expansion step from PSSFBCs to the PBSFBCs
+/// contained in them.
+pub(crate) struct ProBiSideExpander<'a> {
     g: &'a BipartiteGraph,
     pro: ProParams,
     n_attrs_l: usize,
-    sink: &'a mut dyn BicliqueSink,
     clock: BudgetClock,
-    emitted: u64,
+    pub(crate) emitted: u64,
     groups: Vec<Vec<VertexId>>,
 }
 
 impl<'a> ProBiSideExpander<'a> {
-    fn new(
-        g: &'a BipartiteGraph,
-        pro: ProParams,
-        budget: Budget,
-        sink: &'a mut dyn BicliqueSink,
-    ) -> Self {
+    /// Constructor taking an explicit clock — the parallel engine
+    /// hands every worker a clock drawing from one shared countdown.
+    pub(crate) fn with_clock(g: &'a BipartiteGraph, pro: ProParams, clock: BudgetClock) -> Self {
         let n_attrs_u = (g.n_attr_values(Side::Upper) as usize).max(1);
         let n_attrs_l = (g.n_attr_values(Side::Lower) as usize).max(1);
         ProBiSideExpander {
             g,
             pro,
             n_attrs_l,
-            sink,
-            clock: budget.start(),
+            clock,
             emitted: 0,
             groups: vec![Vec::new(); n_attrs_u],
         }
     }
-}
 
-impl BicliqueSink for ProBiSideExpander<'_> {
-    fn emit(&mut self, l: &[VertexId], r: &[VertexId]) {
+    /// True when the expansion budget expired (results are a subset).
+    pub(crate) fn aborted(&self) -> bool {
+        self.clock.exhausted
+    }
+
+    pub(crate) fn expand(&mut self, l: &[VertexId], r: &[VertexId], sink: &mut dyn BicliqueSink) {
         if self.clock.exhausted {
             return;
         }
@@ -152,7 +224,6 @@ impl BicliqueSink for ProBiSideExpander<'_> {
         let g = self.g;
         let pro = self.pro;
         let n_attrs_l = self.n_attrs_l;
-        let sink = &mut *self.sink;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
         for_each_max_pro_fair_subset(
@@ -179,13 +250,27 @@ impl BicliqueSink for ProBiSideExpander<'_> {
                     pro.base.beta,
                     pro.base.delta,
                     pro.theta,
-                ) {
+                ) && clock.try_result()
+                {
                     sink.emit(l_sub, r);
                     *emitted += 1;
                 }
                 clock.tick()
             },
         );
+    }
+}
+
+/// [`BicliqueSink`] adapter chaining a PSSFBC enumerator into
+/// [`ProBiSideExpander::expand`] with a downstream sink.
+pub(crate) struct ProBiChainSink<'x, 'g> {
+    pub(crate) exp: &'x mut ProBiSideExpander<'g>,
+    pub(crate) sink: &'x mut dyn BicliqueSink,
+}
+
+impl BicliqueSink for ProBiChainSink<'_, '_> {
+    fn emit(&mut self, l: &[VertexId], r: &[VertexId]) {
+        self.exp.expand(l, r, self.sink);
     }
 }
 

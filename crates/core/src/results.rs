@@ -62,6 +62,16 @@ fn parse_side(tok: Option<&str>, line: usize) -> Result<Vec<VertexId>, String> {
         .collect()
 }
 
+/// Sort a result set into the canonical deterministic order
+/// (lexicographic on `(upper, lower)`).
+///
+/// This is the ordering [`crate::config::RunConfig::sorted`] applies:
+/// because parallel and serial runs produce identical result *sets*,
+/// canonically ordered output is byte-identical across thread counts.
+pub fn canonical_order(bicliques: &mut [Biclique]) {
+    bicliques.sort_unstable();
+}
+
 /// Symmetric difference of two result sets.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DiffReport {

@@ -49,6 +49,7 @@ fn collect_ss(
         prune,
         order,
         budget: Budget::UNLIMITED,
+        ..RunConfig::default()
     };
     let mut sink = CollectSink::default();
     run_ssfbc(g, params, algo, &cfg, &mut sink);
@@ -84,7 +85,7 @@ proptest! {
         let want = oracle_bsfbc(&g, params);
         for algo in [BiAlgorithm::Bnsf, BiAlgorithm::BFairBcem, BiAlgorithm::BFairBcemPP] {
             for prune in [PruneKind::None, PruneKind::FCore, PruneKind::Colorful] {
-                let cfg = RunConfig { prune, order: VertexOrder::DegreeDesc, budget: Budget::UNLIMITED };
+                let cfg = RunConfig { prune, order: VertexOrder::DegreeDesc, ..RunConfig::default() };
                 let mut sink = CollectSink::default();
                 run_bsfbc(&g, params, algo, &cfg, &mut sink);
                 let got: BTreeSet<Biclique> = sink.bicliques.iter().cloned().collect();
@@ -103,7 +104,7 @@ proptest! {
         let pro = ProParams::new(a, b, d, theta).unwrap();
         let want = oracle_pssfbc(&g, pro);
         for prune in [PruneKind::None, PruneKind::Colorful] {
-            let cfg = RunConfig { prune, order: VertexOrder::DegreeDesc, budget: Budget::UNLIMITED };
+            let cfg = RunConfig { prune, order: VertexOrder::DegreeDesc, ..RunConfig::default() };
             let mut sink = CollectSink::default();
             run_pssfbc(&g, pro, &cfg, &mut sink);
             let got: BTreeSet<Biclique> = sink.bicliques.into_iter().collect();

@@ -15,6 +15,7 @@ fn default_cfg() -> RunConfig {
         prune: PruneKind::Colorful,
         order: VertexOrder::DegreeDesc,
         budget: Budget::time(std::time::Duration::from_secs(20)),
+        ..RunConfig::default()
     }
 }
 

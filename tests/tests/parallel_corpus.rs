@@ -1,10 +1,14 @@
-//! Parallel FairBCEM++ vs serial on corpus-scale graphs, plus the
-//! attribute-skew sensitivity the skewed generator enables.
+//! The parallel engine vs serial on corpus-scale graphs — every
+//! miner — plus the attribute-skew sensitivity the skewed generator
+//! enables.
 
 use fair_biclique::biclique::Biclique;
 use fair_biclique::config::{FairParams, RunConfig};
+use fair_biclique::maximum::{max_bsfbc, max_ssfbc, SizeMetric};
 use fair_biclique::parallel::par_enumerate_ssfbc;
-use fair_biclique::pipeline::enumerate_ssfbc;
+use fair_biclique::pipeline::{
+    enumerate_bsfbc, enumerate_pbsfbc, enumerate_pssfbc, enumerate_ssfbc,
+};
 use fbe_datasets::corpus::{spec, Dataset};
 use std::collections::BTreeSet;
 
@@ -27,6 +31,47 @@ fn parallel_matches_serial_on_youtube_corpus() {
             "threads {threads}: duplicates"
         );
         assert_eq!(got, serial, "threads {threads}");
+    }
+}
+
+#[test]
+fn all_parallel_miners_match_serial_on_youtube_corpus() {
+    let s = spec(Dataset::Youtube);
+    let g = s.build();
+    let params = s.single_params();
+    let bi = s.bi_params();
+    let pro = s.single_pro_params();
+    let bi_pro = s.bi_pro_params();
+    let sorted = RunConfig {
+        sorted: true,
+        ..RunConfig::default()
+    };
+    let want = (
+        enumerate_ssfbc(&g, params, &sorted).bicliques,
+        enumerate_bsfbc(&g, bi, &sorted).bicliques,
+        enumerate_pssfbc(&g, pro, &sorted).bicliques,
+        enumerate_pbsfbc(&g, bi_pro, &sorted).bicliques,
+        max_ssfbc(&g, params, SizeMetric::Edges, &sorted).0,
+        max_bsfbc(&g, bi, SizeMetric::Vertices, &sorted).0,
+    );
+    assert!(!want.0.is_empty());
+    for threads in [2usize, 4, 8] {
+        for split_depth in [1u32, 2] {
+            let cfg = RunConfig {
+                threads,
+                split_depth,
+                ..sorted.clone()
+            };
+            let got = (
+                enumerate_ssfbc(&g, params, &cfg).bicliques,
+                enumerate_bsfbc(&g, bi, &cfg).bicliques,
+                enumerate_pssfbc(&g, pro, &cfg).bicliques,
+                enumerate_pbsfbc(&g, bi_pro, &cfg).bicliques,
+                max_ssfbc(&g, params, SizeMetric::Edges, &cfg).0,
+                max_bsfbc(&g, bi, SizeMetric::Vertices, &cfg).0,
+            );
+            assert_eq!(got, want, "threads {threads} split {split_depth}");
+        }
     }
 }
 

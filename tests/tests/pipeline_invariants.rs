@@ -22,6 +22,7 @@ fn ss_set(
         prune,
         order,
         budget: Budget::UNLIMITED,
+        ..RunConfig::default()
     };
     let mut sink = CollectSink::default();
     run_ssfbc(g, params, algo, &cfg, &mut sink);
@@ -92,6 +93,7 @@ fn bsfbc_results_satisfy_definition_and_algorithms_agree() {
                     prune,
                     order: VertexOrder::IdAsc,
                     budget: Budget::UNLIMITED,
+                    ..RunConfig::default()
                 };
                 let mut sink = CollectSink::default();
                 run_bsfbc(&g, params, algo, &cfg, &mut sink);
