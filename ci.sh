@@ -33,10 +33,12 @@ cargo test -q
 # the smoke steps against the debug profile and skip the bench build
 # so no release compilation happens at all.
 if [[ $quick -eq 0 ]]; then
-    step "cargo bench --no-run (all 12 bench targets must compile)"
+    step "cargo bench --no-run (all 13 bench targets must compile)"
     cargo bench --no-run
     step "cargo bench --bench parallel_scaling --no-run (engine scaling target)"
     cargo bench --bench parallel_scaling --no-run
+    step "cargo bench --bench substrate_compare --no-run (substrate target)"
+    cargo bench --bench substrate_compare --no-run
     profile_flag=(--release)
 else
     profile_flag=()
@@ -62,5 +64,18 @@ cargo run "${profile_flag[@]}" --bin fbe -- \
 diff "$smokedir/t1.out" "$smokedir/t4.out"
 cargo run "${profile_flag[@]}" --bin fbe -- \
     maximum "$smokedir/g" --alpha 2 --beta 1 --delta 1 --threads 4 >/dev/null
+
+step "smoke: candidate substrates — sorted output identical bitset vs sorted-vec"
+cargo run "${profile_flag[@]}" --bin fbe -- \
+    enumerate "$smokedir/g" --alpha 2 --beta 1 --delta 1 --sorted \
+    --substrate sorted-vec > "$smokedir/sv.out"
+cargo run "${profile_flag[@]}" --bin fbe -- \
+    enumerate "$smokedir/g" --alpha 2 --beta 1 --delta 1 --sorted \
+    --substrate bitset > "$smokedir/bit.out"
+diff "$smokedir/sv.out" "$smokedir/bit.out"
+cargo run "${profile_flag[@]}" --bin fbe -- \
+    enumerate "$smokedir/g" --alpha 2 --beta 1 --delta 1 --sorted \
+    --substrate bitset --threads 4 > "$smokedir/bit4.out"
+diff "$smokedir/sv.out" "$smokedir/bit4.out"
 
 printf '\n\033[1;32mCI green.\033[0m\n'

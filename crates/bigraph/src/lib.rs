@@ -7,6 +7,10 @@
 //! * [`BipartiteGraph`] — an immutable, CSR-backed, attributed bipartite
 //!   graph `G = (U, V, E, A)` with one attribute value per vertex.
 //! * [`GraphBuilder`] — validated, deduplicating construction.
+//! * [`candidate`] — the pluggable candidate-set substrate
+//!   ([`Substrate`]): sorted-vec merge intersections vs fixed-width
+//!   `u64` bitset rows ([`BitRows`]) behind the [`CandidateOps`]
+//!   trait, with an adaptive `Auto` policy for pruned dense cores.
 //! * [`UniGraph`] — an attributed *unipartite* graph used for the 2-hop
 //!   projections of Algorithms 3 and 8 of the paper.
 //! * [`twohop`] — `Construct2HopGraph` / `BiConstruct2HopGraph`.
@@ -33,6 +37,7 @@
 
 pub mod builder;
 pub mod butterfly;
+pub mod candidate;
 pub mod cliques;
 pub mod coloring;
 pub mod generate;
@@ -44,6 +49,7 @@ pub mod twohop;
 pub mod unigraph;
 
 pub use builder::{BuildError, GraphBuilder};
+pub use candidate::{AdjOps, BitRows, CandidateOps, CandidatePlan, Substrate};
 pub use graph::{AttrValueId, BipartiteGraph, Side, VertexId};
 pub use unigraph::UniGraph;
 

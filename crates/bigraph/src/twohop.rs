@@ -14,6 +14,7 @@
 //! counting array with a touched-list reset so no per-vertex allocation
 //! happens in the hot loop.
 
+use crate::candidate::{and_count, BitRows, Substrate};
 use crate::graph::{BipartiteGraph, Side, VertexId};
 use crate::unigraph::UniGraph;
 
@@ -22,7 +23,68 @@ use crate::unigraph::UniGraph;
 ///
 /// `alpha = 0` would connect everything; callers always pass `alpha ≥ 1`.
 /// Vertex ids and attributes of `H` coincide with those of `fair_side`.
+///
+/// Dispatches on [`Substrate::Auto`]: small dense (pruned) inputs run
+/// the bitset-row pair scan, everything else the output-sensitive
+/// counting pass. See [`construct_2hop_with`] to force a substrate.
 pub fn construct_2hop(g: &BipartiteGraph, fair_side: Side, alpha: usize) -> UniGraph {
+    construct_2hop_with(g, fair_side, alpha, Substrate::Auto)
+}
+
+/// [`construct_2hop`] with an explicit candidate substrate.
+pub fn construct_2hop_with(
+    g: &BipartiteGraph,
+    fair_side: Side,
+    alpha: usize,
+    substrate: Substrate,
+) -> UniGraph {
+    let use_bitset = match substrate {
+        Substrate::SortedVec => false,
+        Substrate::Bitset => true,
+        // The pair scan is Θ(n² · words): profitable only on small
+        // dense cores, a stricter gate than the enumeration policy.
+        Substrate::Auto => {
+            g.n(fair_side) <= 1024
+                && g.n(fair_side.other()) <= Substrate::AUTO_MAX_SIDE
+                && g.density() >= 0.02
+        }
+    };
+    if use_bitset {
+        construct_2hop_bitset(g, fair_side, alpha)
+    } else {
+        construct_2hop_counting(g, fair_side, alpha)
+    }
+}
+
+/// Bitset-row 2-hop: popcount every vertex pair's row `AND`. Wins on
+/// small dense cores where rows are a few words and the counting
+/// pass's `Σ d²` blows up.
+fn construct_2hop_bitset(g: &BipartiteGraph, fair_side: Side, alpha: usize) -> UniGraph {
+    let n = g.n(fair_side);
+    let alpha = alpha.max(1);
+    let rows = BitRows::from_side(g, fair_side);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for x in 0..n as VertexId {
+        let rx = rows.row(x);
+        // Skip rows that cannot reach alpha at all.
+        if g.degree(fair_side, x) < alpha {
+            continue;
+        }
+        for y in (x + 1)..n as VertexId {
+            if g.degree(fair_side, y) >= alpha && and_count(rx, rows.row(y)) >= alpha {
+                edges.push((x, y));
+            }
+        }
+    }
+    UniGraph::from_edges(
+        g.n_attr_values(fair_side),
+        g.attrs(fair_side).to_vec(),
+        &edges,
+    )
+}
+
+/// Counting-pass 2-hop (the classic `O(Σ_u d(u)²)` construction).
+fn construct_2hop_counting(g: &BipartiteGraph, fair_side: Side, alpha: usize) -> UniGraph {
     let n = g.n(fair_side);
     let alpha = alpha.max(1);
     let mut count = vec![0u32; n];
@@ -276,6 +338,25 @@ mod tests {
         let s = construct_2hop(&g, Side::Upper, 2);
         let p = construct_2hop_par(&g, Side::Upper, 2, 4);
         assert_eq!(s.n_edges(), p.n_edges());
+    }
+
+    #[test]
+    fn substrates_agree_on_2hop() {
+        use crate::generate::random_uniform;
+        let g = random_uniform(30, 45, 350, 2, 2, 13);
+        for side in [Side::Lower, Side::Upper] {
+            for alpha in 1usize..5 {
+                let counting = construct_2hop_with(&g, side, alpha, Substrate::SortedVec);
+                let bitset = construct_2hop_with(&g, side, alpha, Substrate::Bitset);
+                assert_eq!(counting.n(), bitset.n());
+                assert_eq!(counting.n_edges(), bitset.n_edges(), "{side} α={alpha}");
+                for v in 0..counting.n() as VertexId {
+                    assert_eq!(counting.neighbors(v), bitset.neighbors(v), "{side} {v}");
+                }
+                let auto = construct_2hop_with(&g, side, alpha, Substrate::Auto);
+                assert_eq!(auto.n_edges(), counting.n_edges());
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no CLI dependency needed for five
 //! subcommands) producing a typed [`Command`].
 
-use fair_biclique::config::VertexOrder;
+use fair_biclique::config::{Substrate, VertexOrder};
 use fair_biclique::maximum::SizeMetric;
 use fair_biclique::pipeline::{BiAlgorithm, SsAlgorithm};
 use fbe_datasets::corpus::Dataset;
@@ -97,6 +97,8 @@ pub enum Command {
         threads: usize,
         /// Sort results into the canonical deterministic order.
         sorted: bool,
+        /// Candidate-set substrate for the enumeration hot path.
+        substrate: Substrate,
     },
     /// `fbe maximum`.
     Maximum {
@@ -118,6 +120,8 @@ pub enum Command {
         budget: Option<Duration>,
         /// Worker threads (>1 searches on the parallel engine).
         threads: usize,
+        /// Candidate-set substrate for the search hot path.
+        substrate: Substrate,
     },
 }
 
@@ -313,6 +317,7 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
     let mut budget = None;
     let mut threads = 1usize;
     let mut sorted = false;
+    let mut substrate = Substrate::Auto;
     while let Some(a) = c.next() {
         match a {
             "--alpha" => alpha = Some(parse_u32(c.value("--alpha")?, "--alpha")?),
@@ -363,6 +368,12 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--sorted" => sorted = true,
+            "--substrate" => {
+                substrate = c
+                    .value("--substrate")?
+                    .parse()
+                    .map_err(|e| format!("--substrate: {e}"))?
+            }
             other => return Err(format!("enumerate: unknown argument {other:?}")),
         }
     }
@@ -389,6 +400,7 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
         budget,
         threads: threads.max(1),
         sorted,
+        substrate,
     })
 }
 
@@ -402,6 +414,7 @@ fn parse_maximum(c: &mut Cursor<'_>) -> Result<Command, String> {
     let mut order = VertexOrder::DegreeDesc;
     let mut budget = None;
     let mut threads = 1usize;
+    let mut substrate = Substrate::Auto;
     while let Some(a) = c.next() {
         match a {
             "--alpha" => alpha = Some(parse_u32(c.value("--alpha")?, "--alpha")?),
@@ -435,6 +448,12 @@ fn parse_maximum(c: &mut Cursor<'_>) -> Result<Command, String> {
                     .parse::<usize>()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--substrate" => {
+                substrate = c
+                    .value("--substrate")?
+                    .parse()
+                    .map_err(|e| format!("--substrate: {e}"))?
+            }
             other => return Err(format!("maximum: unknown argument {other:?}")),
         }
     }
@@ -452,6 +471,7 @@ fn parse_maximum(c: &mut Cursor<'_>) -> Result<Command, String> {
         order,
         budget,
         threads: threads.max(1),
+        substrate,
     })
 }
 
@@ -544,6 +564,8 @@ mod tests {
             "--threads",
             "4",
             "--sorted",
+            "--substrate",
+            "bitset",
         ]))
         .unwrap();
         match cmd {
@@ -559,6 +581,7 @@ mod tests {
                 budget,
                 threads,
                 sorted,
+                substrate,
                 ..
             } => {
                 assert_eq!((alpha, beta, delta), (3, 2, 1));
@@ -570,6 +593,7 @@ mod tests {
                 assert_eq!(budget, Some(Duration::from_secs(7)));
                 assert_eq!(threads, 4);
                 assert!(sorted);
+                assert_eq!(substrate, Substrate::Bitset);
             }
             other => panic!("{other:?}"),
         }
@@ -591,6 +615,8 @@ mod tests {
             "edges",
             "--threads",
             "3",
+            "--substrate",
+            "sorted-vec",
         ]))
         .unwrap();
         match cmd {
@@ -601,12 +627,14 @@ mod tests {
                 bi,
                 metric,
                 threads,
+                substrate,
                 ..
             } => {
                 assert_eq!((alpha, beta, delta), (2, 1, 1));
                 assert!(bi);
                 assert_eq!(metric, SizeMetric::Edges);
                 assert_eq!(threads, 3);
+                assert_eq!(substrate, Substrate::SortedVec);
             }
             other => panic!("{other:?}"),
         }
@@ -634,6 +662,19 @@ mod tests {
         ]))
         .is_err());
         assert!(parse(&sv(&["enumerate", "g", "--beta", "1", "--delta", "0"])).is_err());
+        assert!(parse(&sv(&[
+            "enumerate",
+            "g",
+            "--alpha",
+            "1",
+            "--beta",
+            "1",
+            "--delta",
+            "0",
+            "--substrate",
+            "bogus"
+        ]))
+        .is_err());
         assert!(parse(&sv(&["prune", "g", "--alpha", "1"])).is_err());
         assert!(parse(&sv(&["prune", "g", "--alpha", "x", "--beta", "1"])).is_err());
     }

@@ -3,7 +3,7 @@
 use crate::args::{bi_algo_of, Command, GenerateKind, GraphSource};
 use bigraph::{BipartiteGraph, Side};
 use fair_biclique::biclique::{CollectSink, CountSink, TopKSink};
-use fair_biclique::config::{Budget, FairParams, ProParams, RunConfig, VertexOrder};
+use fair_biclique::config::{Budget, FairParams, ProParams, RunConfig, Substrate, VertexOrder};
 use fair_biclique::pipeline::{
     prune_bi_side, prune_single_side, run_bsfbc, run_pbsfbc, run_pssfbc, run_ssfbc, SsAlgorithm,
 };
@@ -37,9 +37,10 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             budget,
             threads,
             sorted,
+            substrate,
         } => enumerate(
             &source, alpha, beta, delta, theta, bi, algo, order, count_only, top, budget, threads,
-            sorted,
+            sorted, substrate,
         ),
         Command::Maximum {
             source,
@@ -51,8 +52,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             order,
             budget,
             threads,
+            substrate,
         } => maximum(
-            &source, alpha, beta, delta, bi, metric, order, budget, threads,
+            &source, alpha, beta, delta, bi, metric, order, budget, threads, substrate,
         ),
     }
 }
@@ -214,6 +216,7 @@ fn enumerate(
     budget: Option<std::time::Duration>,
     threads: usize,
     sorted: bool,
+    substrate: Substrate,
 ) -> Result<String, String> {
     let g = load(source)?;
     let params = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
@@ -222,6 +225,7 @@ fn enumerate(
         budget: budget.map_or(Budget::UNLIMITED, Budget::time),
         threads,
         sorted,
+        substrate,
         ..RunConfig::default()
     };
     let model = match (bi, theta.is_some()) {
@@ -330,6 +334,7 @@ fn maximum(
     order: VertexOrder,
     budget: Option<std::time::Duration>,
     threads: usize,
+    substrate: Substrate,
 ) -> Result<String, String> {
     let g = load(source)?;
     let params = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
@@ -337,6 +342,7 @@ fn maximum(
         order,
         budget: budget.map_or(Budget::UNLIMITED, Budget::time),
         threads,
+        substrate,
         ..RunConfig::default()
     };
     let (best, _) = if bi {

@@ -38,9 +38,11 @@ USAGE:
         [--theta <F>] [--bi] [--algo <nsf|bcem|bcem++>]
         [--order <id|degree>] [--count-only] [--top <K>]
         [--budget-secs <N>] [--threads <N>] [--sorted]
+        [--substrate <auto|sorted-vec|bitset>]
   fbe maximum <stem> --alpha <N> --beta <N> --delta <N>
         [--bi] [--metric <vertices|edges>] [--order <id|degree>]
         [--budget-secs <N>] [--threads <N>]
+        [--substrate <auto|sorted-vec|bitset>]
 
 A <stem> refers to the three files written by `fbe generate`:
   <stem>.edges, <stem>.uattr, <stem>.lattr
@@ -51,6 +53,11 @@ combine with --attrs to declare domain sizes).
 work-stealing parallel engine; budgets stay global, and with --sorted
 the output is byte-identical across thread counts.
 
+--substrate selects the candidate-set representation of the hot path:
+sorted-vec merge intersections, u64 bitset rows with popcount, or
+auto (the default: bitsets when the pruned core is small and dense).
+Results are identical across substrates — only speed/memory differ.
+
 EXAMPLES:
   fbe generate --dataset youtube --out /tmp/yt
   fbe stats /tmp/yt
@@ -58,6 +65,7 @@ EXAMPLES:
   fbe enumerate /tmp/yt --alpha 8 --beta 8 --delta 2 --top 3
   fbe enumerate /tmp/yt --alpha 5 --beta 5 --delta 2 --bi --count-only
   fbe enumerate /tmp/yt --alpha 8 --beta 8 --delta 2 --threads 4 --sorted
+  fbe enumerate /tmp/yt --alpha 8 --beta 8 --delta 2 --substrate bitset
   fbe maximum /tmp/yt --alpha 8 --beta 8 --delta 2 --metric edges --threads 4
 ";
 
@@ -184,6 +192,13 @@ mod tests {
             let mut argv = base.clone();
             argv.extend(sv(&["--threads", threads]));
             assert_eq!(run(&argv).unwrap(), one, "threads {threads}");
+        }
+
+        // ... and across candidate substrates
+        for substrate in ["sorted-vec", "bitset", "auto"] {
+            let mut argv = base.clone();
+            argv.extend(sv(&["--substrate", substrate]));
+            assert_eq!(run(&argv).unwrap(), one, "substrate {substrate}");
         }
 
         // parallel count-only and top-k stream; results match serial

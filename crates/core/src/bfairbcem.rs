@@ -16,10 +16,13 @@
 //! (`L' = N(R')`), and `Combination` emits each `l'` once.
 
 use crate::biclique::{BicliqueSink, EnumStats};
-use crate::config::{Budget, BudgetClock, BudgetLane, FairParams, SharedBudget, VertexOrder};
+use crate::config::{
+    Budget, BudgetClock, BudgetLane, FairParams, SharedBudget, Substrate, VertexOrder,
+};
 use crate::fairbcem::fairbcem_with_clock;
 use crate::fairbcem_pp::fairbcem_pp_shared;
 use crate::fairset::{for_each_max_fair_subset, is_maximal_fair_subset, AttrCounts};
+use bigraph::candidate::{AdjOps, CandidateOps, CandidatePlan};
 use bigraph::{BipartiteGraph, Side, VertexId};
 
 /// The upper-side expansion step of Algorithm 9 (lines 4–8): given an
@@ -32,6 +35,8 @@ pub(crate) struct BiSideExpander<'a> {
     g: &'a BipartiteGraph,
     params: FairParams,
     n_attrs_l: usize,
+    /// Upper-side candidate ops (`N(l')` intersects upper adjacency).
+    ops: AdjOps<'a>,
     /// Budget over upper-side expansion steps (one `Combination` can
     /// be binomially large).
     clock: BudgetClock,
@@ -41,11 +46,13 @@ pub(crate) struct BiSideExpander<'a> {
 }
 
 impl<'a> BiSideExpander<'a> {
-    /// Constructor taking an explicit clock — the parallel engine
-    /// hands every worker a clock drawing from one shared countdown.
+    /// Constructor taking explicit upper-side candidate ops and a
+    /// clock — the parallel engine hands every worker its own handles
+    /// drawing from the shared rows and countdown.
     pub(crate) fn with_clock(
         g: &'a BipartiteGraph,
         params: FairParams,
+        ops: AdjOps<'a>,
         clock: BudgetClock,
     ) -> Self {
         let n_attrs_u = (g.n_attr_values(Side::Upper) as usize).max(1);
@@ -54,6 +61,7 @@ impl<'a> BiSideExpander<'a> {
             g,
             params,
             n_attrs_l,
+            ops,
             clock,
             emitted: 0,
             groups: vec![Vec::new(); n_attrs_u],
@@ -81,14 +89,15 @@ impl<'a> BiSideExpander<'a> {
         let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
 
         let base = AttrCounts::of(r, attrs_l, self.n_attrs_l);
-        let g = self.g;
         let params = self.params;
         let n_attrs_l = self.n_attrs_l;
+        let ops = &mut self.ops;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
+        let mut nl: Vec<VertexId> = Vec::new();
         for_each_max_fair_subset(&group_refs, params.alpha, params.delta, &mut |l_sub| {
             // Candidates for extending R': N(l_sub) \ R'.
-            let nl = g.common_neighbors(Side::Upper, l_sub);
+            ops.common_neighbors_into(l_sub, &mut nl);
             debug_assert!(bigraph::is_sorted_subset(r, &nl), "R' ⊆ N(l')");
             let mut cand = AttrCounts::zeros(n_attrs_l);
             let mut i = 0usize;
@@ -135,11 +144,30 @@ pub fn bfairbcem_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
+    bfairbcem_with(g, params, order, budget, Substrate::Auto, sink)
+}
+
+/// [`bfairbcem_on_pruned`] with an explicit candidate substrate for
+/// the upper-side expansion stage.
+pub fn bfairbcem_with(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    budget: Budget,
+    substrate: Substrate,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
     // One shared budget across all stages: the SSFBC stage is
     // intermediate (exempt from the result cap — only BSFBCs are
     // final results), but any tripped limit stops the whole chain.
+    let plan = CandidatePlan::build(g, substrate, true);
     let shared = SharedBudget::new(budget);
-    let mut expander = BiSideExpander::with_clock(g, params, shared.clock(BudgetLane::Expand));
+    let mut expander = BiSideExpander::with_clock(
+        g,
+        params,
+        plan.ops(g, Side::Upper),
+        shared.clock(BudgetLane::Expand),
+    );
     let mut chain = BiChainSink {
         exp: &mut expander,
         sink,
@@ -159,13 +187,33 @@ pub fn bfairbcem_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
+    bfairbcem_pp_with(g, params, order, budget, Substrate::Auto, sink)
+}
+
+/// [`bfairbcem_pp_on_pruned`] with an explicit candidate substrate
+/// shared by the walker, the fair-side expansion, and the upper-side
+/// expansion.
+pub fn bfairbcem_pp_with(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    budget: Budget,
+    substrate: Substrate,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let plan = CandidatePlan::build(g, substrate, true);
     let shared = SharedBudget::new(budget);
-    let mut expander = BiSideExpander::with_clock(g, params, shared.clock(BudgetLane::Expand));
+    let mut expander = BiSideExpander::with_clock(
+        g,
+        params,
+        plan.ops(g, Side::Upper),
+        shared.clock(BudgetLane::Expand),
+    );
     let mut chain = BiChainSink {
         exp: &mut expander,
         sink,
     };
-    let mut stats = fairbcem_pp_shared(g, params, order, &shared, true, &mut chain);
+    let mut stats = fairbcem_pp_shared(g, params, order, &shared, true, &plan, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
     stats

@@ -1,5 +1,6 @@
 //! Parameters and run configuration for the fair biclique models.
 
+pub use bigraph::candidate::Substrate;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -395,6 +396,11 @@ pub struct RunConfig {
     /// branches only). Raise for skewed instances where a handful of
     /// top-level branches dominate the work. Ignored by serial runs.
     pub split_depth: u32,
+    /// Candidate-set substrate for the enumeration hot path (default
+    /// [`Substrate::Auto`]: bitset rows when the pruned core is small
+    /// and dense, sorted-vec merge otherwise). Results are identical
+    /// across substrates — only speed and memory differ.
+    pub substrate: Substrate,
 }
 
 impl Default for RunConfig {
@@ -406,6 +412,7 @@ impl Default for RunConfig {
             threads: 1,
             sorted: false,
             split_depth: 1,
+            substrate: Substrate::Auto,
         }
     }
 }
@@ -431,6 +438,14 @@ impl RunConfig {
     pub fn with_threads(threads: usize) -> Self {
         RunConfig {
             threads: threads.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Config with everything default except the candidate substrate.
+    pub fn with_substrate(substrate: Substrate) -> Self {
+        RunConfig {
+            substrate,
             ..Default::default()
         }
     }
@@ -565,6 +580,7 @@ mod tests {
         assert_eq!(cfg.threads, 1);
         assert!(!cfg.sorted);
         assert_eq!(cfg.split_depth, 1);
+        assert_eq!(cfg.substrate, Substrate::Auto);
         assert_eq!(RunConfig::with_threads(0).threads, 1);
         assert_eq!(RunConfig::with_threads(7).threads, 7);
     }

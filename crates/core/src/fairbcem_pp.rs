@@ -20,13 +20,17 @@
 //! subsets with `N(R*) = L*`.
 
 use crate::biclique::{BicliqueSink, EnumStats};
-use crate::config::{Budget, BudgetClock, BudgetLane, FairParams, SharedBudget, VertexOrder};
+use crate::config::{
+    Budget, BudgetClock, BudgetLane, FairParams, SharedBudget, Substrate, VertexOrder,
+};
 use crate::fairset::{for_each_max_fair_subset, is_fair, AttrCounts};
 use crate::mbea::{root_task, RBound, Walker};
-use bigraph::{intersect_sorted_into, BipartiteGraph, Side, VertexId};
+use bigraph::candidate::{AdjOps, CandidateOps, CandidatePlan};
+use bigraph::{BipartiteGraph, Side, VertexId};
 use std::sync::Arc;
 
-/// Run `FairBCEM++` on `g` (assumed already pruned; fair side = lower).
+/// Run `FairBCEM++` on `g` (assumed already pruned; fair side = lower)
+/// on the adaptive candidate substrate.
 pub fn fairbcem_pp_on_pruned(
     g: &BipartiteGraph,
     params: FairParams,
@@ -34,7 +38,29 @@ pub fn fairbcem_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    fairbcem_pp_shared(g, params, order, &SharedBudget::new(budget), false, sink)
+    fairbcem_pp_with(g, params, order, budget, Substrate::Auto, sink)
+}
+
+/// [`fairbcem_pp_on_pruned`] with an explicit candidate substrate
+/// (results are identical across substrates).
+pub fn fairbcem_pp_with(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    budget: Budget,
+    substrate: Substrate,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let plan = CandidatePlan::build(g, substrate, false);
+    fairbcem_pp_shared(
+        g,
+        params,
+        order,
+        &SharedBudget::new(budget),
+        false,
+        &plan,
+        sink,
+    )
 }
 
 /// `FairBCEM++` with walker and expander clocks drawn from one shared
@@ -42,13 +68,14 @@ pub fn fairbcem_pp_on_pruned(
 /// only the expander's clock consumes — stops the whole walk.
 /// `intermediate` exempts emissions from the result budget (bi-side
 /// chains: SSFBCs feeding an upper-side expansion are not final
-/// results).
+/// results). Walker and expander both draw candidate ops from `plan`.
 pub(crate) fn fairbcem_pp_shared(
     g: &BipartiteGraph,
     params: FairParams,
     order: VertexOrder,
     shared: &Arc<SharedBudget>,
     intermediate: bool,
+    plan: &CandidatePlan,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
     let expand_clock = if intermediate {
@@ -56,7 +83,7 @@ pub(crate) fn fairbcem_pp_shared(
     } else {
         shared.clock(BudgetLane::Expand)
     };
-    let mut expander = SsExpander::with_clock(g, params, expand_clock);
+    let mut expander = SsExpander::with_clock(g, params, plan.ops(g, Side::Lower), expand_clock);
     let mut walker = Walker::new(
         g,
         params.alpha as usize,
@@ -64,9 +91,12 @@ pub(crate) fn fairbcem_pp_shared(
             attrs: g.attrs(Side::Lower),
             beta: params.beta,
         },
+        plan.ops(g, Side::Lower),
         shared.clock(BudgetLane::Walk),
     );
-    walker.run(root_task(g, order), &mut |l, r| expander.expand(l, r, sink));
+    walker.run(root_task(g, order, plan.choice()), &mut |l, r| {
+        expander.expand(l, r, sink)
+    });
     let mut stats = walker.stats();
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
@@ -77,11 +107,13 @@ pub(crate) fn fairbcem_pp_shared(
 /// the serial and parallel drivers share it: given a maximal biclique
 /// `(L, R)` with `|L| ≥ α`, emit the SSFBCs it contains.
 pub(crate) struct SsExpander<'a> {
-    g: &'a BipartiteGraph,
     params: FairParams,
     attrs: &'a [bigraph::AttrValueId],
     n_attrs: usize,
     groups: Vec<Vec<VertexId>>,
+    /// Lower-side candidate ops (closure checks intersect the fair
+    /// side's adjacency).
+    ops: AdjOps<'a>,
     /// Budget over expansion steps: a single `Combination` can produce
     /// binomially many subsets, so the walker's node budget alone
     /// cannot bound a run.
@@ -91,20 +123,22 @@ pub(crate) struct SsExpander<'a> {
 }
 
 impl<'a> SsExpander<'a> {
-    /// Constructor taking an explicit clock — the parallel engine
-    /// hands every worker a clock drawing from one shared countdown.
+    /// Constructor taking explicit candidate ops and clock — the
+    /// parallel engine hands every worker its own handles drawing from
+    /// the shared rows and countdown.
     pub(crate) fn with_clock(
         g: &'a BipartiteGraph,
         params: FairParams,
+        ops: AdjOps<'a>,
         clock: BudgetClock,
     ) -> Self {
         let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
         SsExpander {
-            g,
             params,
             attrs: g.attrs(Side::Lower),
             n_attrs,
             groups: vec![Vec::new(); n_attrs],
+            ops,
             clock,
             emitted: 0,
         }
@@ -137,7 +171,7 @@ impl<'a> SsExpander<'a> {
             self.groups[self.attrs[v as usize] as usize].push(v);
         }
         let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
-        let g = self.g;
+        let ops = &mut self.ops;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
         for_each_max_fair_subset(
@@ -148,7 +182,10 @@ impl<'a> SsExpander<'a> {
                 // With beta = 0 the unique maximal fair subset can be
                 // empty (e.g. counts (3,0) at delta 0); an empty fair
                 // side is a degenerate non-result in every model.
-                if !r_sub.is_empty() && closure_equals(g, r_sub, l) && clock.try_result() {
+                // `(L, r')` is an SSFBC iff `N(r') = L` exactly;
+                // `l ⊆ N(r_sub)` holds by construction, so comparing
+                // closure size against `|l|` suffices.
+                if !r_sub.is_empty() && ops.closure_matches(r_sub, l.len()) && clock.try_result() {
                     sink.emit(l, r_sub);
                     *emitted += 1;
                 }
@@ -156,26 +193,6 @@ impl<'a> SsExpander<'a> {
             },
         );
     }
-}
-
-/// Does the common neighborhood of `r_sub` equal exactly `l`?
-///
-/// `l ⊆ N(r_sub)` holds by construction, so it suffices to check the
-/// sizes after intersecting the members' adjacency lists.
-pub(crate) fn closure_equals(g: &BipartiteGraph, r_sub: &[VertexId], l: &[VertexId]) -> bool {
-    debug_assert!(!r_sub.is_empty());
-    let mut acc: Vec<VertexId> = g.neighbors(Side::Lower, r_sub[0]).to_vec();
-    let mut tmp: Vec<VertexId> = Vec::new();
-    for &v in &r_sub[1..] {
-        if acc.len() == l.len() {
-            // Already shrunk to |l|; since l ⊆ N(r_sub) ⊆ acc it can
-            // only stay equal.
-            break;
-        }
-        intersect_sorted_into(&acc, g.neighbors(Side::Lower, v), &mut tmp);
-        std::mem::swap(&mut acc, &mut tmp);
-    }
-    acc.len() == l.len()
 }
 
 #[cfg(test)]
@@ -266,6 +283,7 @@ mod tests {
 
     #[test]
     fn closure_check() {
+        use bigraph::candidate::CandidateOps;
         let mut b = GraphBuilder::new(1, 1);
         for u in 0..3 {
             for v in 0..3 {
@@ -274,10 +292,14 @@ mod tests {
         }
         b.add_edge(0, 3); // v3 only sees u0
         let g = b.build().unwrap();
-        // N({0,1,2}) = {0,1,2}; N({3}) = {0}
-        assert!(closure_equals(&g, &[0, 1, 2], &[0, 1, 2]));
-        assert!(!closure_equals(&g, &[0, 1], &[0, 1])); // N({0,1}) = {0,1,2}
-        assert!(closure_equals(&g, &[3], &[0]));
+        for substrate in [Substrate::SortedVec, Substrate::Bitset] {
+            let plan = CandidatePlan::build(&g, substrate, false);
+            let mut ops = plan.ops(&g, Side::Lower);
+            // N({0,1,2}) = {0,1,2}; N({3}) = {0}
+            assert!(ops.closure_matches(&[0, 1, 2], 3));
+            assert!(!ops.closure_matches(&[0, 1], 2)); // N({0,1}) = {0,1,2}
+            assert!(ops.closure_matches(&[3], 1));
+        }
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //!   graphs.
 //! * **Extensions** — a work-stealing parallel enumeration engine
 //!   driving all of the `++` miners and maximum search ([`parallel`];
-//!   opt in with [`config::RunConfig::threads`]), and maximum fair
-//!   biclique search ([`maximum`]).
+//!   opt in with [`config::RunConfig::threads`]), maximum fair
+//!   biclique search ([`maximum`]), and an adaptive bitset candidate
+//!   substrate for the enumeration hot path
+//!   ([`config::RunConfig::substrate`]; see [`bigraph::candidate`]).
 //!
 //! ## Quickstart
 //!
@@ -80,7 +82,9 @@ pub mod verify;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::biclique::{Biclique, BicliqueSink, CollectSink, CountSink, TopKSink};
-    pub use crate::config::{Budget, FairParams, ProParams, PruneKind, RunConfig, VertexOrder};
+    pub use crate::config::{
+        Budget, FairParams, ProParams, PruneKind, RunConfig, Substrate, VertexOrder,
+    };
     pub use crate::pipeline::{
         enumerate_bsfbc, enumerate_pbsfbc, enumerate_pssfbc, enumerate_ssfbc, BiAlgorithm,
         RunReport, SsAlgorithm,

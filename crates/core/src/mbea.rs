@@ -19,7 +19,8 @@ use crate::biclique::{BicliqueSink, EnumStats};
 use crate::config::{Budget, BudgetClock, VertexOrder};
 use crate::fairset::AttrCounts;
 use crate::ordering::side_order;
-use bigraph::{intersect_sorted_count, intersect_sorted_into, BipartiteGraph, Side, VertexId};
+use bigraph::candidate::{AdjOps, CandidateOps, CandidatePlan, Substrate};
+use bigraph::{BipartiteGraph, Side, VertexId};
 
 /// How to prune branches on the reachable size of `R`.
 #[derive(Clone, Copy)]
@@ -62,10 +63,12 @@ pub(crate) fn walk_maximal_bicliques(
     rbound: RBound<'_>,
     order: VertexOrder,
     budget: Budget,
+    substrate: Substrate,
     visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
 ) -> EnumStats {
-    let mut w = Walker::new(g, min_l, rbound, budget.start());
-    w.run(root_task(g, order), visit);
+    let plan = CandidatePlan::build(g, substrate, false);
+    let mut w = Walker::new(g, min_l, rbound, plan.ops(g, Side::Lower), budget.start());
+    w.run(root_task(g, order, plan.choice()), visit);
     w.stats()
 }
 
@@ -90,16 +93,26 @@ pub(crate) struct BranchTask {
     pub(crate) q: Vec<VertexId>,
     /// Enumeration-tree depth of this subtree's root (root = 0).
     pub(crate) depth: u32,
+    /// The run's resolved candidate substrate (never `Auto`). Split
+    /// subtrees carry the choice so a re-queued task is executed on
+    /// the same representation it was spawned under.
+    pub(crate) substrate: Substrate,
 }
 
-/// The whole-graph root task under `order`.
-pub(crate) fn root_task(g: &BipartiteGraph, order: VertexOrder) -> BranchTask {
+/// The whole-graph root task under `order`, on a resolved `substrate`.
+pub(crate) fn root_task(
+    g: &BipartiteGraph,
+    order: VertexOrder,
+    substrate: Substrate,
+) -> BranchTask {
+    debug_assert_ne!(substrate, Substrate::Auto, "resolve before rooting");
     BranchTask {
         l: (0..g.n_upper() as VertexId).collect(),
         r: Vec::new(),
         p: side_order(g, Side::Lower, order),
         q: Vec::new(),
         depth: 0,
+        substrate,
     }
 }
 
@@ -113,6 +126,9 @@ pub(crate) struct Walker<'a> {
     min_l: usize,
     rbound: RBound<'a>,
     attrs: &'a [bigraph::AttrValueId],
+    /// Candidate-set substrate for all `L ∩ N(·)` work (lower-side
+    /// rows; see [`bigraph::candidate`]).
+    ops: AdjOps<'a>,
     clock: BudgetClock,
     visited: u64,
     cur_bytes: usize,
@@ -124,6 +140,7 @@ impl<'a> Walker<'a> {
         g: &'a BipartiteGraph,
         min_l: usize,
         rbound: RBound<'a>,
+        ops: AdjOps<'a>,
         clock: BudgetClock,
     ) -> Self {
         assert!(min_l >= 1, "min_l must be positive");
@@ -132,6 +149,7 @@ impl<'a> Walker<'a> {
             min_l,
             rbound,
             attrs: g.attrs(Side::Lower),
+            ops,
             clock,
             visited: 0,
             cur_bytes: 0,
@@ -177,6 +195,11 @@ impl<'a> Walker<'a> {
         visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
         spawn: Option<&mut dyn FnMut(BranchTask)>,
     ) {
+        debug_assert_eq!(
+            task.substrate,
+            self.ops.substrate(),
+            "task substrate must match the worker's candidate index"
+        );
         let n_attrs = (self.g.n_attr_values(Side::Lower) as usize).max(1);
         let mut r = task.r;
         let mut r_counts = AttrCounts::of(&r, self.attrs, n_attrs);
@@ -226,7 +249,7 @@ impl<'a> Walker<'a> {
                 return;
             }
             let x = p[0];
-            intersect_sorted_into(l, self.g.neighbors(Side::Lower, x), &mut l_new);
+            self.ops.intersect_into(l, x, &mut l_new);
 
             if l_new.len() < self.min_l {
                 // Cannot lead to a qualifying biclique; retire x.
@@ -235,12 +258,16 @@ impl<'a> Walker<'a> {
                 continue;
             }
 
+            // Stage L' once: the Q-maximality and absorption loops
+            // below count many rows against it.
+            self.ops.load(&l_new);
+
             // Maximality against Q: a fully-connected Q vertex means
             // this closed biclique was already enumerated elsewhere.
             let mut flag = true;
             let mut q_new: Vec<VertexId> = Vec::new();
             for &u in &q_local {
-                let c = intersect_sorted_count(self.g.neighbors(Side::Lower, u), &l_new);
+                let c = self.ops.loaded_count(u);
                 if c == l_new.len() {
                     flag = false;
                     break;
@@ -260,12 +287,12 @@ impl<'a> Walker<'a> {
 
                 let mut p_new: Vec<VertexId> = Vec::new();
                 for &v in &p[1..] {
-                    let c = intersect_sorted_count(self.g.neighbors(Side::Lower, v), &l_new);
+                    let c = self.ops.loaded_count(v);
                     if c == l_new.len() {
                         // Absorb: fully connected to L'.
                         r.push(v);
                         r_counts.inc(self.attrs[v as usize]);
-                        if self.g.degree(Side::Lower, v) == c {
+                        if self.ops.degree(v) == c {
                             consumed.push(v);
                         }
                     } else if c >= self.min_l {
@@ -288,6 +315,7 @@ impl<'a> Walker<'a> {
                             p: p_new,
                             q: q_new,
                             depth: depth + 1,
+                            substrate: self.ops.substrate(),
                         }),
                         None => {
                             let frame = (l_new.len() + p_new.len() + q_new.len())
@@ -341,17 +369,38 @@ pub fn maximal_bicliques(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
+    maximal_bicliques_with(g, min_l, min_r, order, budget, Substrate::Auto, sink)
+}
+
+/// [`maximal_bicliques`] on an explicit candidate substrate (the
+/// default picks adaptively; results are identical either way).
+pub fn maximal_bicliques_with(
+    g: &BipartiteGraph,
+    min_l: usize,
+    min_r: usize,
+    order: VertexOrder,
+    budget: Budget,
+    substrate: Substrate,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
     let min_l = min_l.max(1);
     let min_r = min_r.max(1);
     let mut emitted = 0u64;
     let mut results_clock = budget.start();
-    let mut stats =
-        walk_maximal_bicliques(g, min_l, RBound::Size(min_r), order, budget, &mut |l, r| {
+    let mut stats = walk_maximal_bicliques(
+        g,
+        min_l,
+        RBound::Size(min_r),
+        order,
+        budget,
+        substrate,
+        &mut |l, r| {
             if r.len() >= min_r && results_clock.try_result() {
                 sink.emit(l, r);
                 emitted += 1;
             }
-        });
+        },
+    );
     stats.emitted = emitted;
     stats.aborted |= results_clock.exhausted;
     stats

@@ -10,6 +10,7 @@
 
 use crate::config::{FairParams, PruneKind, RunConfig};
 use crate::pipeline::{run_bsfbc, run_ssfbc, BiAlgorithm, SsAlgorithm};
+use bigraph::candidate::CandidatePlan;
 use bigraph::coloring::greedy_color_by_degree;
 use bigraph::twohop::{construct_2hop, construct_2hop_biside};
 use bigraph::{BipartiteGraph, Side};
@@ -26,6 +27,10 @@ pub struct MemoryReport {
     /// Per-vertex `(attr, color)` multiplicity tables of the ego
     /// colorful core (0 when pruning is not colorful).
     pub colorful_tables_bytes: usize,
+    /// Bitset adjacency rows built over the pruned vertex set (0 on
+    /// the sorted-vec substrate; see
+    /// [`crate::config::RunConfig::substrate`]).
+    pub bitset_rows_bytes: usize,
     /// Peak depth-first search state.
     pub search_bytes: usize,
 }
@@ -33,7 +38,11 @@ pub struct MemoryReport {
 impl MemoryReport {
     /// Total accounted bytes.
     pub fn total(&self) -> usize {
-        self.pruned_graph_bytes + self.twohop_bytes + self.colorful_tables_bytes + self.search_bytes
+        self.pruned_graph_bytes
+            + self.twohop_bytes
+            + self.colorful_tables_bytes
+            + self.bitset_rows_bytes
+            + self.search_bytes
     }
 }
 
@@ -62,12 +71,21 @@ pub fn measure_ssfbc(
     } else {
         (0, 0)
     };
+    // The enumeration run builds the same plan internally; rebuild it
+    // here to account the row bytes it allocates (only FairBCEM++
+    // runs on the substrate; the baselines never build rows).
+    let bitset_rows_bytes = if algo == SsAlgorithm::FairBcemPP {
+        CandidatePlan::build(&pruned.sub.graph, cfg.substrate, false).heap_bytes()
+    } else {
+        0
+    };
     let mut sink = crate::biclique::CountSink::default();
     let (_, stats) = run_ssfbc(g, params, algo, cfg, &mut sink);
     MemoryReport {
         pruned_graph_bytes: pruned.sub.graph.heap_bytes(),
         twohop_bytes,
         colorful_tables_bytes,
+        bitset_rows_bytes,
         search_bytes: stats.peak_search_bytes,
     }
 }
@@ -85,12 +103,20 @@ pub fn measure_bsfbc(
     } else {
         (0, 0)
     };
+    // Bi-side chains build rows for both sides (the upper-side
+    // expansion intersects upper adjacency). BNSF never builds rows.
+    let bitset_rows_bytes = if algo == BiAlgorithm::Bnsf {
+        0
+    } else {
+        CandidatePlan::build(&pruned.sub.graph, cfg.substrate, true).heap_bytes()
+    };
     let mut sink = crate::biclique::CountSink::default();
     let (_, stats) = run_bsfbc(g, params, algo, cfg, &mut sink);
     MemoryReport {
         pruned_graph_bytes: pruned.sub.graph.heap_bytes(),
         twohop_bytes,
         colorful_tables_bytes,
+        bitset_rows_bytes,
         search_bytes: stats.peak_search_bytes,
     }
 }

@@ -72,8 +72,15 @@ pub fn bnsf_on_pruned(
 ) -> EnumStats {
     // One shared budget: the NSF stage is intermediate (exempt from
     // the result cap), and any tripped limit stops the whole chain.
+    // The naive baseline stays on the sorted-vec substrate (it is the
+    // reference the substrate runs are differentially tested against).
     let shared = SharedBudget::new(budget);
-    let mut expander = BiSideExpander::with_clock(g, params, shared.clock(BudgetLane::Expand));
+    let mut expander = BiSideExpander::with_clock(
+        g,
+        params,
+        bigraph::candidate::AdjOps::Sorted(bigraph::candidate::SortedOps::new(g, Side::Upper)),
+        shared.clock(BudgetLane::Expand),
+    );
     let mut chain = crate::bfairbcem::BiChainSink {
         exp: &mut expander,
         sink,

@@ -49,7 +49,8 @@
 use crate::bfairbcem::{BiChainSink, BiSideExpander};
 use crate::biclique::{Biclique, BicliqueSink, CollectSink, EnumStats, MappingSink};
 use crate::config::{
-    Budget, BudgetClock, BudgetLane, FairParams, ProParams, RunConfig, SharedBudget, VertexOrder,
+    Budget, BudgetClock, BudgetLane, FairParams, ProParams, RunConfig, SharedBudget, Substrate,
+    VertexOrder,
 };
 use crate::fairbcem_pp::SsExpander;
 use crate::fcore::{PruneOutcome, PruneStats};
@@ -57,6 +58,7 @@ use crate::maximum::{MaxSink, SizeMetric};
 use crate::mbea::{root_task, BranchTask, RBound, Walker};
 use crate::pipeline::{prune_bi_side, prune_single_side, RunReport};
 use crate::proportion::{ProBiChainSink, ProBiSideExpander, ProSsExpander};
+use bigraph::candidate::CandidatePlan;
 use bigraph::{BipartiteGraph, Side, VertexId};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -73,6 +75,9 @@ pub(crate) struct EngineOpts {
     /// Depth down to which tasks re-split instead of running to
     /// completion (≥ 1; 1 = top-level branches only).
     pub(crate) split_depth: u32,
+    /// Candidate-set substrate; resolved once against the enumeration
+    /// graph, shared by every worker, and carried by split subtrees.
+    pub(crate) substrate: Substrate,
 }
 
 impl EngineOpts {
@@ -80,6 +85,7 @@ impl EngineOpts {
         EngineOpts {
             threads: cfg.threads.max(1),
             split_depth: cfg.split_depth.max(1),
+            substrate: cfg.substrate,
         }
     }
 }
@@ -158,6 +164,7 @@ impl TaskQueue {
 /// Returns the visitors in worker order plus the deterministically
 /// merged walk statistics (`emitted` counts *visited maximal
 /// bicliques*; drivers overwrite it with their emission counts).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn parallel_walk<V: WalkVisitor>(
     g: &BipartiteGraph,
     min_l: usize,
@@ -165,10 +172,11 @@ pub(crate) fn parallel_walk<V: WalkVisitor>(
     order: VertexOrder,
     budget: Budget,
     opts: EngineOpts,
+    plan: &CandidatePlan,
     make: &(dyn Fn(BudgetClock) -> V + Sync),
 ) -> (Vec<V>, EnumStats) {
     let split_depth = opts.split_depth.max(1);
-    let root = root_task(g, order);
+    let root = root_task(g, order, plan.choice());
     // Clamp the worker count: with top-level-only splitting no more
     // than one task per root candidate ever exists, and an absolute
     // cap keeps a huge `--threads` from hitting OS spawn limits.
@@ -189,7 +197,13 @@ pub(crate) fn parallel_walk<V: WalkVisitor>(
             let shared = &shared;
             handles.push(s.spawn(move || {
                 let mut visitor = make(shared.clock(BudgetLane::Expand));
-                let mut walker = Walker::new(g, min_l, rbound, shared.clock(BudgetLane::Walk));
+                let mut walker = Walker::new(
+                    g,
+                    min_l,
+                    rbound,
+                    plan.ops(g, Side::Lower),
+                    shared.clock(BudgetLane::Walk),
+                );
                 while let Some(task) = queue.steal() {
                     // Drain without work once any global limit trips.
                     if !shared.is_exhausted() {
@@ -338,6 +352,7 @@ pub(crate) fn par_ssfbc_workers<'g, S: BicliqueSink + Send>(
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, EnumStats) {
     let MappedGraph { g, umap, lmap } = *mg;
+    let plan = CandidatePlan::build(g, opts.substrate, false);
     let (workers, mut stats) = parallel_walk(
         g,
         params.alpha as usize,
@@ -345,8 +360,9 @@ pub(crate) fn par_ssfbc_workers<'g, S: BicliqueSink + Send>(
         order,
         budget,
         opts,
+        &plan,
         &|clock| SsWorker {
-            expander: SsExpander::with_clock(g, params, clock),
+            expander: SsExpander::with_clock(g, params, plan.ops(g, Side::Lower), clock),
             umap,
             lmap,
             sink: make_sink(),
@@ -372,6 +388,7 @@ pub(crate) fn par_bsfbc_workers<'g, S: BicliqueSink + Send>(
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, EnumStats) {
     let MappedGraph { g, umap, lmap } = *mg;
+    let plan = CandidatePlan::build(g, opts.substrate, true);
     let (workers, mut stats) = parallel_walk(
         g,
         params.alpha as usize,
@@ -379,11 +396,17 @@ pub(crate) fn par_bsfbc_workers<'g, S: BicliqueSink + Send>(
         order,
         budget,
         opts,
+        &plan,
         &|clock| BiWorker {
             // The SSFBC stage is intermediate: exempt from the result
             // budget (only BSFBCs are final results).
-            ss: SsExpander::with_clock(g, params, clock.clone().exempt_results()),
-            bi: BiSideExpander::with_clock(g, params, clock),
+            ss: SsExpander::with_clock(
+                g,
+                params,
+                plan.ops(g, Side::Lower),
+                clock.clone().exempt_results(),
+            ),
+            bi: BiSideExpander::with_clock(g, params, plan.ops(g, Side::Upper), clock),
             umap,
             lmap,
             sink: make_sink(),
@@ -409,6 +432,7 @@ pub(crate) fn par_pssfbc_workers<'g, S: BicliqueSink + Send>(
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, EnumStats) {
     let MappedGraph { g, umap, lmap } = *mg;
+    let plan = CandidatePlan::build(g, opts.substrate, false);
     let (workers, mut stats) = parallel_walk(
         g,
         pro.base.alpha as usize,
@@ -416,8 +440,9 @@ pub(crate) fn par_pssfbc_workers<'g, S: BicliqueSink + Send>(
         order,
         budget,
         opts,
+        &plan,
         &|clock| ProSsWorker {
-            expander: ProSsExpander::with_clock(g, pro, clock),
+            expander: ProSsExpander::with_clock(g, pro, plan.ops(g, Side::Lower), clock),
             umap,
             lmap,
             sink: make_sink(),
@@ -443,6 +468,7 @@ pub(crate) fn par_pbsfbc_workers<'g, S: BicliqueSink + Send>(
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, EnumStats) {
     let MappedGraph { g, umap, lmap } = *mg;
+    let plan = CandidatePlan::build(g, opts.substrate, true);
     let (workers, mut stats) = parallel_walk(
         g,
         pro.base.alpha as usize,
@@ -450,9 +476,15 @@ pub(crate) fn par_pbsfbc_workers<'g, S: BicliqueSink + Send>(
         order,
         budget,
         opts,
+        &plan,
         &|clock| ProBiWorker {
-            ss: ProSsExpander::with_clock(g, pro, clock.clone().exempt_results()),
-            bi: ProBiSideExpander::with_clock(g, pro, clock),
+            ss: ProSsExpander::with_clock(
+                g,
+                pro,
+                plan.ops(g, Side::Lower),
+                clock.clone().exempt_results(),
+            ),
+            bi: ProBiSideExpander::with_clock(g, pro, plan.ops(g, Side::Upper), clock),
             umap,
             lmap,
             sink: make_sink(),
@@ -695,6 +727,7 @@ pub fn fairbcem_pp_par_on_pruned(
         EngineOpts {
             threads: n_threads.max(1),
             split_depth: 1,
+            substrate: Substrate::Auto,
         },
         &CollectSink::default,
     );

@@ -4,16 +4,16 @@
 //! graphs; the functions here compose the paper's full pipelines and
 //! translate results back to the caller's vertex ids.
 
-use crate::bfairbcem::{bfairbcem_on_pruned, bfairbcem_pp_on_pruned};
+use crate::bfairbcem::{bfairbcem_pp_with, bfairbcem_with};
 use crate::bfcore::{bcfcore, bfcore};
 use crate::biclique::{Biclique, BicliqueSink, CollectSink, EnumStats, MappingSink};
 use crate::cfcore::cfcore;
 use crate::config::{FairParams, ProParams, PruneKind, RunConfig};
 use crate::fairbcem::fairbcem_on_pruned;
-use crate::fairbcem_pp::fairbcem_pp_on_pruned;
+use crate::fairbcem_pp::fairbcem_pp_with;
 use crate::fcore::{fcore, no_prune, PruneOutcome, PruneStats};
 use crate::naive::{bnsf_on_pruned, nsf_on_pruned};
-use crate::proportion::{bfairbcem_pro_pp_on_pruned, fairbcem_pro_pp_on_pruned};
+use crate::proportion::{bfairbcem_pro_pp_with, fairbcem_pro_pp_with};
 use bigraph::BipartiteGraph;
 use serde::{Deserialize, Serialize};
 
@@ -107,11 +107,12 @@ pub fn run_ssfbc(
             cfg.budget,
             &mut mapped,
         ),
-        SsAlgorithm::FairBcemPP => fairbcem_pp_on_pruned(
+        SsAlgorithm::FairBcemPP => fairbcem_pp_with(
             &pruned.sub.graph,
             params,
             cfg.order,
             cfg.budget,
+            cfg.substrate,
             &mut mapped,
         ),
     };
@@ -140,18 +141,20 @@ pub fn run_bsfbc(
             cfg.budget,
             &mut mapped,
         ),
-        BiAlgorithm::BFairBcem => bfairbcem_on_pruned(
+        BiAlgorithm::BFairBcem => bfairbcem_with(
             &pruned.sub.graph,
             params,
             cfg.order,
             cfg.budget,
+            cfg.substrate,
             &mut mapped,
         ),
-        BiAlgorithm::BFairBcemPP => bfairbcem_pp_on_pruned(
+        BiAlgorithm::BFairBcemPP => bfairbcem_pp_with(
             &pruned.sub.graph,
             params,
             cfg.order,
             cfg.budget,
+            cfg.substrate,
             &mut mapped,
         ),
     };
@@ -171,8 +174,14 @@ pub fn run_pssfbc(
         &pruned.sub.lower_to_parent,
         sink,
     );
-    let stats =
-        fairbcem_pro_pp_on_pruned(&pruned.sub.graph, pro, cfg.order, cfg.budget, &mut mapped);
+    let stats = fairbcem_pro_pp_with(
+        &pruned.sub.graph,
+        pro,
+        cfg.order,
+        cfg.budget,
+        cfg.substrate,
+        &mut mapped,
+    );
     (pruned.stats, stats)
 }
 
@@ -189,8 +198,14 @@ pub fn run_pbsfbc(
         &pruned.sub.lower_to_parent,
         sink,
     );
-    let stats =
-        bfairbcem_pro_pp_on_pruned(&pruned.sub.graph, pro, cfg.order, cfg.budget, &mut mapped);
+    let stats = bfairbcem_pro_pp_with(
+        &pruned.sub.graph,
+        pro,
+        cfg.order,
+        cfg.budget,
+        cfg.substrate,
+        &mut mapped,
+    );
     (pruned.stats, stats)
 }
 

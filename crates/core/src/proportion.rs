@@ -12,12 +12,14 @@
 //!   form on the paper's two-value domains — property-tested).
 
 use crate::biclique::{BicliqueSink, EnumStats};
-use crate::config::{Budget, BudgetClock, BudgetLane, ProParams, SharedBudget, VertexOrder};
-use crate::fairbcem_pp::closure_equals;
+use crate::config::{
+    Budget, BudgetClock, BudgetLane, ProParams, SharedBudget, Substrate, VertexOrder,
+};
 use crate::fairset::{
     for_each_max_pro_fair_subset, is_fair_pro, is_maximal_fair_subset_pro, AttrCounts,
 };
 use crate::mbea::{root_task, RBound, Walker};
+use bigraph::candidate::{AdjOps, CandidateOps, CandidatePlan};
 use bigraph::{BipartiteGraph, Side, VertexId};
 
 /// Shorthand for the shared-budget handle the chained drivers pass
@@ -33,7 +35,28 @@ pub fn fairbcem_pro_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    fairbcem_pro_pp_shared(g, pro, order, &SharedBudget::new(budget), false, sink)
+    fairbcem_pro_pp_with(g, pro, order, budget, Substrate::Auto, sink)
+}
+
+/// [`fairbcem_pro_pp_on_pruned`] with an explicit candidate substrate.
+pub fn fairbcem_pro_pp_with(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    order: VertexOrder,
+    budget: Budget,
+    substrate: Substrate,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
+    let plan = CandidatePlan::build(g, substrate, false);
+    fairbcem_pro_pp_shared(
+        g,
+        pro,
+        order,
+        &SharedBudget::new(budget),
+        false,
+        &plan,
+        sink,
+    )
 }
 
 /// `FairBCEMPro++` with all clocks drawn from one shared budget, so
@@ -46,6 +69,7 @@ pub(crate) fn fairbcem_pro_pp_shared(
     order: VertexOrder,
     shared: &SharedArc,
     intermediate: bool,
+    plan: &CandidatePlan,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
     let params = pro.base;
@@ -54,7 +78,7 @@ pub(crate) fn fairbcem_pro_pp_shared(
     } else {
         shared.clock(BudgetLane::Expand)
     };
-    let mut expander = ProSsExpander::with_clock(g, pro, expand_clock);
+    let mut expander = ProSsExpander::with_clock(g, pro, plan.ops(g, Side::Lower), expand_clock);
     let mut walker = Walker::new(
         g,
         params.alpha as usize,
@@ -62,9 +86,12 @@ pub(crate) fn fairbcem_pro_pp_shared(
             attrs: g.attrs(Side::Lower),
             beta: params.beta,
         },
+        plan.ops(g, Side::Lower),
         shared.clock(BudgetLane::Walk),
     );
-    walker.run(root_task(g, order), &mut |l, r| expander.expand(l, r, sink));
+    walker.run(root_task(g, order, plan.choice()), &mut |l, r| {
+        expander.expand(l, r, sink)
+    });
     let mut stats = walker.stats();
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
@@ -75,11 +102,13 @@ pub(crate) fn fairbcem_pro_pp_shared(
 /// a maximal biclique `(L, R)`, emit the PSSFBCs it contains via the
 /// exact `CombinationPro`.
 pub(crate) struct ProSsExpander<'a> {
-    g: &'a BipartiteGraph,
     pro: ProParams,
     attrs: &'a [bigraph::AttrValueId],
     n_attrs: usize,
     groups: Vec<Vec<VertexId>>,
+    /// Lower-side candidate ops (closure checks intersect the fair
+    /// side's adjacency).
+    ops: AdjOps<'a>,
     /// Budget over expansion steps: a single `CombinationPro` can be
     /// binomially large.
     clock: BudgetClock,
@@ -88,16 +117,22 @@ pub(crate) struct ProSsExpander<'a> {
 }
 
 impl<'a> ProSsExpander<'a> {
-    /// Constructor taking an explicit clock — the parallel engine
-    /// hands every worker a clock drawing from one shared countdown.
-    pub(crate) fn with_clock(g: &'a BipartiteGraph, pro: ProParams, clock: BudgetClock) -> Self {
+    /// Constructor taking explicit candidate ops and clock — the
+    /// parallel engine hands every worker its own handles drawing from
+    /// the shared rows and countdown.
+    pub(crate) fn with_clock(
+        g: &'a BipartiteGraph,
+        pro: ProParams,
+        ops: AdjOps<'a>,
+        clock: BudgetClock,
+    ) -> Self {
         let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
         ProSsExpander {
-            g,
             pro,
             attrs: g.attrs(Side::Lower),
             n_attrs,
             groups: vec![Vec::new(); n_attrs],
+            ops,
             clock,
             emitted: 0,
         }
@@ -130,7 +165,7 @@ impl<'a> ProSsExpander<'a> {
             self.groups[self.attrs[v as usize] as usize].push(v);
         }
         let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
-        let g = self.g;
+        let ops = &mut self.ops;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
         for_each_max_pro_fair_subset(
@@ -140,7 +175,7 @@ impl<'a> ProSsExpander<'a> {
             self.pro.theta,
             &mut |r_sub| {
                 // Empty fair sides are degenerate non-results.
-                if !r_sub.is_empty() && closure_equals(g, r_sub, l) && clock.try_result() {
+                if !r_sub.is_empty() && ops.closure_matches(r_sub, l.len()) && clock.try_result() {
                     sink.emit(l, r_sub);
                     *emitted += 1;
                 }
@@ -160,16 +195,35 @@ pub fn bfairbcem_pro_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
+    bfairbcem_pro_pp_with(g, pro, order, budget, Substrate::Auto, sink)
+}
+
+/// [`bfairbcem_pro_pp_on_pruned`] with an explicit candidate
+/// substrate shared by every stage of the chain.
+pub fn bfairbcem_pro_pp_with(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    order: VertexOrder,
+    budget: Budget,
+    substrate: Substrate,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
     // One shared budget: the PSSFBC stage is intermediate (exempt
     // from the result cap — only PBSFBCs are final results), and any
     // tripped limit stops the whole chain.
+    let plan = CandidatePlan::build(g, substrate, true);
     let shared = SharedBudget::new(budget);
-    let mut expander = ProBiSideExpander::with_clock(g, pro, shared.clock(BudgetLane::Expand));
+    let mut expander = ProBiSideExpander::with_clock(
+        g,
+        pro,
+        plan.ops(g, Side::Upper),
+        shared.clock(BudgetLane::Expand),
+    );
     let mut chain = ProBiChainSink {
         exp: &mut expander,
         sink,
     };
-    let mut stats = fairbcem_pro_pp_shared(g, pro, order, &shared, true, &mut chain);
+    let mut stats = fairbcem_pro_pp_shared(g, pro, order, &shared, true, &plan, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
     stats
@@ -181,21 +235,30 @@ pub(crate) struct ProBiSideExpander<'a> {
     g: &'a BipartiteGraph,
     pro: ProParams,
     n_attrs_l: usize,
+    /// Upper-side candidate ops (`N(l')` intersects upper adjacency).
+    ops: AdjOps<'a>,
     clock: BudgetClock,
     pub(crate) emitted: u64,
     groups: Vec<Vec<VertexId>>,
 }
 
 impl<'a> ProBiSideExpander<'a> {
-    /// Constructor taking an explicit clock — the parallel engine
-    /// hands every worker a clock drawing from one shared countdown.
-    pub(crate) fn with_clock(g: &'a BipartiteGraph, pro: ProParams, clock: BudgetClock) -> Self {
+    /// Constructor taking explicit upper-side candidate ops and a
+    /// clock — the parallel engine hands every worker its own handles
+    /// drawing from the shared rows and countdown.
+    pub(crate) fn with_clock(
+        g: &'a BipartiteGraph,
+        pro: ProParams,
+        ops: AdjOps<'a>,
+        clock: BudgetClock,
+    ) -> Self {
         let n_attrs_u = (g.n_attr_values(Side::Upper) as usize).max(1);
         let n_attrs_l = (g.n_attr_values(Side::Lower) as usize).max(1);
         ProBiSideExpander {
             g,
             pro,
             n_attrs_l,
+            ops,
             clock,
             emitted: 0,
             groups: vec![Vec::new(); n_attrs_u],
@@ -221,18 +284,19 @@ impl<'a> ProBiSideExpander<'a> {
         }
         let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
         let base = AttrCounts::of(r, attrs_l, self.n_attrs_l);
-        let g = self.g;
         let pro = self.pro;
         let n_attrs_l = self.n_attrs_l;
+        let ops = &mut self.ops;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
+        let mut nl: Vec<VertexId> = Vec::new();
         for_each_max_pro_fair_subset(
             &group_refs,
             pro.base.alpha,
             pro.base.delta,
             pro.theta,
             &mut |l_sub| {
-                let nl = g.common_neighbors(Side::Upper, l_sub);
+                ops.common_neighbors_into(l_sub, &mut nl);
                 let mut cand = AttrCounts::zeros(n_attrs_l);
                 let mut i = 0usize;
                 for &v in &nl {
