@@ -33,15 +33,19 @@ cargo test -q
 # the smoke steps against the debug profile and skip the bench build
 # so no release compilation happens at all.
 if [[ $quick -eq 0 ]]; then
-    step "cargo bench --no-run (all 13 bench targets must compile)"
+    step "cargo bench --no-run (all 14 bench targets must compile)"
     cargo bench --no-run
     step "cargo bench --bench parallel_scaling --no-run (engine scaling target)"
     cargo bench --bench parallel_scaling --no-run
     step "cargo bench --bench substrate_compare --no-run (substrate target)"
     cargo bench --bench substrate_compare --no-run
+    step "cargo bench --bench service_throughput --no-run (service QPS target)"
+    cargo bench --bench service_throughput --no-run
     profile_flag=(--release)
+    bindir=target/release
 else
     profile_flag=()
+    bindir=target/debug
 fi
 
 step "smoke: cargo run --example quickstart"
@@ -52,7 +56,8 @@ cargo run "${profile_flag[@]}" --bin fbe -- --help >/dev/null
 
 step "smoke: parallel engine — sorted output identical at 1 vs 4 threads"
 smokedir=$(mktemp -d)
-trap 'rm -rf "$smokedir"' EXIT
+serve_pid=""
+trap '[[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null; rm -rf "$smokedir"' EXIT
 cargo run "${profile_flag[@]}" --bin fbe -- \
     generate --uniform 40,40,300 --seed 11 --out "$smokedir/g" >/dev/null
 cargo run "${profile_flag[@]}" --bin fbe -- \
@@ -77,5 +82,42 @@ cargo run "${profile_flag[@]}" --bin fbe -- \
     enumerate "$smokedir/g" --alpha 2 --beta 1 --delta 1 --sorted \
     --substrate bitset --threads 4 > "$smokedir/bit4.out"
 diff "$smokedir/sv.out" "$smokedir/bit4.out"
+
+step "smoke: fbe serve — scripted loopback session (cache hit + shutdown)"
+# The smoke graph from above is reused; the server picks an ephemeral
+# port and prints it, the client script LOADs, runs the same query
+# twice (the second must come from the plan cache), checks STATS, and
+# shuts the server down. Any hang fails via the bounded wait loops.
+"$bindir/fbe" serve --port 0 --workers 2 > "$smokedir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^fbe-service listening on //p' "$smokedir/serve.log" | head -n1)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "fbe serve did not report its address"; exit 1; }
+cat > "$smokedir/session.fbe" <<EOF
+LOAD g $smokedir/g
+ENUM g ssfbc alpha=2 beta=1 delta=1
+ENUM g ssfbc alpha=2 beta=1 delta=1
+STATS
+SHUTDOWN
+EOF
+"$bindir/fbe" batch --connect "$addr" "$smokedir/session.fbe" > "$smokedir/session.out"
+grep -q "cached=false" "$smokedir/session.out"
+grep -q "cached=true" "$smokedir/session.out"
+grep -q "^plan_cache_hits 1$" "$smokedir/session.out"
+grep -q "^OK bye$" "$smokedir/session.out"
+for _ in $(seq 1 100); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "fbe serve did not exit after SHUTDOWN"
+    exit 1
+fi
+wait "$serve_pid"
+serve_pid=""
 
 printf '\n\033[1;32mCI green.\033[0m\n'

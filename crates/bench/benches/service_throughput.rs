@@ -1,0 +1,113 @@
+//! Service throughput: cold (plan prepared per query) vs cached-plan
+//! QPS through the in-process engine, plus loopback-TCP overhead.
+//!
+//! Run: `cargo bench --bench service_throughput` (`-- --quick` for a
+//! reduced iteration count).
+
+use fbe_service::engine::Engine;
+use fbe_service::ServiceConfig;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn qps(n: u32, total: std::time::Duration) -> f64 {
+    n as f64 / total.as_secs_f64().max(1e-9)
+}
+
+fn run_queries(engine: &Engine, query: &str, iters: u32, cold: bool) -> (f64, u64) {
+    let mut count = 0;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        if cold {
+            engine.clear_plans();
+        }
+        let outcome = engine.handle_line(query);
+        let reply = outcome.reply();
+        assert!(reply.is_ok(), "{}", reply.status);
+        count += 1;
+    }
+    (qps(count, t0.elapsed()), count as u64)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters: u32 = if quick { 20 } else { 200 };
+    println!("=== Service throughput (cold vs cached prepared plans) ===");
+
+    let engine = Engine::new(ServiceConfig::default());
+    assert!(engine.handle_line("GEN yt youtube").reply().is_ok());
+    assert!(engine
+        .handle_line("GEN u uniform:300,300,9000,7")
+        .reply()
+        .is_ok());
+
+    let cases = [
+        (
+            "youtube ssfbc a=8 b=8",
+            "ENUM yt ssfbc alpha=8 beta=8 delta=2 count-only",
+        ),
+        (
+            "youtube bsfbc a=5 b=5",
+            "ENUM yt bsfbc alpha=5 beta=5 delta=2 count-only",
+        ),
+        (
+            "uniform pssfbc a=3 b=2",
+            "ENUM u pssfbc alpha=3 beta=2 delta=1 theta=0.3 count-only",
+        ),
+    ];
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "case", "cold q/s", "cached q/s", "speedup"
+    );
+    for (label, query) in cases {
+        // Warm the graph catalog path, then measure.
+        let (cold_qps, _) = run_queries(&engine, query, iters.min(50), true);
+        engine.clear_plans();
+        let _ = engine.handle_line(query); // prime the cache
+        let (cached_qps, _) = run_queries(&engine, query, iters, false);
+        println!(
+            "{label:<28} {cold_qps:>12.1} {cached_qps:>12.1} {:>7.1}x",
+            cached_qps / cold_qps.max(1e-9)
+        );
+    }
+
+    // Loopback TCP: cached-plan queries through a real socket.
+    let server =
+        fbe_service::server::Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    {
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+        let read_block = |reader: &mut BufReader<TcpStream>| {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                reader.read_line(&mut line).expect("read");
+                if line.trim_end() == "." {
+                    break;
+                }
+            }
+        };
+        read_block(&mut reader); // greeting
+        let query = "ENUM yt ssfbc alpha=8 beta=8 delta=2 count-only";
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            writeln!(writer, "{query}").expect("send");
+            writer.flush().expect("flush");
+            read_block(&mut reader);
+        }
+        println!(
+            "{:<28} {:>12} {:>12.1}",
+            "loopback tcp (cached)",
+            "-",
+            qps(iters, t0.elapsed())
+        );
+        writeln!(writer, "SHUTDOWN").expect("send");
+        writer.flush().expect("flush");
+        read_block(&mut reader);
+    }
+    handle.join().expect("join").expect("server");
+}

@@ -493,7 +493,7 @@ pub fn exp4_fig6(opts: &Opts) -> Vec<Table> {
             min_l,
             min_r,
             VertexOrder::DegreeDesc,
-            budget,
+            budget.clone(),
             &mut sink,
         );
         if stats.aborted {

@@ -690,6 +690,60 @@ mod tests {
         assert_eq!(Substrate::Auto.resolve_for(&empty), Substrate::SortedVec);
     }
 
+    /// Pin the exact `Auto` decision boundaries the prepared-plan
+    /// cache relies on: a cached plan's resolved substrate must never
+    /// silently change for a graph sitting exactly on a threshold.
+    #[test]
+    fn auto_threshold_boundaries_are_pinned() {
+        // Widest side exactly AUTO_SMALL_SIDE (256): bitset even at
+        // near-zero density.
+        let small = random_uniform(Substrate::AUTO_SMALL_SIDE, 10, 20, 1, 1, 1);
+        assert_eq!(small.n_upper(), Substrate::AUTO_SMALL_SIDE);
+        assert!(small.density() < Substrate::AUTO_MIN_DENSITY);
+        assert_eq!(Substrate::Auto.resolve_for(&small), Substrate::Bitset);
+
+        // One past the small-side bound at the same sparse density:
+        // the density test now governs, and fails.
+        let just_over = random_uniform(Substrate::AUTO_SMALL_SIDE + 1, 10, 20, 1, 1, 1);
+        assert!(just_over.density() < Substrate::AUTO_MIN_DENSITY);
+        assert_eq!(
+            Substrate::Auto.resolve_for(&just_over),
+            Substrate::SortedVec
+        );
+
+        // Density exactly AUTO_MIN_DENSITY (300·100 cells, 300 edges
+        // = 0.01): the >= comparison admits bitsets.
+        let at_density = random_uniform(300, 100, 300, 1, 1, 2);
+        assert_eq!(at_density.n_edges(), 300);
+        assert!(at_density.density() >= Substrate::AUTO_MIN_DENSITY);
+        assert_eq!(Substrate::Auto.resolve_for(&at_density), Substrate::Bitset);
+        // One edge fewer: just under the density bound.
+        let under_density = random_uniform(300, 100, 299, 1, 1, 2);
+        assert!(under_density.density() < Substrate::AUTO_MIN_DENSITY);
+        assert_eq!(
+            Substrate::Auto.resolve_for(&under_density),
+            Substrate::SortedVec
+        );
+
+        // Widest side exactly AUTO_MAX_SIDE (4096) at density exactly
+        // 0.01 (4096·100 cells, 4096 edges): still bitset.
+        let at_max = random_uniform(Substrate::AUTO_MAX_SIDE, 100, 4096, 1, 1, 3);
+        assert_eq!(at_max.n_upper(), Substrate::AUTO_MAX_SIDE);
+        assert_eq!(at_max.n_edges(), 4096);
+        assert_eq!(Substrate::Auto.resolve_for(&at_max), Substrate::Bitset);
+
+        // One vertex past AUTO_MAX_SIDE: sorted-vec no matter how
+        // dense.
+        let over_max = random_uniform(Substrate::AUTO_MAX_SIDE + 1, 100, 40_000, 1, 1, 4);
+        assert!(over_max.density() >= Substrate::AUTO_MIN_DENSITY);
+        assert_eq!(Substrate::Auto.resolve_for(&over_max), Substrate::SortedVec);
+
+        // The widest *side* governs: 10 × 256 is small regardless of
+        // orientation.
+        let tall = random_uniform(10, Substrate::AUTO_SMALL_SIDE, 20, 1, 1, 5);
+        assert_eq!(Substrate::Auto.resolve_for(&tall), Substrate::Bitset);
+    }
+
     #[test]
     fn substrate_parsing_and_display() {
         for (s, want) in [

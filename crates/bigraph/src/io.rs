@@ -153,6 +153,42 @@ pub fn load_graph(
     b.build().map_err(IoError::Build)
 }
 
+/// Load a graph from the three-file `<stem>` convention used by the
+/// CLI and the query service: `<stem>.edges` plus optional
+/// `<stem>.uattr`/`<stem>.lattr` attribute files. A bare edge-list
+/// file path (no `.edges` sibling) is accepted too, with all
+/// attributes defaulting to value 0.
+pub fn load_stem(
+    stem: &Path,
+    n_upper_attrs: AttrValueId,
+    n_lower_attrs: AttrValueId,
+) -> Result<BipartiteGraph, IoError> {
+    let edges = stem.with_extension("edges");
+    let uattr = stem.with_extension("uattr");
+    let lattr = stem.with_extension("lattr");
+    if edges.exists() {
+        load_graph(
+            &edges,
+            uattr.exists().then_some(uattr.as_path()),
+            lattr.exists().then_some(lattr.as_path()),
+            n_upper_attrs,
+            n_lower_attrs,
+        )
+    } else if stem.exists() {
+        let f = std::fs::File::open(stem)?;
+        read_edge_list(f, n_upper_attrs, n_lower_attrs)
+    } else {
+        Err(IoError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!(
+                "no such graph: {} (expected {}.edges or a bare edge file)",
+                stem.display(),
+                stem.display()
+            ),
+        )))
+    }
+}
+
 /// Write `g` as an edge list with a KONECT-style `%` header.
 pub fn write_edge_list<W: Write>(g: &BipartiteGraph, mut w: W) -> std::io::Result<()> {
     writeln!(w, "% bip {} {} {}", g.n_upper(), g.n_lower(), g.n_edges())?;

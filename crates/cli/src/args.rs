@@ -100,6 +100,29 @@ pub enum Command {
         /// Candidate-set substrate for the enumeration hot path.
         substrate: Substrate,
     },
+    /// `fbe serve` — run the resident query service over TCP.
+    Serve {
+        /// Bind host (default `127.0.0.1`).
+        host: String,
+        /// Bind port (0 = ephemeral; the bound port is printed).
+        port: u16,
+        /// Max concurrently executing queries.
+        workers: usize,
+        /// Max queries waiting for a worker before `ERR BUSY`.
+        queue: usize,
+        /// Prepared-plan cache capacity.
+        plan_cache: usize,
+        /// Default result cap for collecting queries.
+        default_limit: u64,
+    },
+    /// `fbe batch` — run protocol lines from a file/stdin, either
+    /// against an in-process engine or a live server (`--connect`).
+    Batch {
+        /// `host:port` of a running `fbe serve` (in-process if absent).
+        connect: Option<String>,
+        /// Script path (`-` or absent = stdin).
+        path: Option<String>,
+    },
     /// `fbe maximum`.
     Maximum {
         /// Input graph.
@@ -192,6 +215,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "prune" => parse_prune(&mut c),
         "enumerate" => parse_enumerate(&mut c),
         "maximum" => parse_maximum(&mut c),
+        "serve" => parse_serve(&mut c),
+        "batch" => parse_batch(&mut c),
         other => Err(format!("unknown subcommand {other:?}; try `fbe help`")),
     }
 }
@@ -475,6 +500,74 @@ fn parse_maximum(c: &mut Cursor<'_>) -> Result<Command, String> {
     })
 }
 
+fn parse_serve(c: &mut Cursor<'_>) -> Result<Command, String> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 7878u16;
+    let mut workers = 4usize;
+    let mut queue = 16usize;
+    let mut plan_cache = 32usize;
+    let mut default_limit = 1000u64;
+    while let Some(a) = c.next() {
+        match a {
+            "--host" => host = c.value("--host")?.to_string(),
+            "--port" => {
+                port = c
+                    .value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--workers" => {
+                workers = c
+                    .value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                queue = c
+                    .value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--plan-cache" => {
+                plan_cache = c
+                    .value("--plan-cache")?
+                    .parse()
+                    .map_err(|e| format!("--plan-cache: {e}"))?
+            }
+            "--default-limit" => {
+                default_limit = c
+                    .value("--default-limit")?
+                    .parse()
+                    .map_err(|e| format!("--default-limit: {e}"))?
+            }
+            other => return Err(format!("serve: unknown argument {other:?}")),
+        }
+    }
+    Ok(Command::Serve {
+        host,
+        port,
+        workers: workers.max(1),
+        queue,
+        plan_cache,
+        default_limit,
+    })
+}
+
+fn parse_batch(c: &mut Cursor<'_>) -> Result<Command, String> {
+    let mut connect = None;
+    let mut path = None;
+    while let Some(a) = c.next() {
+        match a {
+            "--connect" => connect = Some(c.value("--connect")?.to_string()),
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string());
+            }
+            other => return Err(format!("batch: unknown argument {other:?}")),
+        }
+    }
+    Ok(Command::Batch { connect, path })
+}
+
 /// Map a single-side algorithm choice onto the bi-side family.
 pub fn bi_algo_of(algo: SsAlgorithm) -> BiAlgorithm {
     match algo {
@@ -677,6 +770,68 @@ mod tests {
         .is_err());
         assert!(parse(&sv(&["prune", "g", "--alpha", "1"])).is_err());
         assert!(parse(&sv(&["prune", "g", "--alpha", "x", "--beta", "1"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_batch() {
+        let cmd = parse(&sv(&["serve"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                host: "127.0.0.1".into(),
+                port: 7878,
+                workers: 4,
+                queue: 16,
+                plan_cache: 32,
+                default_limit: 1000,
+            }
+        );
+        let cmd = parse(&sv(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--queue",
+            "1",
+            "--plan-cache",
+            "8",
+            "--default-limit",
+            "50",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                port,
+                workers,
+                queue,
+                plan_cache,
+                default_limit,
+                ..
+            } => {
+                assert_eq!(port, 0);
+                assert_eq!((workers, queue, plan_cache), (2, 1, 8));
+                assert_eq!(default_limit, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&sv(&["serve", "--port", "x"])).is_err());
+
+        assert_eq!(
+            parse(&sv(&["batch"])).unwrap(),
+            Command::Batch {
+                connect: None,
+                path: None
+            }
+        );
+        assert_eq!(
+            parse(&sv(&["batch", "--connect", "127.0.0.1:7878", "script.fbe"])).unwrap(),
+            Command::Batch {
+                connect: Some("127.0.0.1:7878".into()),
+                path: Some("script.fbe".into())
+            }
+        );
+        assert!(parse(&sv(&["batch", "a", "b"])).is_err());
     }
 
     #[test]

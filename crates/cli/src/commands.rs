@@ -1,28 +1,71 @@
 //! Execution of parsed [`Command`]s.
+//!
+//! Output is written through a caller-supplied [`io::Write`]
+//! ([`execute_to`]), so a closed pipe (`fbe enumerate | head`)
+//! surfaces as a normal `io::Error` instead of a panic; the binary
+//! maps `BrokenPipe` to a clean exit. Timing lines go to stderr so
+//! stdout stays byte-stable across runs.
 
 use crate::args::{bi_algo_of, Command, GenerateKind, GraphSource};
 use bigraph::{BipartiteGraph, Side};
 use fair_biclique::biclique::{CollectSink, CountSink, TopKSink};
 use fair_biclique::config::{Budget, FairParams, ProParams, RunConfig, Substrate, VertexOrder};
 use fair_biclique::pipeline::{
-    prune_bi_side, prune_single_side, run_bsfbc, run_pbsfbc, run_pssfbc, run_ssfbc, SsAlgorithm,
+    prune_bi_side, prune_single_side, run_bsfbc, run_pbsfbc, run_pssfbc, run_ssfbc, RunReport,
+    SsAlgorithm,
 };
-use std::fmt::Write as _;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
-/// Execute a command, returning the text to print.
-pub fn execute(cmd: Command) -> Result<String, String> {
+/// Why a CLI invocation failed.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments or a failed operation; print the message, exit 1.
+    Usage(String),
+    /// The output stream failed (closed pipe, full disk, ...).
+    Io(io::Error),
+}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => f.write_str(m),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Execute a command, writing its output to `out`.
+pub fn execute_to(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
     match cmd {
-        Command::Help => Ok(crate::HELP.to_string()),
-        Command::Generate { kind, out } => generate(kind, &out),
-        Command::Stats { source } => stats(&source),
+        Command::Help => Ok(out.write_all(crate::HELP.as_bytes())?),
+        Command::Generate { kind, out: dest } => {
+            let text = generate(kind, &dest)?;
+            Ok(out.write_all(text.as_bytes())?)
+        }
+        Command::Stats { source } => stats(&source, out),
         Command::Prune {
             source,
             alpha,
             beta,
             bi,
             kind,
-        } => prune(&source, alpha, beta, bi, kind),
+        } => {
+            let text = prune(&source, alpha, beta, bi, kind)?;
+            Ok(out.write_all(text.as_bytes())?)
+        }
         Command::Enumerate {
             source,
             alpha,
@@ -39,8 +82,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             sorted,
             substrate,
         } => enumerate(
-            &source, alpha, beta, delta, theta, bi, algo, order, count_only, top, budget, threads,
-            sorted, substrate,
+            out, &source, alpha, beta, delta, theta, bi, algo, order, count_only, top, budget,
+            threads, sorted, substrate,
         ),
         Command::Maximum {
             source,
@@ -54,8 +97,28 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             threads,
             substrate,
         } => maximum(
-            &source, alpha, beta, delta, bi, metric, order, budget, threads, substrate,
+            out, &source, alpha, beta, delta, bi, metric, order, budget, threads, substrate,
         ),
+        Command::Serve {
+            host,
+            port,
+            workers,
+            queue,
+            plan_cache,
+            default_limit,
+        } => serve(out, &host, port, workers, queue, plan_cache, default_limit),
+        Command::Batch { connect, path } => batch(out, connect.as_deref(), path.as_deref()),
+    }
+}
+
+/// Execute a command, returning the output as a string (test- and
+/// library-friendly wrapper over [`execute_to`]; long-running
+/// commands like `serve` should go through `execute_to`).
+pub fn execute(cmd: Command) -> Result<String, String> {
+    let mut buf = Vec::new();
+    match execute_to(cmd, &mut buf) {
+        Ok(()) => Ok(String::from_utf8(buf).expect("command output is UTF-8")),
+        Err(e) => Err(e.to_string()),
     }
 }
 
@@ -70,26 +133,8 @@ fn stem_paths(stem: &str) -> (PathBuf, PathBuf, PathBuf) {
 
 fn load(source: &GraphSource) -> Result<BipartiteGraph, String> {
     let GraphSource::Path { stem, attr_domains } = source;
-    let (edges, uattr, lattr) = stem_paths(stem);
-    let bare = Path::new(stem);
-    if edges.exists() {
-        bigraph::io::load_graph(
-            &edges,
-            uattr.exists().then_some(uattr.as_path()),
-            lattr.exists().then_some(lattr.as_path()),
-            attr_domains.0,
-            attr_domains.1,
-        )
+    bigraph::io::load_stem(Path::new(stem), attr_domains.0, attr_domains.1)
         .map_err(|e| format!("loading {stem}: {e}"))
-    } else if bare.exists() {
-        let f = std::fs::File::open(bare).map_err(|e| format!("opening {stem}: {e}"))?;
-        bigraph::io::read_edge_list(f, attr_domains.0, attr_domains.1)
-            .map_err(|e| format!("parsing {stem}: {e}"))
-    } else {
-        Err(format!(
-            "no such graph: {stem} (expected {stem}.edges or a bare edge file)"
-        ))
-    }
 }
 
 fn generate(kind: GenerateKind, out: &str) -> Result<String, String> {
@@ -121,7 +166,7 @@ fn generate(kind: GenerateKind, out: &str) -> Result<String, String> {
     if let Some(dir) = edges.parent() {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
-    let write = |p: &Path, f: &dyn Fn(&mut Vec<u8>) -> std::io::Result<()>| -> Result<(), String> {
+    let write = |p: &Path, f: &dyn Fn(&mut Vec<u8>) -> io::Result<()>| -> Result<(), String> {
         let mut buf = Vec::new();
         f(&mut buf).map_err(|e| e.to_string())?;
         std::fs::write(p, buf).map_err(|e| format!("writing {}: {e}", p.display()))
@@ -138,20 +183,18 @@ fn generate(kind: GenerateKind, out: &str) -> Result<String, String> {
     ))
 }
 
-fn stats(source: &GraphSource) -> Result<String, String> {
+fn stats(source: &GraphSource, out: &mut dyn Write) -> Result<(), CliError> {
     let g = load(source)?;
     let st = bigraph::stats::graph_stats(&g);
     let butterflies = bigraph::butterfly::count_butterflies(&g);
-    let mut out = String::new();
-    writeln!(out, "{st}").unwrap();
+    writeln!(out, "{st}")?;
     writeln!(
         out,
         "attr counts U: {:?}  V: {:?}",
         st.upper.attr_counts, st.lower.attr_counts
-    )
-    .unwrap();
-    writeln!(out, "butterflies: {butterflies}").unwrap();
-    Ok(out)
+    )?;
+    writeln!(out, "butterflies: {butterflies}")?;
+    Ok(())
 }
 
 fn prune(
@@ -201,8 +244,24 @@ fn par_stream<S: fair_biclique::biclique::BicliqueSink + Send>(
     }
 }
 
+/// Report a run's wall-clock phases on stderr (stdout stays
+/// byte-stable for diffing across runs, threads, and substrates).
+fn report_timing(report: &RunReport) {
+    eprintln!(
+        "timing: total {:.3?} (prune {:.3?}, enumerate {:.3?}){}",
+        report.elapsed,
+        report.prune_elapsed,
+        report.enumerate_elapsed,
+        report
+            .truncated_by
+            .map(|r| format!(" truncated by {r}"))
+            .unwrap_or_default(),
+    );
+}
+
 #[allow(clippy::too_many_arguments)]
 fn enumerate(
+    out: &mut dyn Write,
     source: &GraphSource,
     alpha: u32,
     beta: u32,
@@ -217,7 +276,7 @@ fn enumerate(
     threads: usize,
     sorted: bool,
     substrate: Substrate,
-) -> Result<String, String> {
+) -> Result<(), CliError> {
     let g = load(source)?;
     let params = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
     let cfg = RunConfig {
@@ -239,25 +298,33 @@ fn enumerate(
         None => None,
     };
 
+    // The collected path (any thread count) goes through the
+    // prepare/execute pipelines, which report per-phase timings.
+    let collect = |cfg: &RunConfig| -> RunReport {
+        match (bi, pro) {
+            (false, None) => fair_biclique::pipeline::enumerate_ssfbc(&g, params, cfg),
+            (true, None) => fair_biclique::pipeline::enumerate_bsfbc(&g, params, cfg),
+            (false, Some(p)) => fair_biclique::pipeline::enumerate_pssfbc(&g, p, cfg),
+            (true, Some(p)) => fair_biclique::pipeline::enumerate_pbsfbc(&g, p, cfg),
+        }
+    };
+
     // Multi-threaded runs go through the parallel engine (it works
     // for every model); `--algo` selects among the serial algorithms
     // only, so reject non-default choices.
     if threads > 1 {
         if algo != SsAlgorithm::FairBcemPP {
-            return Err("enumerate: --threads > 1 requires the default --algo bcem++".into());
+            return Err(CliError::Usage(
+                "enumerate: --threads > 1 requires the default --algo bcem++".into(),
+            ));
         }
         // Counting and top-k stream into bounded per-worker sinks —
         // no mode materializes more than it prints.
+        let t0 = std::time::Instant::now();
         if count_only {
             let (_, _, stats) = par_stream(&g, params, pro, bi, &cfg, &CountSink::default);
-            return Ok(render(
-                model,
-                stats.emitted,
-                stats.aborted,
-                true,
-                None,
-                Vec::new(),
-            ));
+            eprintln!("timing: total {:.3?}", t0.elapsed());
+            return render(out, model, stats.emitted, stats.aborted, true, None, &[]);
         }
         if let Some(k) = top {
             let (sinks, _, stats) = par_stream(&g, params, pro, bi, &cfg, &|| TopKSink::new(k));
@@ -267,24 +334,22 @@ fn enumerate(
                     fair_biclique::biclique::BicliqueSink::emit(&mut merged, &bc.upper, &bc.lower);
                 }
             }
-            return Ok(render(
+            eprintln!("timing: total {:.3?}", t0.elapsed());
+            return render(
+                out,
                 model,
                 stats.emitted,
                 stats.aborted,
                 false,
                 Some(k),
-                merged.into_sorted(),
-            ));
+                &merged.into_sorted(),
+            );
         }
-        let report = match (bi, pro) {
-            (false, None) => fair_biclique::pipeline::enumerate_ssfbc(&g, params, &cfg),
-            (true, None) => fair_biclique::pipeline::enumerate_bsfbc(&g, params, &cfg),
-            (false, Some(p)) => fair_biclique::pipeline::enumerate_pssfbc(&g, p, &cfg),
-            (true, Some(p)) => fair_biclique::pipeline::enumerate_pbsfbc(&g, p, &cfg),
-        };
+        let report = collect(&cfg);
+        report_timing(&report);
         let n = report.bicliques.len() as u64;
         let aborted = report.stats.aborted;
-        return Ok(render(model, n, aborted, false, None, report.bicliques));
+        return render(out, model, n, aborted, false, None, &report.bicliques);
     }
 
     let run = |sink: &mut dyn fair_biclique::biclique::BicliqueSink| -> (u64, bool) {
@@ -297,34 +362,46 @@ fn enumerate(
         (stats.emitted, stats.aborted)
     };
 
+    let t0 = std::time::Instant::now();
     if count_only {
         let mut sink = CountSink::default();
         let (n, aborted) = run(&mut sink);
-        return Ok(render(model, n, aborted, true, None, Vec::new()));
+        eprintln!("timing: total {:.3?}", t0.elapsed());
+        return render(out, model, n, aborted, true, None, &[]);
     }
     if let Some(k) = top {
         let mut sink = TopKSink::new(k);
         let (n, aborted) = run(&mut sink);
-        return Ok(render(
+        eprintln!("timing: total {:.3?}", t0.elapsed());
+        return render(out, model, n, aborted, false, Some(k), &sink.into_sorted());
+    }
+    if algo == SsAlgorithm::FairBcemPP {
+        // Default algorithm: the prepared pipeline gives phase timings.
+        let report = collect(&cfg);
+        report_timing(&report);
+        return render(
+            out,
             model,
-            n,
-            aborted,
+            report.stats.emitted,
+            report.stats.aborted,
             false,
-            Some(k),
-            sink.into_sorted(),
-        ));
+            None,
+            &report.bicliques,
+        );
     }
     let mut sink = CollectSink::default();
     let (n, aborted) = run(&mut sink);
+    eprintln!("timing: total {:.3?}", t0.elapsed());
     let mut bicliques = sink.bicliques;
     if sorted {
         fair_biclique::results::canonical_order(&mut bicliques);
     }
-    Ok(render(model, n, aborted, false, None, bicliques))
+    render(out, model, n, aborted, false, None, &bicliques)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn maximum(
+    out: &mut dyn Write,
     source: &GraphSource,
     alpha: u32,
     beta: u32,
@@ -335,7 +412,7 @@ fn maximum(
     budget: Option<std::time::Duration>,
     threads: usize,
     substrate: Substrate,
-) -> Result<String, String> {
+) -> Result<(), CliError> {
     let g = load(source)?;
     let params = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
     let cfg = RunConfig {
@@ -345,47 +422,93 @@ fn maximum(
         substrate,
         ..RunConfig::default()
     };
+    let t0 = std::time::Instant::now();
     let (best, _) = if bi {
         fair_biclique::maximum::max_bsfbc(&g, params, metric, &cfg)
     } else {
         fair_biclique::maximum::max_ssfbc(&g, params, metric, &cfg)
     };
+    eprintln!("timing: total {:.3?}", t0.elapsed());
     let model = if bi { "BSFBC" } else { "SSFBC" };
-    Ok(match best {
-        Some(bc) => format!(
-            "maximum {model} ({metric:?}): |L|={} |R|={}\n  {bc}\n",
+    match best {
+        Some(bc) => writeln!(
+            out,
+            "maximum {model} ({metric:?}): |L|={} |R|={}\n  {bc}",
             bc.upper.len(),
             bc.lower.len()
-        ),
-        None => format!("maximum {model} ({metric:?}): none\n"),
-    })
+        )?,
+        None => writeln!(out, "maximum {model} ({metric:?}): none")?,
+    }
+    Ok(())
+}
+
+fn serve(
+    out: &mut dyn Write,
+    host: &str,
+    port: u16,
+    workers: usize,
+    queue: usize,
+    plan_cache: usize,
+    default_limit: u64,
+) -> Result<(), CliError> {
+    let engine = fbe_service::engine::Engine::new(fbe_service::ServiceConfig {
+        workers,
+        queue_depth: queue,
+        plan_cache_capacity: plan_cache,
+        default_result_limit: default_limit,
+    });
+    let server = fbe_service::server::Server::bind(&format!("{host}:{port}"), engine)
+        .map_err(|e| CliError::Usage(format!("serve: binding {host}:{port}: {e}")))?;
+    let addr = server.local_addr()?;
+    writeln!(out, "fbe-service listening on {addr}")?;
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "fbe-service stopped")?;
+    Ok(())
+}
+
+fn batch(out: &mut dyn Write, connect: Option<&str>, path: Option<&str>) -> Result<(), CliError> {
+    let mut input: Box<dyn io::BufRead> = match path {
+        Some(p) if p != "-" => Box::new(io::BufReader::new(
+            std::fs::File::open(p).map_err(|e| CliError::Usage(format!("batch: {p}: {e}")))?,
+        )),
+        _ => Box::new(io::BufReader::new(io::stdin())),
+    };
+    match connect {
+        Some(addr) => fbe_service::batch::run_client(addr, &mut input, out)?,
+        None => {
+            let engine = fbe_service::engine::Engine::new(fbe_service::ServiceConfig::default());
+            fbe_service::batch::run_batch(&engine, &mut input, out)?;
+        }
+    }
+    Ok(())
 }
 
 fn render(
+    out: &mut dyn Write,
     model: &str,
     count: u64,
     aborted: bool,
     count_only: bool,
     top: Option<usize>,
-    bicliques: Vec<fair_biclique::biclique::Biclique>,
-) -> String {
-    let mut out = String::new();
+    bicliques: &[fair_biclique::biclique::Biclique],
+) -> Result<(), CliError> {
     let suffix = if aborted {
         " (budget hit; lower bound)"
     } else {
         ""
     };
-    writeln!(out, "{model} count: {count}{suffix}").unwrap();
+    writeln!(out, "{model} count: {count}{suffix}")?;
     if count_only {
-        return out;
+        return Ok(());
     }
     if let Some(k) = top {
-        writeln!(out, "top {k} by size:").unwrap();
+        writeln!(out, "top {k} by size:")?;
     }
     for bc in bicliques {
-        writeln!(out, "  {bc}").unwrap();
+        writeln!(out, "  {bc}")?;
     }
-    out
+    Ok(())
 }
 
 #[cfg(test)]
@@ -416,19 +539,51 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    fn render_str(
+        model: &str,
+        count: u64,
+        aborted: bool,
+        count_only: bool,
+        top: Option<usize>,
+        bicliques: &[fair_biclique::biclique::Biclique],
+    ) -> String {
+        let mut buf = Vec::new();
+        render(&mut buf, model, count, aborted, count_only, top, bicliques).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
     #[test]
     fn render_formats() {
-        let s = render("SSFBC", 3, true, true, None, Vec::new());
+        let s = render_str("SSFBC", 3, true, true, None, &[]);
         assert!(s.contains("lower bound"));
-        let s = render(
+        let s = render_str(
             "BSFBC",
             1,
             false,
             false,
             Some(2),
-            vec![fair_biclique::biclique::Biclique::new(vec![0], vec![1])],
+            &[fair_biclique::biclique::Biclique::new(vec![0], vec![1])],
         );
         assert!(s.contains("top 2"));
         assert!(s.contains("L=[0]"));
+    }
+
+    #[test]
+    fn write_errors_surface_as_io_not_panic() {
+        /// A sink that fails like a closed pipe.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = render(&mut Broken, "SSFBC", 1, false, false, None, &[]).unwrap_err();
+        match err {
+            CliError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::BrokenPipe),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 }

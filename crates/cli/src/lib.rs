@@ -10,7 +10,11 @@
 //! * `fbe enumerate` — enumerate SSFBC/BSFBC/PSSFBC/PBSFBC, printing
 //!   results, the top-k largest, or just the count;
 //! * `fbe maximum` — the single largest fair biclique under a size
-//!   metric.
+//!   metric;
+//! * `fbe serve` — the resident query service (graph catalog,
+//!   prepared-plan cache, deadline-aware admission) over TCP;
+//! * `fbe batch` — run service-protocol scripts offline or against a
+//!   live server (`--connect`).
 //!
 //! Every mining subcommand takes `--threads <N>`: values above 1 run
 //! the model on the work-stealing parallel engine with a global
@@ -43,6 +47,9 @@ USAGE:
         [--bi] [--metric <vertices|edges>] [--order <id|degree>]
         [--budget-secs <N>] [--threads <N>]
         [--substrate <auto|sorted-vec|bitset>]
+  fbe serve [--host <H>] [--port <P>] [--workers <N>] [--queue <N>]
+        [--plan-cache <N>] [--default-limit <N>]
+  fbe batch [--connect <HOST:PORT>] [<script-file>|-]
 
 A <stem> refers to the three files written by `fbe generate`:
   <stem>.edges, <stem>.uattr, <stem>.lattr
@@ -58,6 +65,15 @@ sorted-vec merge intersections, u64 bitset rows with popcount, or
 auto (the default: bitsets when the pruned core is small and dense).
 Results are identical across substrates — only speed/memory differ.
 
+fbe serve starts the resident query service on a TCP port (0 picks an
+ephemeral port, printed on startup): named graphs are loaded once
+(LOAD/GEN), repeat queries reuse cached prepared plans, and an
+admission controller bounds concurrency and honors per-query
+deadlines. fbe batch runs the same line protocol from a script file or
+stdin — offline against an in-process engine, or against a live
+server with --connect. See the README's Service section for the
+protocol grammar.
+
 EXAMPLES:
   fbe generate --dataset youtube --out /tmp/yt
   fbe stats /tmp/yt
@@ -69,8 +85,20 @@ EXAMPLES:
   fbe maximum /tmp/yt --alpha 8 --beta 8 --delta 2 --metric edges --threads 4
 ";
 
+pub use commands::CliError;
+
+/// Parse `argv` (without the program name) and execute, streaming
+/// output to `out`. Output-stream failures surface as
+/// [`CliError::Io`] (the binary maps `BrokenPipe` to a clean exit);
+/// everything else is [`CliError::Usage`].
+pub fn run_to(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let parsed = args::parse(argv).map_err(CliError::Usage)?;
+    commands::execute_to(parsed, out)
+}
+
 /// Parse `argv` (without the program name) and execute, returning the
-/// text to print.
+/// text to print. Buffers everything — long-running commands
+/// (`serve`) should go through [`run_to`].
 pub fn run(argv: &[String]) -> Result<String, String> {
     let parsed = args::parse(argv)?;
     commands::execute(parsed)

@@ -1,9 +1,17 @@
-//! The `fbe` binary: thin wrapper around [`fbe_cli::run`].
+//! The `fbe` binary: thin wrapper around [`fbe_cli::run_to`].
+
+use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match fbe_cli::run(&args) {
-        Ok(text) => print!("{text}"),
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let result = fbe_cli::run_to(&args, &mut out).and_then(|()| Ok(out.flush()?));
+    match result {
+        Ok(()) => {}
+        // A closed pipe (`fbe enumerate | head`) is a normal way for a
+        // consumer to stop reading — exit cleanly, not with a panic.
+        Err(fbe_cli::CliError::Io(e)) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -73,6 +73,11 @@ impl<'a> BiSideExpander<'a> {
         self.clock.exhausted
     }
 
+    /// Why the expansion stage stopped (None while unexhausted).
+    pub(crate) fn stop_reason(&self) -> Option<crate::config::StopReason> {
+        self.clock.stop_reason()
+    }
+
     pub(crate) fn expand(&mut self, l: &[VertexId], r: &[VertexId], sink: &mut dyn BicliqueSink) {
         if self.clock.exhausted {
             return;
@@ -176,6 +181,7 @@ pub fn bfairbcem_with(
     let mut stats = fairbcem_with_clock(g, params, order, inner_clock, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
+    stats.stop = stats.stop.or_else(|| expander.stop_reason());
     stats
 }
 
@@ -202,7 +208,20 @@ pub fn bfairbcem_pp_with(
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
     let plan = CandidatePlan::build(g, substrate, true);
-    let shared = SharedBudget::new(budget);
+    bfairbcem_pp_planned(g, params, order, &SharedBudget::new(budget), &plan, sink)
+}
+
+/// `BFairBCEM++` on a pre-resolved [`CandidatePlan`] (built with upper
+/// rows) and an externally owned shared budget — the entry point the
+/// prepared-plan cache ([`crate::prepared`]) reuses across queries.
+pub(crate) fn bfairbcem_pp_planned(
+    g: &BipartiteGraph,
+    params: FairParams,
+    order: VertexOrder,
+    shared: &std::sync::Arc<SharedBudget>,
+    plan: &CandidatePlan,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
     let mut expander = BiSideExpander::with_clock(
         g,
         params,
@@ -213,9 +232,10 @@ pub fn bfairbcem_pp_with(
         exp: &mut expander,
         sink,
     };
-    let mut stats = fairbcem_pp_shared(g, params, order, &shared, true, &plan, &mut chain);
+    let mut stats = fairbcem_pp_shared(g, params, order, shared, true, plan, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
+    stats.stop = stats.stop.or_else(|| expander.stop_reason());
     stats
 }
 

@@ -114,7 +114,13 @@ impl<S: BicliqueSink + ?Sized> BicliqueSink for MappingSink<'_, S> {
 }
 
 /// Keeps only the `k` largest bicliques seen (by total vertex count,
-/// ties broken lexicographically for determinism).
+/// ties broken lexicographically — largest vertex sets win).
+///
+/// Retention depends only on the *set* of emissions, never their
+/// order, so serial runs, parallel per-worker sinks, and merges of
+/// either all retain the same `k` results (the parallel engine's
+/// discovery order is nondeterministic; an arrival-order tie-break
+/// would make `--top` output flap across runs).
 ///
 /// Useful for the case studies, where millions of fair bicliques exist
 /// but only the most substantial few are displayed.
@@ -163,8 +169,12 @@ impl BicliqueSink for TopKSink {
                     lower: lower.to_vec(),
                 },
             )));
-        } else if let Some(std::cmp::Reverse((min_size, _))) = self.heap.peek() {
-            if size > *min_size {
+        } else if let Some(std::cmp::Reverse((min_size, min_bc))) = self.heap.peek() {
+            // Full (size, sets) comparison: the retained set is the
+            // true top-k under a total order, independent of emission
+            // order (ties on size resolve lexicographically).
+            if (size, upper, lower) > (*min_size, min_bc.upper.as_slice(), min_bc.lower.as_slice())
+            {
                 self.heap.pop();
                 self.heap.push(std::cmp::Reverse((
                     size,
@@ -188,6 +198,9 @@ pub struct EnumStats {
     /// True when the run hit its [`crate::config::Budget`] and aborted;
     /// results are then a (correct) subset.
     pub aborted: bool,
+    /// Which limit stopped the run first (`None` when it ran to
+    /// completion); set whenever `aborted` is.
+    pub stop: Option<crate::config::StopReason>,
     /// Rough peak heap bytes attributable to the search state (graph
     /// storage excluded, matching the paper's Exp-6 protocol).
     pub peak_search_bytes: usize,

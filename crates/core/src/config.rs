@@ -2,9 +2,81 @@
 
 pub use bigraph::candidate::Substrate;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cooperative cancellation handle shared between a run and its
+/// controller (e.g. the `fbe-service` admission layer, or a signal
+/// handler).
+///
+/// Cloning shares the flag. Attach it to a run with
+/// [`Budget::with_cancel`]; every enumeration clock — the maximal-
+/// biclique walker's and all expansion stages', serial or parallel —
+/// checks the flag at branch granularity (each [`BudgetClock::tick`]),
+/// so a cancelled run stops within a handful of branch expansions and
+/// reports [`StopReason::Cancelled`]. Cancellation is one-way and
+/// sticky: there is no reset.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent, thread-safe).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a run stopped before exhausting the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The [`Budget::max_nodes`] cap tripped.
+    NodeCap,
+    /// The [`Budget::max_time`] deadline passed.
+    Deadline,
+    /// The [`Budget::max_results`] cap tripped.
+    ResultCap,
+    /// The run's [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl StopReason {
+    const CODES: [StopReason; 4] = [
+        StopReason::NodeCap,
+        StopReason::Deadline,
+        StopReason::ResultCap,
+        StopReason::Cancelled,
+    ];
+
+    fn code(self) -> u8 {
+        1 + Self::CODES.iter().position(|&r| r == self).expect("listed") as u8
+    }
+
+    fn from_code(code: u8) -> Option<StopReason> {
+        (code != 0).then(|| Self::CODES[(code - 1) as usize])
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::NodeCap => "node-cap",
+            StopReason::Deadline => "deadline",
+            StopReason::ResultCap => "result-cap",
+            StopReason::Cancelled => "cancelled",
+        })
+    }
+}
 
 /// The three integer thresholds of the absolute fairness models
 /// (Definitions 3 and 4 of the paper).
@@ -132,7 +204,12 @@ pub enum VertexOrder {
 /// draws every worker's ticks from one shared countdown (see
 /// [`crate::parallel`]), so `max_results = K` yields at most `K`
 /// results regardless of the thread count.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// A budget may additionally carry a [`CancelToken`]
+/// ([`Budget::with_cancel`]) that an external controller flips to stop
+/// the run cooperatively; the run then reports
+/// [`StopReason::Cancelled`].
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Abort after visiting this many search-tree nodes.
     pub max_nodes: Option<u64>,
@@ -140,6 +217,8 @@ pub struct Budget {
     pub max_time: Option<Duration>,
     /// Emit at most this many results, then abort.
     pub max_results: Option<u64>,
+    /// Cooperative external cancellation (checked every branch).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -148,6 +227,7 @@ impl Budget {
         max_nodes: None,
         max_time: None,
         max_results: None,
+        cancel: None,
     };
 
     /// Only a node cap.
@@ -174,15 +254,25 @@ impl Budget {
         }
     }
 
+    /// This budget with a cooperative [`CancelToken`] attached.
+    pub fn with_cancel(self, cancel: CancelToken) -> Budget {
+        Budget {
+            cancel: Some(cancel),
+            ..self
+        }
+    }
+
     pub(crate) fn start(&self) -> BudgetClock {
         BudgetClock {
             max_nodes: self.max_nodes.unwrap_or(u64::MAX),
             deadline: self.max_time.map(|d| Instant::now() + d),
             nodes: 0,
             exhausted: false,
+            stop: None,
             max_results: self.max_results.unwrap_or(u64::MAX),
             results: 0,
             results_exempt: false,
+            cancel: self.cancel.clone(),
             shared: None,
         }
     }
@@ -219,6 +309,10 @@ pub(crate) struct SharedBudget {
     max_results: u64,
     deadline: Option<Instant>,
     exhausted: AtomicBool,
+    /// First tripped [`StopReason`] (0 = still running), for
+    /// `RunReport::truncated_by`.
+    reason: AtomicU8,
+    cancel: Option<CancelToken>,
 }
 
 impl SharedBudget {
@@ -231,6 +325,8 @@ impl SharedBudget {
             max_results: budget.max_results.unwrap_or(u64::MAX),
             deadline: budget.max_time.map(|d| Instant::now() + d),
             exhausted: AtomicBool::new(false),
+            reason: AtomicU8::new(0),
+            cancel: budget.cancel,
         })
     }
 
@@ -241,9 +337,11 @@ impl SharedBudget {
             deadline: self.deadline,
             nodes: 0,
             exhausted: false,
+            stop: None,
             max_results: u64::MAX,
             results: 0,
             results_exempt: false,
+            cancel: self.cancel.clone(),
             shared: Some((Arc::clone(self), lane)),
         }
     }
@@ -253,7 +351,16 @@ impl SharedBudget {
         self.exhausted.load(Ordering::Relaxed)
     }
 
-    fn trip(&self) {
+    /// The first limit that tripped (None while running).
+    pub(crate) fn stop_reason(&self) -> Option<StopReason> {
+        StopReason::from_code(self.reason.load(Ordering::Relaxed))
+    }
+
+    fn trip(&self, reason: StopReason) {
+        // First reason wins; later trips keep the original cause.
+        let _ =
+            self.reason
+                .compare_exchange(0, reason.code(), Ordering::Relaxed, Ordering::Relaxed);
         self.exhausted.store(true, Ordering::Relaxed);
     }
 
@@ -264,7 +371,7 @@ impl SharedBudget {
             BudgetLane::Expand => &self.expand_nodes,
         };
         if ctr.fetch_add(1, Ordering::Relaxed) >= self.max_nodes {
-            self.trip();
+            self.trip(StopReason::NodeCap);
             return false;
         }
         true
@@ -273,7 +380,7 @@ impl SharedBudget {
     /// Acquire the right to emit one result; false when spent.
     fn acquire_result(&self) -> bool {
         if self.results.fetch_add(1, Ordering::Relaxed) >= self.max_results {
-            self.trip();
+            self.trip(StopReason::ResultCap);
             return false;
         }
         true
@@ -292,11 +399,16 @@ pub(crate) struct BudgetClock {
     deadline: Option<Instant>,
     pub(crate) nodes: u64,
     pub(crate) exhausted: bool,
+    /// Why this clock stopped (local cause; see
+    /// [`BudgetClock::stop_reason`] for the run-wide answer).
+    stop: Option<StopReason>,
     max_results: u64,
     results: u64,
     /// When set, `try_result` does not draw from the result budget
     /// (this clock feeds an intermediate stage, not final output).
     results_exempt: bool,
+    /// Cooperative cancellation, checked on every tick.
+    cancel: Option<CancelToken>,
     shared: Option<(Arc<SharedBudget>, BudgetLane)>,
 }
 
@@ -307,31 +419,54 @@ impl BudgetClock {
         self.results_exempt = true;
         self
     }
+
+    /// Why the run stopped: this clock's own cause, or — for shared
+    /// clocks — whatever limit tripped run-wide first.
+    pub(crate) fn stop_reason(&self) -> Option<StopReason> {
+        self.stop
+            .or_else(|| self.shared.as_ref().and_then(|(s, _)| s.stop_reason()))
+    }
+
+    /// Stop this clock for `reason`, propagating to the shared budget
+    /// (and thereby every sibling worker) when there is one.
+    #[cold]
+    fn fail(&mut self, reason: StopReason) -> bool {
+        self.exhausted = true;
+        if self.stop.is_none() {
+            self.stop = Some(reason);
+        }
+        if let Some((shared, _)) = &self.shared {
+            shared.trip(reason);
+        }
+        false
+    }
+
     /// Record one search node; returns false when the budget is spent.
     #[inline]
     pub(crate) fn tick(&mut self) -> bool {
         if self.exhausted {
             return false;
         }
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return self.fail(StopReason::Cancelled);
+            }
+        }
         self.nodes += 1;
         if let Some((shared, lane)) = &self.shared {
             if shared.is_exhausted() || !shared.acquire_node(*lane) {
                 self.exhausted = true;
+                self.stop = self.stop.or_else(|| shared.stop_reason());
                 return false;
             }
         } else if self.nodes > self.max_nodes {
-            self.exhausted = true;
-            return false;
+            return self.fail(StopReason::NodeCap);
         }
         // Check the clock rarely; Instant::now is not free.
         if self.nodes % 1024 == 0 {
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
-                    self.exhausted = true;
-                    if let Some((shared, _)) = &self.shared {
-                        shared.trip();
-                    }
-                    return false;
+                    return self.fail(StopReason::Deadline);
                 }
             }
         }
@@ -350,6 +485,7 @@ impl BudgetClock {
             if let Some((shared, _)) = &self.shared {
                 if shared.is_exhausted() {
                     self.exhausted = true;
+                    self.stop = self.stop.or_else(|| shared.stop_reason());
                     return false;
                 }
             }
@@ -358,12 +494,12 @@ impl BudgetClock {
         if let Some((shared, _)) = &self.shared {
             if shared.is_exhausted() || !shared.acquire_result() {
                 self.exhausted = true;
+                self.stop = self.stop.or_else(|| shared.stop_reason());
                 return false;
             }
         } else {
             if self.results >= self.max_results {
-                self.exhausted = true;
-                return false;
+                return self.fail(StopReason::ResultCap);
             }
             self.results += 1;
         }
@@ -572,6 +708,65 @@ mod tests {
             emitted += usize::from(b.try_result());
         }
         assert_eq!(emitted, 3);
+    }
+
+    #[test]
+    fn cancel_token_stops_standalone_and_shared_clocks() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let mut c = Budget::UNLIMITED.with_cancel(token.clone()).start();
+        assert!(c.tick());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(!c.tick(), "cancelled at the very next branch");
+        assert_eq!(c.stop_reason(), Some(StopReason::Cancelled));
+
+        let token = CancelToken::new();
+        let shared = SharedBudget::new(Budget::UNLIMITED.with_cancel(token.clone()));
+        let mut a = shared.clock(BudgetLane::Walk);
+        let mut b = shared.clock(BudgetLane::Expand);
+        assert!(a.tick() && b.tick());
+        token.cancel();
+        assert!(!a.tick());
+        assert!(!b.tick());
+        assert!(shared.is_exhausted(), "cancellation trips the whole run");
+        assert_eq!(shared.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn stop_reasons_are_recorded() {
+        let mut c = Budget::nodes(1).start();
+        assert!(c.tick());
+        assert!(!c.tick());
+        assert_eq!(c.stop_reason(), Some(StopReason::NodeCap));
+
+        let mut r = Budget::results(0).start();
+        assert!(!r.try_result());
+        assert_eq!(r.stop_reason(), Some(StopReason::ResultCap));
+
+        let mut d = Budget::time(Duration::from_millis(0)).start();
+        while d.tick() {}
+        assert_eq!(d.stop_reason(), Some(StopReason::Deadline));
+
+        // Shared: first reason wins, and every sibling clock sees it.
+        let shared = SharedBudget::new(Budget::results(1));
+        let mut a = shared.clock(BudgetLane::Expand);
+        assert!(a.try_result());
+        assert!(!a.try_result());
+        assert_eq!(shared.stop_reason(), Some(StopReason::ResultCap));
+        let mut b = shared.clock(BudgetLane::Walk);
+        assert!(!b.tick());
+        assert_eq!(b.stop_reason(), Some(StopReason::ResultCap));
+    }
+
+    #[test]
+    fn stop_reason_display_and_codes() {
+        for r in StopReason::CODES {
+            assert_eq!(StopReason::from_code(r.code()), Some(r));
+            assert!(!r.to_string().is_empty());
+        }
+        assert_eq!(StopReason::from_code(0), None);
+        assert_eq!(StopReason::Deadline.to_string(), "deadline");
     }
 
     #[test]

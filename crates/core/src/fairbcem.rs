@@ -71,6 +71,7 @@ pub(crate) fn fairbcem_with_clock(
         nodes: search.clock.nodes,
         emitted: search.emitted,
         aborted: search.clock.exhausted,
+        stop: search.clock.stop_reason(),
         peak_search_bytes: search.peak_bytes,
     }
 }

@@ -100,6 +100,7 @@ pub(crate) fn fairbcem_pp_shared(
     let mut stats = walker.stats();
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
+    stats.stop = stats.stop.or_else(|| expander.stop_reason());
     stats
 }
 
@@ -148,6 +149,11 @@ impl<'a> SsExpander<'a> {
     /// correct subset).
     pub(crate) fn aborted(&self) -> bool {
         self.clock.exhausted
+    }
+
+    /// Why the expansion stage stopped (None while unexhausted).
+    pub(crate) fn stop_reason(&self) -> Option<crate::config::StopReason> {
+        self.clock.stop_reason()
     }
 
     pub(crate) fn expand(&mut self, l: &[VertexId], r: &[VertexId], sink: &mut dyn BicliqueSink) {

@@ -75,6 +75,7 @@ pub mod naive;
 pub mod ordering;
 pub mod parallel;
 pub mod pipeline;
+pub mod prepared;
 pub mod proportion;
 pub mod results;
 pub mod verify;
@@ -83,12 +84,14 @@ pub mod verify;
 pub mod prelude {
     pub use crate::biclique::{Biclique, BicliqueSink, CollectSink, CountSink, TopKSink};
     pub use crate::config::{
-        Budget, FairParams, ProParams, PruneKind, RunConfig, Substrate, VertexOrder,
+        Budget, CancelToken, FairParams, ProParams, PruneKind, RunConfig, StopReason, Substrate,
+        VertexOrder,
     };
     pub use crate::pipeline::{
         enumerate_bsfbc, enumerate_pbsfbc, enumerate_pssfbc, enumerate_ssfbc, BiAlgorithm,
         RunReport, SsAlgorithm,
     };
+    pub use crate::prepared::{PreparedQuery, QueryModel};
 }
 
 pub use prelude::*;

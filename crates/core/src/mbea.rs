@@ -165,6 +165,7 @@ impl<'a> Walker<'a> {
             nodes: self.clock.nodes,
             emitted: self.visited,
             aborted: self.clock.exhausted,
+            stop: self.clock.stop_reason(),
             peak_search_bytes: self.peak_bytes,
         }
     }
@@ -392,7 +393,7 @@ pub fn maximal_bicliques_with(
         min_l,
         RBound::Size(min_r),
         order,
-        budget,
+        budget.clone(),
         substrate,
         &mut |l, r| {
             if r.len() >= min_r && results_clock.try_result() {
@@ -403,6 +404,7 @@ pub fn maximal_bicliques_with(
     );
     stats.emitted = emitted;
     stats.aborted |= results_clock.exhausted;
+    stats.stop = stats.stop.or_else(|| results_clock.stop_reason());
     stats
 }
 

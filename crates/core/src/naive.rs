@@ -58,6 +58,7 @@ pub(crate) fn nsf_with_clock(
         nodes: s.clock.nodes,
         emitted: s.emitted,
         aborted: s.clock.exhausted,
+        stop: s.clock.stop_reason(),
         peak_search_bytes: 0,
     }
 }
@@ -89,6 +90,7 @@ pub fn bnsf_on_pruned(
     let mut stats = nsf_with_clock(g, params, order, inner_clock, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
+    stats.stop = stats.stop.or_else(|| expander.stop_reason());
     stats
 }
 

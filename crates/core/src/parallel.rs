@@ -45,6 +45,33 @@
 //!   pipelines sort results into [`crate::results::canonical_order`],
 //!   making output byte-identical across thread counts (and equal to
 //!   a sorted serial run).
+//!
+//! # Cancellation semantics
+//!
+//! A run whose [`Budget`] carries a [`crate::config::CancelToken`]
+//! ([`Budget::with_cancel`]) stops **cooperatively**: every worker's
+//! clocks — the maximal-biclique walker's and each expansion stage's —
+//! check the token at *branch granularity* (once per
+//! `BudgetClock::tick`, i.e. per search-tree node or expansion step),
+//! so cancellation latency is bounded by a handful of branch
+//! expansions, not by subtree size. The first worker to observe the
+//! token trips the run's [`SharedBudget`], which stops every sibling
+//! worker at its next tick exactly like any other exhausted limit.
+//! Consequences:
+//!
+//! * results already emitted are kept — a cancelled run returns a
+//!   *correct subset*, never corrupt or duplicated output;
+//! * `EnumStats::aborted` is set and `EnumStats::stop` (surfaced as
+//!   `RunReport::truncated_by`) reports
+//!   [`crate::config::StopReason::Cancelled`] — unless another limit
+//!   (deadline, node or result cap) tripped first, in which case the
+//!   first cause wins;
+//! * cancellation is sticky and one-way: the token cannot be reset,
+//!   and a cancelled run's workers drain the task deque without
+//!   executing further work, so threads join promptly;
+//! * tokens may be shared across runs (e.g. a server cancelling every
+//!   in-flight query at shutdown) — each run observes it
+//!   independently.
 
 use crate::bfairbcem::{BiChainSink, BiSideExpander};
 use crate::biclique::{Biclique, BicliqueSink, CollectSink, EnumStats, MappingSink};
@@ -67,7 +94,10 @@ use std::sync::{Condvar, Mutex};
 /// spawns and can hit OS thread limits long before they help).
 const MAX_THREADS: usize = 512;
 
-/// How a parallel run distributes work.
+/// How a parallel run distributes work. The candidate substrate is no
+/// longer part of the options — workers draw it from the
+/// [`CandidatePlan`] the caller resolved (and possibly cached; see
+/// [`crate::prepared`]).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct EngineOpts {
     /// Worker thread count (≥ 1).
@@ -75,9 +105,6 @@ pub(crate) struct EngineOpts {
     /// Depth down to which tasks re-split instead of running to
     /// completion (≥ 1; 1 = top-level branches only).
     pub(crate) split_depth: u32,
-    /// Candidate-set substrate; resolved once against the enumeration
-    /// graph, shared by every worker, and carried by split subtrees.
-    pub(crate) substrate: Substrate,
 }
 
 impl EngineOpts {
@@ -85,7 +112,6 @@ impl EngineOpts {
         EngineOpts {
             threads: cfg.threads.max(1),
             split_depth: cfg.split_depth.max(1),
-            substrate: cfg.substrate,
         }
     }
 }
@@ -231,10 +257,14 @@ pub(crate) fn parallel_walk<V: WalkVisitor>(
         agg.nodes += st.nodes;
         agg.emitted += st.emitted;
         agg.aborted |= st.aborted;
+        agg.stop = agg.stop.or(st.stop);
         agg.peak_search_bytes = agg.peak_search_bytes.max(st.peak_search_bytes);
         visitors.push(v);
     }
     agg.aborted |= shared.is_exhausted();
+    // The shared budget records the run-wide first cause; prefer it
+    // over whichever worker-local reason happened to merge first.
+    agg.stop = shared.stop_reason().or(agg.stop);
     (visitors, agg)
 }
 
@@ -334,7 +364,7 @@ pub(crate) struct MappedGraph<'g> {
 }
 
 impl<'g> MappedGraph<'g> {
-    fn of_pruned(pruned: &'g PruneOutcome) -> Self {
+    pub(crate) fn of_pruned(pruned: &'g PruneOutcome) -> Self {
         MappedGraph {
             g: &pruned.sub.graph,
             umap: &pruned.sub.upper_to_parent,
@@ -349,10 +379,10 @@ pub(crate) fn par_ssfbc_workers<'g, S: BicliqueSink + Send>(
     order: VertexOrder,
     budget: Budget,
     opts: EngineOpts,
+    plan: &CandidatePlan,
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, EnumStats) {
     let MappedGraph { g, umap, lmap } = *mg;
-    let plan = CandidatePlan::build(g, opts.substrate, false);
     let (workers, mut stats) = parallel_walk(
         g,
         params.alpha as usize,
@@ -360,7 +390,7 @@ pub(crate) fn par_ssfbc_workers<'g, S: BicliqueSink + Send>(
         order,
         budget,
         opts,
-        &plan,
+        plan,
         &|clock| SsWorker {
             expander: SsExpander::with_clock(g, params, plan.ops(g, Side::Lower), clock),
             umap,
@@ -373,6 +403,7 @@ pub(crate) fn par_ssfbc_workers<'g, S: BicliqueSink + Send>(
     for w in workers {
         emitted += w.expander.emitted;
         stats.aborted |= w.expander.aborted();
+        stats.stop = stats.stop.or_else(|| w.expander.stop_reason());
         sinks.push(w.sink);
     }
     stats.emitted = emitted;
@@ -385,10 +416,10 @@ pub(crate) fn par_bsfbc_workers<'g, S: BicliqueSink + Send>(
     order: VertexOrder,
     budget: Budget,
     opts: EngineOpts,
+    plan: &CandidatePlan,
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, EnumStats) {
     let MappedGraph { g, umap, lmap } = *mg;
-    let plan = CandidatePlan::build(g, opts.substrate, true);
     let (workers, mut stats) = parallel_walk(
         g,
         params.alpha as usize,
@@ -396,7 +427,7 @@ pub(crate) fn par_bsfbc_workers<'g, S: BicliqueSink + Send>(
         order,
         budget,
         opts,
-        &plan,
+        plan,
         &|clock| BiWorker {
             // The SSFBC stage is intermediate: exempt from the result
             // budget (only BSFBCs are final results).
@@ -417,6 +448,10 @@ pub(crate) fn par_bsfbc_workers<'g, S: BicliqueSink + Send>(
     for w in workers {
         emitted += w.bi.emitted;
         stats.aborted |= w.ss.aborted() | w.bi.aborted();
+        stats.stop = stats
+            .stop
+            .or_else(|| w.ss.stop_reason())
+            .or_else(|| w.bi.stop_reason());
         sinks.push(w.sink);
     }
     stats.emitted = emitted;
@@ -429,10 +464,10 @@ pub(crate) fn par_pssfbc_workers<'g, S: BicliqueSink + Send>(
     order: VertexOrder,
     budget: Budget,
     opts: EngineOpts,
+    plan: &CandidatePlan,
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, EnumStats) {
     let MappedGraph { g, umap, lmap } = *mg;
-    let plan = CandidatePlan::build(g, opts.substrate, false);
     let (workers, mut stats) = parallel_walk(
         g,
         pro.base.alpha as usize,
@@ -440,7 +475,7 @@ pub(crate) fn par_pssfbc_workers<'g, S: BicliqueSink + Send>(
         order,
         budget,
         opts,
-        &plan,
+        plan,
         &|clock| ProSsWorker {
             expander: ProSsExpander::with_clock(g, pro, plan.ops(g, Side::Lower), clock),
             umap,
@@ -453,6 +488,7 @@ pub(crate) fn par_pssfbc_workers<'g, S: BicliqueSink + Send>(
     for w in workers {
         emitted += w.expander.emitted;
         stats.aborted |= w.expander.aborted();
+        stats.stop = stats.stop.or_else(|| w.expander.stop_reason());
         sinks.push(w.sink);
     }
     stats.emitted = emitted;
@@ -465,10 +501,10 @@ pub(crate) fn par_pbsfbc_workers<'g, S: BicliqueSink + Send>(
     order: VertexOrder,
     budget: Budget,
     opts: EngineOpts,
+    plan: &CandidatePlan,
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, EnumStats) {
     let MappedGraph { g, umap, lmap } = *mg;
-    let plan = CandidatePlan::build(g, opts.substrate, true);
     let (workers, mut stats) = parallel_walk(
         g,
         pro.base.alpha as usize,
@@ -476,7 +512,7 @@ pub(crate) fn par_pbsfbc_workers<'g, S: BicliqueSink + Send>(
         order,
         budget,
         opts,
-        &plan,
+        plan,
         &|clock| ProBiWorker {
             ss: ProSsExpander::with_clock(
                 g,
@@ -495,6 +531,10 @@ pub(crate) fn par_pbsfbc_workers<'g, S: BicliqueSink + Send>(
     for w in workers {
         emitted += w.bi.emitted;
         stats.aborted |= w.ss.aborted() | w.bi.aborted();
+        stats.stop = stats
+            .stop
+            .or_else(|| w.ss.stop_reason())
+            .or_else(|| w.bi.stop_reason());
         sinks.push(w.sink);
     }
     stats.emitted = emitted;
@@ -520,12 +560,14 @@ pub fn par_run_ssfbc<S: BicliqueSink + Send>(
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, PruneStats, EnumStats) {
     let pruned = prune_single_side(g, params, cfg.prune);
+    let plan = CandidatePlan::build(&pruned.sub.graph, cfg.substrate, false);
     let (sinks, stats) = par_ssfbc_workers(
         &MappedGraph::of_pruned(&pruned),
         params,
         cfg.order,
-        cfg.budget,
+        cfg.budget.clone(),
         EngineOpts::from_run(cfg),
+        &plan,
         make_sink,
     );
     (sinks, pruned.stats, stats)
@@ -539,12 +581,14 @@ pub fn par_run_bsfbc<S: BicliqueSink + Send>(
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, PruneStats, EnumStats) {
     let pruned = prune_bi_side(g, params, cfg.prune);
+    let plan = CandidatePlan::build(&pruned.sub.graph, cfg.substrate, true);
     let (sinks, stats) = par_bsfbc_workers(
         &MappedGraph::of_pruned(&pruned),
         params,
         cfg.order,
-        cfg.budget,
+        cfg.budget.clone(),
         EngineOpts::from_run(cfg),
+        &plan,
         make_sink,
     );
     (sinks, pruned.stats, stats)
@@ -558,12 +602,14 @@ pub fn par_run_pssfbc<S: BicliqueSink + Send>(
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, PruneStats, EnumStats) {
     let pruned = prune_single_side(g, pro.base, cfg.prune);
+    let plan = CandidatePlan::build(&pruned.sub.graph, cfg.substrate, false);
     let (sinks, stats) = par_pssfbc_workers(
         &MappedGraph::of_pruned(&pruned),
         pro,
         cfg.order,
-        cfg.budget,
+        cfg.budget.clone(),
         EngineOpts::from_run(cfg),
+        &plan,
         make_sink,
     );
     (sinks, pruned.stats, stats)
@@ -577,72 +623,24 @@ pub fn par_run_pbsfbc<S: BicliqueSink + Send>(
     make_sink: &(dyn Fn() -> S + Sync),
 ) -> (Vec<S>, PruneStats, EnumStats) {
     let pruned = prune_bi_side(g, pro.base, cfg.prune);
+    let plan = CandidatePlan::build(&pruned.sub.graph, cfg.substrate, true);
     let (sinks, stats) = par_pbsfbc_workers(
         &MappedGraph::of_pruned(&pruned),
         pro,
         cfg.order,
-        cfg.budget,
+        cfg.budget.clone(),
         EngineOpts::from_run(cfg),
+        &plan,
         make_sink,
     );
     (sinks, pruned.stats, stats)
 }
 
 // ---------------------------------------------------------------
-// Collected pipelines: prune → parallel enumerate → report.
-// ---------------------------------------------------------------
-
-fn finish_report(
-    sinks: Vec<CollectSink>,
-    prune: PruneStats,
-    stats: EnumStats,
-    cfg: &RunConfig,
-) -> RunReport {
-    let mut bicliques: Vec<Biclique> = Vec::new();
-    for s in sinks {
-        bicliques.extend(s.bicliques);
-    }
-    if cfg.sorted {
-        crate::results::canonical_order(&mut bicliques);
-    }
-    RunReport {
-        bicliques,
-        prune,
-        stats,
-        threads: cfg.threads.max(1),
-    }
-}
-
-/// Parallel SSFBC pipeline (called by
-/// [`crate::pipeline::enumerate_ssfbc`] when `cfg.threads > 1`).
-pub(crate) fn report_ssfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
-    let (sinks, prune, stats) = par_run_ssfbc(g, params, cfg, &CollectSink::default);
-    finish_report(sinks, prune, stats, cfg)
-}
-
-/// Parallel BSFBC pipeline.
-pub(crate) fn report_bsfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
-    let (sinks, prune, stats) = par_run_bsfbc(g, params, cfg, &CollectSink::default);
-    finish_report(sinks, prune, stats, cfg)
-}
-
-/// Parallel PSSFBC pipeline.
-pub(crate) fn report_pssfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
-    let (sinks, prune, stats) = par_run_pssfbc(g, pro, cfg, &CollectSink::default);
-    finish_report(sinks, prune, stats, cfg)
-}
-
-/// Parallel PBSFBC pipeline.
-pub(crate) fn report_pbsfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
-    let (sinks, prune, stats) = par_run_pbsfbc(g, pro, cfg, &CollectSink::default);
-    finish_report(sinks, prune, stats, cfg)
-}
-
-// ---------------------------------------------------------------
 // Maximum fair biclique search.
 // ---------------------------------------------------------------
 
-fn merge_max(metric: SizeMetric, sinks: impl IntoIterator<Item = MaxSink>) -> MaxSink {
+pub(crate) fn merge_max(metric: SizeMetric, sinks: impl IntoIterator<Item = MaxSink>) -> MaxSink {
     let mut merged = MaxSink::new(metric);
     let mut seen = 0u64;
     for s in sinks {
@@ -665,12 +663,14 @@ pub(crate) fn par_max_ssfbc(
     metric: SizeMetric,
     cfg: &RunConfig,
 ) -> MaxSink {
+    let plan = CandidatePlan::build(&pruned.sub.graph, cfg.substrate, false);
     let (sinks, _) = par_ssfbc_workers(
         &MappedGraph::of_pruned(pruned),
         params,
         cfg.order,
-        cfg.budget,
+        cfg.budget.clone(),
         EngineOpts::from_run(cfg),
+        &plan,
         &|| MaxSink::new(metric),
     );
     merge_max(metric, sinks)
@@ -683,12 +683,14 @@ pub(crate) fn par_max_bsfbc(
     metric: SizeMetric,
     cfg: &RunConfig,
 ) -> MaxSink {
+    let plan = CandidatePlan::build(&pruned.sub.graph, cfg.substrate, true);
     let (sinks, _) = par_bsfbc_workers(
         &MappedGraph::of_pruned(pruned),
         params,
         cfg.order,
-        cfg.budget,
+        cfg.budget.clone(),
         EngineOpts::from_run(cfg),
+        &plan,
         &|| MaxSink::new(metric),
     );
     merge_max(metric, sinks)
@@ -719,6 +721,7 @@ pub fn fairbcem_pp_par_on_pruned(
         umap: &umap,
         lmap: &lmap,
     };
+    let plan = CandidatePlan::build(g, Substrate::Auto, false);
     let (sinks, stats) = par_ssfbc_workers(
         &mg,
         params,
@@ -727,8 +730,8 @@ pub fn fairbcem_pp_par_on_pruned(
         EngineOpts {
             threads: n_threads.max(1),
             split_depth: 1,
-            substrate: Substrate::Auto,
         },
+        &plan,
         &CollectSink::default,
     );
     let mut all = Vec::new();
@@ -755,7 +758,7 @@ pub fn par_enumerate_ssfbc(
         sorted: true,
         ..cfg.clone()
     };
-    report_ssfbc(g, params, &cfg)
+    crate::pipeline::enumerate_ssfbc(g, params, &cfg)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 
 use crate::bfairbcem::{bfairbcem_pp_with, bfairbcem_with};
 use crate::bfcore::{bcfcore, bfcore};
-use crate::biclique::{Biclique, BicliqueSink, CollectSink, EnumStats, MappingSink};
+use crate::biclique::{Biclique, BicliqueSink, EnumStats, MappingSink};
 use crate::cfcore::cfcore;
 use crate::config::{FairParams, ProParams, PruneKind, RunConfig};
 use crate::fairbcem::fairbcem_on_pruned;
@@ -56,6 +56,21 @@ pub struct RunReport {
     /// Worker threads the run was configured with (1 = serial; the
     /// engine may clamp the spawned count to the available work).
     pub threads: usize,
+    /// Which budget limit cut the run short (`None` when it ran to
+    /// completion): node cap, deadline, result cap, or cooperative
+    /// cancellation. Equal to `stats.stop`.
+    pub truncated_by: Option<crate::config::StopReason>,
+    /// End-to-end wall-clock time of this run (preparation —
+    /// possibly amortized from a cached plan — plus enumeration).
+    pub elapsed: std::time::Duration,
+    /// Wall-clock time of the preparation phases: pruning (including
+    /// the colorful core's 2-hop/coloring work) and candidate-plan
+    /// construction. When the run executed a cached
+    /// [`crate::prepared::PreparedQuery`], this is the *original*
+    /// (amortized) preparation cost, not time spent by this call.
+    pub prune_elapsed: std::time::Duration,
+    /// Wall-clock time of the enumeration phase alone.
+    pub enumerate_elapsed: std::time::Duration,
 }
 
 /// Run the pruning stage configured for a single-side problem.
@@ -97,21 +112,21 @@ pub fn run_ssfbc(
             &pruned.sub.graph,
             params,
             cfg.order,
-            cfg.budget,
+            cfg.budget.clone(),
             &mut mapped,
         ),
         SsAlgorithm::FairBcem => fairbcem_on_pruned(
             &pruned.sub.graph,
             params,
             cfg.order,
-            cfg.budget,
+            cfg.budget.clone(),
             &mut mapped,
         ),
         SsAlgorithm::FairBcemPP => fairbcem_pp_with(
             &pruned.sub.graph,
             params,
             cfg.order,
-            cfg.budget,
+            cfg.budget.clone(),
             cfg.substrate,
             &mut mapped,
         ),
@@ -138,14 +153,14 @@ pub fn run_bsfbc(
             &pruned.sub.graph,
             params,
             cfg.order,
-            cfg.budget,
+            cfg.budget.clone(),
             &mut mapped,
         ),
         BiAlgorithm::BFairBcem => bfairbcem_with(
             &pruned.sub.graph,
             params,
             cfg.order,
-            cfg.budget,
+            cfg.budget.clone(),
             cfg.substrate,
             &mut mapped,
         ),
@@ -153,7 +168,7 @@ pub fn run_bsfbc(
             &pruned.sub.graph,
             params,
             cfg.order,
-            cfg.budget,
+            cfg.budget.clone(),
             cfg.substrate,
             &mut mapped,
         ),
@@ -178,7 +193,7 @@ pub fn run_pssfbc(
         &pruned.sub.graph,
         pro,
         cfg.order,
-        cfg.budget,
+        cfg.budget.clone(),
         cfg.substrate,
         &mut mapped,
     );
@@ -202,80 +217,49 @@ pub fn run_pbsfbc(
         &pruned.sub.graph,
         pro,
         cfg.order,
-        cfg.budget,
+        cfg.budget.clone(),
         cfg.substrate,
         &mut mapped,
     );
     (pruned.stats, stats)
 }
 
-/// Assemble a serial run's report, honoring `cfg.sorted`.
-fn serial_report(
-    mut bicliques: Vec<Biclique>,
-    prune: PruneStats,
-    stats: EnumStats,
-    cfg: &RunConfig,
-) -> RunReport {
-    if cfg.sorted {
-        crate::results::canonical_order(&mut bicliques);
-    }
-    RunReport {
-        bicliques,
-        prune,
-        stats,
-        threads: 1,
-    }
+/// Prepare-then-execute: the collected pipelines are one-shot uses of
+/// the prepared-plan layer ([`crate::prepared`]), so a cached plan in
+/// the query service executes bit-identically to these.
+fn enumerate(g: &BipartiteGraph, model: crate::prepared::QueryModel, cfg: &RunConfig) -> RunReport {
+    crate::prepared::PreparedQuery::prepare(g, model, cfg.prune, cfg.substrate).execute(cfg)
 }
 
 /// Enumerate and collect all single-side fair bicliques (Definition 3)
 /// with the paper's best pipeline (`CFCore` + `FairBCEM++` by default).
 /// `cfg.threads > 1` runs on the parallel engine ([`crate::parallel`]).
 pub fn enumerate_ssfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
-    if cfg.threads > 1 {
-        return crate::parallel::report_ssfbc(g, params, cfg);
-    }
-    let mut sink = CollectSink::default();
-    let (prune, stats) = run_ssfbc(g, params, SsAlgorithm::FairBcemPP, cfg, &mut sink);
-    serial_report(sink.bicliques, prune, stats, cfg)
+    enumerate(g, crate::prepared::QueryModel::Ssfbc(params), cfg)
 }
 
 /// Enumerate and collect all bi-side fair bicliques (Definition 4).
 /// `cfg.threads > 1` runs on the parallel engine.
 pub fn enumerate_bsfbc(g: &BipartiteGraph, params: FairParams, cfg: &RunConfig) -> RunReport {
-    if cfg.threads > 1 {
-        return crate::parallel::report_bsfbc(g, params, cfg);
-    }
-    let mut sink = CollectSink::default();
-    let (prune, stats) = run_bsfbc(g, params, BiAlgorithm::BFairBcemPP, cfg, &mut sink);
-    serial_report(sink.bicliques, prune, stats, cfg)
+    enumerate(g, crate::prepared::QueryModel::Bsfbc(params), cfg)
 }
 
 /// Enumerate and collect all proportion single-side fair bicliques
 /// (Definition 5). `cfg.threads > 1` runs on the parallel engine.
 pub fn enumerate_pssfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
-    if cfg.threads > 1 {
-        return crate::parallel::report_pssfbc(g, pro, cfg);
-    }
-    let mut sink = CollectSink::default();
-    let (prune, stats) = run_pssfbc(g, pro, cfg, &mut sink);
-    serial_report(sink.bicliques, prune, stats, cfg)
+    enumerate(g, crate::prepared::QueryModel::Pssfbc(pro), cfg)
 }
 
 /// Enumerate and collect all proportion bi-side fair bicliques
 /// (Definition 6). `cfg.threads > 1` runs on the parallel engine.
 pub fn enumerate_pbsfbc(g: &BipartiteGraph, pro: ProParams, cfg: &RunConfig) -> RunReport {
-    if cfg.threads > 1 {
-        return crate::parallel::report_pbsfbc(g, pro, cfg);
-    }
-    let mut sink = CollectSink::default();
-    let (prune, stats) = run_pbsfbc(g, pro, cfg, &mut sink);
-    serial_report(sink.bicliques, prune, stats, cfg)
+    enumerate(g, crate::prepared::QueryModel::Pbsfbc(pro), cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::biclique::CountSink;
+    use crate::biclique::{CollectSink, CountSink};
     use crate::config::VertexOrder;
     use crate::verify::{oracle_bsfbc, oracle_ssfbc};
     use bigraph::generate::{plant_bicliques, random_uniform};

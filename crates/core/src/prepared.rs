@@ -1,0 +1,415 @@
+//! Prepared queries: pay pruning + candidate-plan construction once,
+//! enumerate many times.
+//!
+//! Every pipeline in this crate runs three phases: (1) FCore/CFCore
+//! pruning (which internally builds the colorful 2-hop structure),
+//! (2) [`CandidatePlan`] resolution (substrate choice + bitset-row
+//! construction on the pruned core), and (3) enumeration. For a
+//! one-shot CLI run the phases are fused; a resident query service
+//! answering repeated queries over the same graph wants to amortize
+//! (1) and (2). A [`PreparedQuery`] captures exactly that reusable
+//! state — the compacted pruned core with its id maps back to the
+//! original graph, and the resolved plan (rows shared by reference
+//! across workers) — and can then [`PreparedQuery::execute`] any
+//! number of times, serially or on the parallel engine, each run with
+//! its own budget/deadline/cancellation.
+//!
+//! The collected pipelines in [`crate::pipeline`] are thin wrappers
+//! over this module (prepare → execute), so prepared execution is
+//! bit-identical to the one-shot paths by construction.
+
+use crate::bfairbcem::bfairbcem_pp_planned;
+use crate::biclique::{Biclique, BicliqueSink, CollectSink, CountSink, EnumStats, MappingSink};
+use crate::config::{FairParams, ProParams, PruneKind, RunConfig, SharedBudget, Substrate};
+use crate::fairbcem_pp::fairbcem_pp_shared;
+use crate::fcore::{PruneOutcome, PruneStats};
+use crate::maximum::{MaxSink, SizeMetric};
+use crate::parallel::{
+    merge_max, par_bsfbc_workers, par_pbsfbc_workers, par_pssfbc_workers, par_ssfbc_workers,
+    EngineOpts, MappedGraph,
+};
+use crate::pipeline::{prune_bi_side, prune_single_side, RunReport};
+use crate::proportion::{bfairbcem_pro_pp_planned, fairbcem_pro_pp_shared};
+use bigraph::candidate::CandidatePlan;
+use bigraph::BipartiteGraph;
+use std::time::{Duration, Instant};
+
+/// Which fair-biclique model a query runs, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryModel {
+    /// Single-side fair bicliques (Definition 3), `FairBCEM++`.
+    Ssfbc(FairParams),
+    /// Bi-side fair bicliques (Definition 4), `BFairBCEM++`.
+    Bsfbc(FairParams),
+    /// Proportion single-side (Definition 5), `FairBCEMPro++`.
+    Pssfbc(ProParams),
+    /// Proportion bi-side (Definition 6), `BFairBCEMPro++`.
+    Pbsfbc(ProParams),
+}
+
+impl QueryModel {
+    /// Canonical model name (`SSFBC` / `BSFBC` / `PSSFBC` / `PBSFBC`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryModel::Ssfbc(_) => "SSFBC",
+            QueryModel::Bsfbc(_) => "BSFBC",
+            QueryModel::Pssfbc(_) => "PSSFBC",
+            QueryModel::Pbsfbc(_) => "PBSFBC",
+        }
+    }
+
+    /// True for the bi-side models (both sides fairness-constrained).
+    pub fn is_bi_side(&self) -> bool {
+        matches!(self, QueryModel::Bsfbc(_) | QueryModel::Pbsfbc(_))
+    }
+
+    /// The absolute thresholds `(α, β, δ)` of the model.
+    pub fn base(&self) -> FairParams {
+        match self {
+            QueryModel::Ssfbc(p) | QueryModel::Bsfbc(p) => *p,
+            QueryModel::Pssfbc(p) | QueryModel::Pbsfbc(p) => p.base,
+        }
+    }
+
+    /// The ratio threshold `θ` of the proportion models.
+    pub fn theta(&self) -> Option<f64> {
+        match self {
+            QueryModel::Pssfbc(p) | QueryModel::Pbsfbc(p) => Some(p.theta),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The reusable, immutable result of the preparation phases of one
+/// `(graph, model, params, prune, substrate)` combination: the pruned
+/// core (with id maps), and the resolved candidate plan. Safe to share
+/// across threads (`execute` takes `&self`), which is what the
+/// service's plan cache does via `Arc<PreparedQuery>`.
+pub struct PreparedQuery {
+    model: QueryModel,
+    pruned: PruneOutcome,
+    plan: CandidatePlan,
+    prune_elapsed: Duration,
+}
+
+impl PreparedQuery {
+    /// Run the preparation phases: prune `g` for `model` (single- or
+    /// bi-side cores as appropriate), then resolve `substrate` against
+    /// the pruned core (bi-side models also get upper-side rows).
+    pub fn prepare(
+        g: &BipartiteGraph,
+        model: QueryModel,
+        prune: PruneKind,
+        substrate: Substrate,
+    ) -> PreparedQuery {
+        let t0 = Instant::now();
+        let params = model.base();
+        let pruned = if model.is_bi_side() {
+            prune_bi_side(g, params, prune)
+        } else {
+            prune_single_side(g, params, prune)
+        };
+        let plan = CandidatePlan::build(&pruned.sub.graph, substrate, model.is_bi_side());
+        PreparedQuery {
+            model,
+            pruned,
+            plan,
+            prune_elapsed: t0.elapsed(),
+        }
+    }
+
+    /// The model this plan was prepared for.
+    pub fn model(&self) -> QueryModel {
+        self.model
+    }
+
+    /// Pruning statistics of the preparation pass.
+    pub fn prune_stats(&self) -> &PruneStats {
+        &self.pruned.stats
+    }
+
+    /// The substrate the plan resolved to (never `Auto`).
+    pub fn resolved_substrate(&self) -> Substrate {
+        self.plan.choice()
+    }
+
+    /// Wall-clock cost of the preparation phases (pruning — including
+    /// the 2-hop/coloring work of the colorful core — plus plan
+    /// construction). Amortized across every execute of this plan.
+    pub fn prune_elapsed(&self) -> Duration {
+        self.prune_elapsed
+    }
+
+    /// Heap bytes pinned by the cached plan: the pruned core's
+    /// adjacency plus the bitset rows (cache-eviction accounting).
+    pub fn heap_bytes(&self) -> usize {
+        // CSR adjacency is one u32 per directed edge endpoint per side
+        // plus offsets; approximate with the dominant terms.
+        let g = &self.pruned.sub.graph;
+        let csr = 2 * g.n_edges() * std::mem::size_of::<bigraph::VertexId>();
+        csr + self.plan.heap_bytes()
+    }
+
+    /// Serial enumeration on the cached core/plan, streaming
+    /// original-id results into `sink`.
+    fn stream_serial(&self, cfg: &RunConfig, sink: &mut dyn BicliqueSink) -> EnumStats {
+        let g = &self.pruned.sub.graph;
+        let shared = SharedBudget::new(cfg.budget.clone());
+        let mut mapped = MappingSink::new(
+            &self.pruned.sub.upper_to_parent,
+            &self.pruned.sub.lower_to_parent,
+            sink,
+        );
+        match self.model {
+            QueryModel::Ssfbc(p) => {
+                fairbcem_pp_shared(g, p, cfg.order, &shared, false, &self.plan, &mut mapped)
+            }
+            QueryModel::Bsfbc(p) => {
+                bfairbcem_pp_planned(g, p, cfg.order, &shared, &self.plan, &mut mapped)
+            }
+            QueryModel::Pssfbc(p) => {
+                fairbcem_pro_pp_shared(g, p, cfg.order, &shared, false, &self.plan, &mut mapped)
+            }
+            QueryModel::Pbsfbc(p) => {
+                bfairbcem_pro_pp_planned(g, p, cfg.order, &shared, &self.plan, &mut mapped)
+            }
+        }
+    }
+
+    /// Parallel enumeration on the cached core/plan across
+    /// `cfg.threads` workers, each with its own sink.
+    fn stream_parallel<S: BicliqueSink + Send>(
+        &self,
+        cfg: &RunConfig,
+        make_sink: &(dyn Fn() -> S + Sync),
+    ) -> (Vec<S>, EnumStats) {
+        let mg = MappedGraph::of_pruned(&self.pruned);
+        let opts = EngineOpts::from_run(cfg);
+        let budget = cfg.budget.clone();
+        match self.model {
+            QueryModel::Ssfbc(p) => {
+                par_ssfbc_workers(&mg, p, cfg.order, budget, opts, &self.plan, make_sink)
+            }
+            QueryModel::Bsfbc(p) => {
+                par_bsfbc_workers(&mg, p, cfg.order, budget, opts, &self.plan, make_sink)
+            }
+            QueryModel::Pssfbc(p) => {
+                par_pssfbc_workers(&mg, p, cfg.order, budget, opts, &self.plan, make_sink)
+            }
+            QueryModel::Pbsfbc(p) => {
+                par_pbsfbc_workers(&mg, p, cfg.order, budget, opts, &self.plan, make_sink)
+            }
+        }
+    }
+
+    fn report(
+        &self,
+        bicliques: Vec<Biclique>,
+        stats: EnumStats,
+        cfg: &RunConfig,
+        enumerate_elapsed: Duration,
+    ) -> RunReport {
+        RunReport {
+            bicliques,
+            prune: self.pruned.stats,
+            stats,
+            threads: cfg.threads.max(1),
+            truncated_by: stats.stop,
+            elapsed: self.prune_elapsed + enumerate_elapsed,
+            prune_elapsed: self.prune_elapsed,
+            enumerate_elapsed,
+        }
+    }
+
+    /// Enumerate and collect all results (original ids; honors
+    /// `cfg.sorted`, `cfg.threads`, and the budget/cancellation in
+    /// `cfg.budget`). `RunReport::prune_elapsed` reports the (possibly
+    /// amortized) preparation cost of this plan.
+    pub fn execute(&self, cfg: &RunConfig) -> RunReport {
+        let t0 = Instant::now();
+        let (mut bicliques, stats) = if cfg.threads > 1 {
+            let (sinks, stats) = self.stream_parallel(cfg, &CollectSink::default);
+            let mut all = Vec::new();
+            for s in sinks {
+                all.extend(s.bicliques);
+            }
+            (all, stats)
+        } else {
+            let mut sink = CollectSink::default();
+            let stats = self.stream_serial(cfg, &mut sink);
+            (sink.bicliques, stats)
+        };
+        if cfg.sorted {
+            crate::results::canonical_order(&mut bicliques);
+        }
+        self.report(bicliques, stats, cfg, t0.elapsed())
+    }
+
+    /// Count results without materializing them (`stats.emitted` is
+    /// the count; `bicliques` stays empty).
+    pub fn count(&self, cfg: &RunConfig) -> RunReport {
+        let t0 = Instant::now();
+        let stats = if cfg.threads > 1 {
+            let (_, stats) = self.stream_parallel(cfg, &CountSink::default);
+            stats
+        } else {
+            let mut sink = CountSink::default();
+            self.stream_serial(cfg, &mut sink)
+        };
+        self.report(Vec::new(), stats, cfg, t0.elapsed())
+    }
+
+    /// The single largest result under `metric` (ties broken
+    /// lexicographically, matching [`crate::maximum`]). Works for all
+    /// four models — the proportion maxima simply rank the proportion
+    /// enumeration's output.
+    pub fn maximum(&self, metric: SizeMetric, cfg: &RunConfig) -> (Option<Biclique>, EnumStats) {
+        if cfg.threads > 1 {
+            let (sinks, stats) = self.stream_parallel(cfg, &|| MaxSink::new(metric));
+            (merge_max(metric, sinks).best, stats)
+        } else {
+            let mut sink = MaxSink::new(metric);
+            let stats = self.stream_serial(cfg, &mut sink);
+            (sink.best, stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Budget, CancelToken, StopReason};
+    use crate::pipeline::{enumerate_bsfbc, enumerate_pbsfbc, enumerate_pssfbc, enumerate_ssfbc};
+    use bigraph::generate::random_uniform;
+
+    fn models() -> Vec<QueryModel> {
+        let fair = FairParams::unchecked(2, 1, 1);
+        let pro = ProParams::new(2, 1, 1, 0.3).unwrap();
+        vec![
+            QueryModel::Ssfbc(fair),
+            QueryModel::Bsfbc(fair),
+            QueryModel::Pssfbc(pro),
+            QueryModel::Pbsfbc(pro),
+        ]
+    }
+
+    #[test]
+    fn prepared_matches_one_shot_pipelines_all_models() {
+        let g = random_uniform(12, 14, 70, 2, 2, 11);
+        for model in models() {
+            for threads in [1usize, 3] {
+                let cfg = RunConfig {
+                    threads,
+                    sorted: true,
+                    ..RunConfig::default()
+                };
+                let want = match model {
+                    QueryModel::Ssfbc(p) => enumerate_ssfbc(&g, p, &cfg),
+                    QueryModel::Bsfbc(p) => enumerate_bsfbc(&g, p, &cfg),
+                    QueryModel::Pssfbc(p) => enumerate_pssfbc(&g, p, &cfg),
+                    QueryModel::Pbsfbc(p) => enumerate_pbsfbc(&g, p, &cfg),
+                };
+                let prepared = PreparedQuery::prepare(&g, model, cfg.prune, cfg.substrate);
+                let got = prepared.execute(&cfg);
+                assert_eq!(got.bicliques, want.bicliques, "{model} threads {threads}");
+                assert_eq!(
+                    got.stats.nodes, want.stats.nodes,
+                    "{model} threads {threads}"
+                );
+                assert_eq!(got.prune, want.prune);
+                // The same plan executes repeatedly with identical output.
+                let again = prepared.execute(&cfg);
+                assert_eq!(again.bicliques, got.bicliques);
+                // Count mode agrees without materializing.
+                let counted = prepared.count(&cfg);
+                assert!(counted.bicliques.is_empty());
+                assert_eq!(counted.stats.emitted as usize, got.bicliques.len());
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_maximum_matches_maximum_module() {
+        let g = random_uniform(14, 14, 90, 2, 2, 5);
+        let params = FairParams::unchecked(2, 1, 1);
+        let cfg = RunConfig::default();
+        let (want, _) = crate::maximum::max_ssfbc(&g, params, SizeMetric::Edges, &cfg);
+        let prepared =
+            PreparedQuery::prepare(&g, QueryModel::Ssfbc(params), cfg.prune, cfg.substrate);
+        for threads in [1usize, 4] {
+            let cfg = RunConfig::with_threads(threads);
+            let (got, _) = prepared.maximum(SizeMetric::Edges, &cfg);
+            assert_eq!(got, want, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn truncated_by_reports_the_tripped_limit() {
+        let g = random_uniform(16, 18, 120, 2, 2, 4);
+        let params = FairParams::unchecked(1, 1, 2);
+        let prepared = PreparedQuery::prepare(
+            &g,
+            QueryModel::Ssfbc(params),
+            PruneKind::default(),
+            Substrate::Auto,
+        );
+        let full = prepared.execute(&RunConfig::default());
+        assert_eq!(full.truncated_by, None);
+        assert!(full.elapsed >= full.enumerate_elapsed);
+
+        let capped = prepared.execute(&RunConfig {
+            budget: Budget::results(1),
+            ..RunConfig::default()
+        });
+        assert_eq!(capped.truncated_by, Some(StopReason::ResultCap));
+        assert_eq!(capped.bicliques.len(), 1);
+
+        // A pre-cancelled token stops the run immediately, for any
+        // thread count, and the plan stays reusable afterwards.
+        for threads in [1usize, 4] {
+            let token = CancelToken::new();
+            token.cancel();
+            let cancelled = prepared.execute(&RunConfig {
+                threads,
+                budget: Budget::UNLIMITED.with_cancel(token),
+                ..RunConfig::default()
+            });
+            assert_eq!(cancelled.truncated_by, Some(StopReason::Cancelled));
+            assert!(cancelled.stats.aborted);
+            assert!(cancelled.bicliques.len() <= full.bicliques.len());
+        }
+        let after = prepared.execute(&RunConfig::default());
+        assert_eq!(after.bicliques.len(), full.bicliques.len());
+    }
+
+    #[test]
+    fn model_accessors() {
+        let fair = FairParams::unchecked(3, 2, 1);
+        let pro = ProParams::new(3, 2, 1, 0.25).unwrap();
+        assert_eq!(QueryModel::Ssfbc(fair).name(), "SSFBC");
+        assert_eq!(QueryModel::Pbsfbc(pro).to_string(), "PBSFBC");
+        assert!(QueryModel::Bsfbc(fair).is_bi_side());
+        assert!(!QueryModel::Pssfbc(pro).is_bi_side());
+        assert_eq!(QueryModel::Pssfbc(pro).base(), fair);
+        assert_eq!(QueryModel::Pssfbc(pro).theta(), Some(0.25));
+        assert_eq!(QueryModel::Ssfbc(fair).theta(), None);
+
+        let g = random_uniform(10, 10, 50, 2, 2, 9);
+        let p = PreparedQuery::prepare(
+            &g,
+            QueryModel::Ssfbc(fair),
+            PruneKind::Colorful,
+            Substrate::Auto,
+        );
+        assert_eq!(p.model(), QueryModel::Ssfbc(fair));
+        assert_ne!(p.resolved_substrate(), Substrate::Auto);
+        assert!(p.prune_stats().upper_after <= p.prune_stats().upper_before);
+        let _ = p.heap_bytes();
+    }
+}

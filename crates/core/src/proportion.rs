@@ -95,6 +95,7 @@ pub(crate) fn fairbcem_pro_pp_shared(
     let mut stats = walker.stats();
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
+    stats.stop = stats.stop.or_else(|| expander.stop_reason());
     stats
 }
 
@@ -142,6 +143,11 @@ impl<'a> ProSsExpander<'a> {
     /// correct subset).
     pub(crate) fn aborted(&self) -> bool {
         self.clock.exhausted
+    }
+
+    /// Why the expansion stage stopped (None while unexhausted).
+    pub(crate) fn stop_reason(&self) -> Option<crate::config::StopReason> {
+        self.clock.stop_reason()
     }
 
     pub(crate) fn expand(&mut self, l: &[VertexId], r: &[VertexId], sink: &mut dyn BicliqueSink) {
@@ -212,7 +218,20 @@ pub fn bfairbcem_pro_pp_with(
     // from the result cap — only PBSFBCs are final results), and any
     // tripped limit stops the whole chain.
     let plan = CandidatePlan::build(g, substrate, true);
-    let shared = SharedBudget::new(budget);
+    bfairbcem_pro_pp_planned(g, pro, order, &SharedBudget::new(budget), &plan, sink)
+}
+
+/// `BFairBCEMPro++` on a pre-resolved [`CandidatePlan`] (built with
+/// upper rows) and an externally owned shared budget — the entry point
+/// the prepared-plan cache ([`crate::prepared`]) reuses across queries.
+pub(crate) fn bfairbcem_pro_pp_planned(
+    g: &BipartiteGraph,
+    pro: ProParams,
+    order: VertexOrder,
+    shared: &SharedArc,
+    plan: &CandidatePlan,
+    sink: &mut dyn BicliqueSink,
+) -> EnumStats {
     let mut expander = ProBiSideExpander::with_clock(
         g,
         pro,
@@ -223,9 +242,10 @@ pub fn bfairbcem_pro_pp_with(
         exp: &mut expander,
         sink,
     };
-    let mut stats = fairbcem_pro_pp_shared(g, pro, order, &shared, true, &plan, &mut chain);
+    let mut stats = fairbcem_pro_pp_shared(g, pro, order, shared, true, plan, &mut chain);
     stats.emitted = expander.emitted;
     stats.aborted |= expander.aborted();
+    stats.stop = stats.stop.or_else(|| expander.stop_reason());
     stats
 }
 
@@ -268,6 +288,11 @@ impl<'a> ProBiSideExpander<'a> {
     /// True when the expansion budget expired (results are a subset).
     pub(crate) fn aborted(&self) -> bool {
         self.clock.exhausted
+    }
+
+    /// Why the expansion stage stopped (None while unexhausted).
+    pub(crate) fn stop_reason(&self) -> Option<crate::config::StopReason> {
+        self.clock.stop_reason()
     }
 
     pub(crate) fn expand(&mut self, l: &[VertexId], r: &[VertexId], sink: &mut dyn BicliqueSink) {

@@ -1,0 +1,140 @@
+//! Offline batch execution and the line-protocol TCP client.
+//!
+//! `run_batch` feeds protocol lines from any reader to an in-process
+//! [`Engine`], writing reply blocks exactly as the TCP server would —
+//! the same scripts drive `fbe batch` offline and `fbe batch
+//! --connect` against a live server.
+
+use crate::engine::{Engine, Outcome};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// Run protocol `input` against an in-process engine, writing reply
+/// blocks to `out`. Lines that are empty or start with `#` are
+/// skipped (script comments). Stops early after `SHUTDOWN`.
+pub fn run_batch(
+    engine: &Engine,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let cmd = line.trim();
+        if cmd.is_empty() || cmd.starts_with('#') {
+            continue;
+        }
+        match engine.handle_line(cmd) {
+            Outcome::Reply(reply) => reply.write_to(out)?,
+            Outcome::Shutdown(reply) => {
+                reply.write_to(out)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Drive a live server at `addr` with the same script format: each
+/// command is sent, its full reply block (through the `.` terminator)
+/// is relayed to `out`. The greeting block is relayed first. Stops
+/// after `SHUTDOWN`'s reply (or end of script).
+pub fn run_client(addr: &str, input: &mut dyn BufRead, out: &mut dyn Write) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    relay_block(&mut reader, out)?; // greeting
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let cmd = line.trim();
+        if cmd.is_empty() || cmd.starts_with('#') {
+            continue;
+        }
+        writeln!(writer, "{cmd}")?;
+        writer.flush()?;
+        relay_block(&mut reader, out)?;
+        if cmd.to_ascii_uppercase().starts_with("SHUTDOWN") {
+            return Ok(());
+        }
+    }
+}
+
+/// Copy one reply block (through the terminator line) from `reader`
+/// to `out`.
+fn relay_block(reader: &mut dyn BufRead, out: &mut dyn Write) -> std::io::Result<()> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-reply",
+            ));
+        }
+        out.write_all(line.as_bytes())?;
+        if line.trim_end() == crate::protocol::TERMINATOR {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use std::io::Cursor;
+
+    #[test]
+    fn batch_runs_a_script_with_comments() {
+        let engine = Engine::new(ServiceConfig::default());
+        let script = "\
+# generate then query twice (second hit comes from the plan cache)
+GEN g uniform:12,12,60,3
+
+ENUM g ssfbc alpha=1 beta=1 delta=1 count-only
+ENUM g ssfbc alpha=1 beta=1 delta=1 count-only
+STATS
+SHUTDOWN
+PING
+";
+        let mut out = Vec::new();
+        run_batch(&engine, &mut Cursor::new(script), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("cached=false"));
+        assert!(text.contains("cached=true"));
+        assert!(text.contains("plan_cache_hits 1"));
+        assert!(text.contains("OK bye"));
+        // The script stops at SHUTDOWN: the trailing PING is unanswered.
+        assert!(!text.contains("pong"));
+        // Every reply block is terminated.
+        assert_eq!(
+            text.lines().filter(|l| *l == ".").count(),
+            5,
+            "five reply blocks: GEN, ENUM, ENUM, STATS, SHUTDOWN\n{text}"
+        );
+    }
+
+    #[test]
+    fn client_relays_blocks_from_a_live_server() {
+        let engine = Engine::new(ServiceConfig::default());
+        let server = crate::server::Server::bind("127.0.0.1:0", engine).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let script =
+            "GEN g uniform:8,8,30,1\nENUM g ssfbc alpha=1 beta=1 delta=1 count-only\nSHUTDOWN\n";
+        let mut out = Vec::new();
+        run_client(&addr, &mut Cursor::new(script), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("protocol=1"), "greeting relayed: {text}");
+        assert!(text.contains("model=SSFBC"));
+        assert!(text.contains("OK bye"));
+        handle.join().unwrap().unwrap();
+    }
+}

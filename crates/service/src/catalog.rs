@@ -1,0 +1,171 @@
+//! The graph catalog: named graphs loaded once, queried many times.
+
+use crate::protocol::GenSpec;
+use bigraph::BipartiteGraph;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One resident graph plus its identity and summary statistics.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// Catalog name.
+    pub name: String,
+    /// Monotonic load generation: re-`LOAD`ing a name bumps it, which
+    /// changes every plan-cache key derived from the graph, so stale
+    /// plans can never serve the new graph (they age out of the LRU).
+    pub epoch: u64,
+    /// The graph itself (immutable once cataloged).
+    pub graph: BipartiteGraph,
+    /// Where it came from (`path` or generation spec), for `GRAPHS`.
+    pub source: String,
+}
+
+impl GraphEntry {
+    /// One-line summary for `GRAPHS`/`LOAD` replies.
+    pub fn summary(&self) -> String {
+        let g = &self.graph;
+        format!(
+            "{} upper={} lower={} edges={} source={}",
+            self.name,
+            g.n_upper(),
+            g.n_lower(),
+            g.n_edges(),
+            self.source
+        )
+    }
+}
+
+/// Thread-safe name → graph map.
+#[derive(Debug, Default)]
+pub struct GraphCatalog {
+    graphs: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
+    epoch: AtomicU64,
+}
+
+impl GraphCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) `name`, returning the new entry.
+    pub fn insert(&self, name: &str, graph: BipartiteGraph, source: String) -> Arc<GraphEntry> {
+        let entry = Arc::new(GraphEntry {
+            name: name.to_string(),
+            epoch: self.epoch.fetch_add(1, Ordering::Relaxed),
+            graph,
+            source,
+        });
+        self.graphs
+            .write()
+            .expect("catalog poisoned")
+            .insert(name.to_string(), Arc::clone(&entry));
+        entry
+    }
+
+    /// Look up `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        self.graphs
+            .read()
+            .expect("catalog poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Remove `name`; true when it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.graphs
+            .write()
+            .expect("catalog poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Number of cataloged graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.read().expect("catalog poisoned").len()
+    }
+
+    /// True when no graph is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Summaries in name order.
+    pub fn summaries(&self) -> Vec<String> {
+        self.graphs
+            .read()
+            .expect("catalog poisoned")
+            .values()
+            .map(|e| e.summary())
+            .collect()
+    }
+}
+
+/// Build a graph from a `GEN` spec.
+pub fn generate(spec: GenSpec) -> (BipartiteGraph, String) {
+    match spec {
+        GenSpec::Dataset(d) => {
+            let s = fbe_datasets::corpus::spec(d);
+            (s.build(), format!("gen:{d}"))
+        }
+        GenSpec::Uniform {
+            n_upper,
+            n_lower,
+            m,
+            seed,
+            attrs,
+        } => (
+            bigraph::generate::random_uniform(n_upper, n_lower, m, attrs.0, attrs.1, seed),
+            format!("gen:uniform:{n_upper},{n_lower},{m},{seed}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::generate::random_uniform;
+
+    #[test]
+    fn insert_get_remove_and_epochs() {
+        let c = GraphCatalog::new();
+        assert!(c.is_empty());
+        let g1 = c.insert("a", random_uniform(4, 4, 8, 1, 1, 0), "test".into());
+        let g2 = c.insert("b", random_uniform(5, 5, 10, 1, 1, 0), "test".into());
+        assert_ne!(g1.epoch, g2.epoch);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a").unwrap().graph.n_upper(), 4);
+        assert!(c.get("zzz").is_none());
+
+        // Replacing bumps the epoch — stale plan keys stop matching.
+        let g1b = c.insert("a", random_uniform(6, 6, 12, 1, 1, 0), "test".into());
+        assert!(g1b.epoch > g1.epoch);
+        assert_eq!(c.len(), 2);
+
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"));
+        assert_eq!(c.len(), 1);
+        let s = c.summaries();
+        assert_eq!(s.len(), 1);
+        assert!(s[0].starts_with("b upper=5"));
+    }
+
+    #[test]
+    fn generate_builds_both_kinds() {
+        let (g, src) = generate(GenSpec::Uniform {
+            n_upper: 10,
+            n_lower: 12,
+            m: 30,
+            seed: 3,
+            attrs: (2, 2),
+        });
+        assert_eq!(g.n_upper(), 10);
+        assert_eq!(g.n_edges(), 30);
+        assert!(src.contains("uniform"));
+        let (g, src) = generate(GenSpec::Dataset(fbe_datasets::corpus::Dataset::Youtube));
+        assert!(g.n_edges() > 0);
+        assert!(src.contains("Youtube"));
+    }
+}

@@ -1,0 +1,607 @@
+//! The query engine: command dispatch, admission control, and query
+//! execution over the catalog + plan cache.
+
+use crate::catalog::{generate, GraphCatalog, GraphEntry};
+use crate::metrics::{bump, Metrics};
+use crate::plan_cache::{PlanCache, PlanKey};
+use crate::protocol::{EnumMode, EnumOpts, Reply, Request};
+use crate::ServiceConfig;
+use fair_biclique::config::{Budget, CancelToken, RunConfig, StopReason};
+use fair_biclique::prepared::{PreparedQuery, QueryModel};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What the transport should do after a reply.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Send the reply, keep serving.
+    Reply(Reply),
+    /// Send the reply, then stop the server.
+    Shutdown(Reply),
+}
+
+impl Outcome {
+    /// The reply either way.
+    pub fn reply(&self) -> &Reply {
+        match self {
+            Outcome::Reply(r) | Outcome::Shutdown(r) => r,
+        }
+    }
+}
+
+/// Bounded worker pool: at most `workers` queries execute at once and
+/// at most `queue_depth` wait; anything beyond that is refused
+/// immediately so overload degrades into fast `BUSY` errors instead of
+/// unbounded queueing.
+#[derive(Debug)]
+struct Admission {
+    workers: usize,
+    queue_depth: usize,
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    active: usize,
+    waiting: usize,
+}
+
+/// RAII slot in the worker pool.
+#[derive(Debug)]
+struct AdmissionGuard<'a>(&'a Admission);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().expect("admission poisoned");
+        st.active -= 1;
+        drop(st);
+        self.0.cv.notify_one();
+    }
+}
+
+impl Admission {
+    fn new(workers: usize, queue_depth: usize) -> Admission {
+        Admission {
+            workers: workers.max(1),
+            queue_depth,
+            state: Mutex::new(AdmissionState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait for a worker slot, giving up at `deadline_at` so a queued
+    /// query's deadline keeps ticking while it waits (and its queue
+    /// slot is released the moment it expires).
+    fn admit(&self, deadline_at: Option<Instant>) -> Result<AdmissionGuard<'_>, AdmitRefused> {
+        let mut st = self.state.lock().expect("admission poisoned");
+        if st.active >= self.workers {
+            if st.waiting >= self.queue_depth {
+                return Err(AdmitRefused::Busy);
+            }
+            st.waiting += 1;
+            while st.active >= self.workers {
+                match deadline_at {
+                    None => st = self.cv.wait(st).expect("admission poisoned"),
+                    Some(d) => {
+                        let remaining = d.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            st.waiting -= 1;
+                            return Err(AdmitRefused::DeadlineExpired);
+                        }
+                        st = self
+                            .cv
+                            .wait_timeout(st, remaining)
+                            .expect("admission poisoned")
+                            .0;
+                    }
+                }
+            }
+            st.waiting -= 1;
+        }
+        st.active += 1;
+        Ok(AdmissionGuard(self))
+    }
+}
+
+/// Why [`Admission::admit`] turned a query away.
+#[derive(Debug, PartialEq, Eq)]
+enum AdmitRefused {
+    /// Workers and wait queue are both full.
+    Busy,
+    /// The query's deadline expired while it waited for a worker.
+    DeadlineExpired,
+}
+
+/// A resident query engine. Shared across connection threads via
+/// `Arc`; all interior mutability is behind locks/atomics.
+pub struct Engine {
+    cfg: ServiceConfig,
+    catalog: GraphCatalog,
+    plans: Mutex<PlanCache>,
+    admission: Admission,
+    /// Counters served by `STATS`.
+    pub metrics: Metrics,
+    shutdown: CancelToken,
+}
+
+impl Engine {
+    /// Engine with `cfg` tunables and an empty catalog.
+    pub fn new(cfg: ServiceConfig) -> Arc<Engine> {
+        Arc::new(Engine {
+            admission: Admission::new(cfg.workers, cfg.queue_depth),
+            plans: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
+            cfg,
+            catalog: GraphCatalog::new(),
+            metrics: Metrics::new(),
+            shutdown: CancelToken::new(),
+        })
+    }
+
+    /// The token every in-flight query observes; `SHUTDOWN` cancels it.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// True once `SHUTDOWN` has been accepted.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.is_cancelled()
+    }
+
+    /// Drop all cached plans (benchmarks use this to measure the cold
+    /// path repeatedly).
+    pub fn clear_plans(&self) {
+        self.plans.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Parse and execute one request line.
+    pub fn handle_line(&self, line: &str) -> Outcome {
+        if self.is_shutdown() {
+            return Outcome::Reply(Reply::err("SHUTDOWN", "server is stopping"));
+        }
+        match crate::protocol::parse_request(line) {
+            Err(reply) => Outcome::Reply(reply),
+            Ok(req) => self.handle(req),
+        }
+    }
+
+    /// Execute a parsed request.
+    pub fn handle(&self, req: Request) -> Outcome {
+        match req {
+            Request::Ping => Outcome::Reply(Reply::ok("pong")),
+            Request::Shutdown => {
+                self.shutdown.cancel();
+                Outcome::Shutdown(Reply::ok("bye"))
+            }
+            Request::Graphs => {
+                let mut r = Reply::ok(format!("graphs={}", self.catalog.len()));
+                r.payload = self.catalog.summaries();
+                Outcome::Reply(r)
+            }
+            Request::Drop { name } => Outcome::Reply(if self.catalog.remove(&name) {
+                self.plans
+                    .lock()
+                    .expect("plan cache poisoned")
+                    .invalidate_graph(&name);
+                Reply::ok(format!("dropped={name}"))
+            } else {
+                Reply::err("NOGRAPH", format!("no graph named {name:?}"))
+            }),
+            Request::Load { name, path, attrs } => Outcome::Reply(
+                match bigraph::io::load_stem(Path::new(&path), attrs.0, attrs.1) {
+                    Ok(g) => Reply::ok(self.catalog_insert(&name, g, path).summary()),
+                    Err(e) => Reply::err("IO", e),
+                },
+            ),
+            Request::Gen { name, spec } => {
+                let (g, source) = generate(spec);
+                Outcome::Reply(Reply::ok(self.catalog_insert(&name, g, source).summary()))
+            }
+            Request::Stats => {
+                let plans = self.plans.lock().expect("plan cache poisoned");
+                let mut r = Reply::ok(format!(
+                    "graphs={} plans={} plan_bytes={}",
+                    self.catalog.len(),
+                    plans.len(),
+                    plans.heap_bytes()
+                ));
+                r.payload = self.metrics.render();
+                r.payload.push(format!("graphs {}", self.catalog.len()));
+                r.payload.push(format!("plans_cached {}", plans.len()));
+                r.payload
+                    .push(format!("plan_cache_evictions {}", plans.evictions));
+                r.payload
+                    .push(format!("plan_cache_bytes {}", plans.heap_bytes()));
+                Outcome::Reply(r)
+            }
+            Request::Enum { graph, model, opts } => Outcome::Reply(self.query(&graph, model, opts)),
+        }
+    }
+
+    /// Insert (or replace) a catalog graph, dropping any cached plans
+    /// of the replaced generation — the bumped epoch already makes
+    /// them unreachable, so keeping them would only burn LRU capacity
+    /// and heap until they age out.
+    fn catalog_insert(
+        &self,
+        name: &str,
+        g: bigraph::BipartiteGraph,
+        source: String,
+    ) -> Arc<GraphEntry> {
+        let entry = self.catalog.insert(name, g, source);
+        // After the new entry is visible: anything cached under this
+        // name is now an unreachable old-epoch plan. (A query racing
+        // the replacement may momentarily lose a fresh plan too — it
+        // is simply re-prepared on next use.)
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .invalidate_graph(name);
+        bump(&self.metrics.graphs_loaded);
+        entry
+    }
+
+    /// Fetch (or prepare and cache) the plan for `(entry, model,
+    /// substrate)`. Returns the plan and whether it was a cache hit.
+    fn plan_for(
+        &self,
+        entry: &GraphEntry,
+        model: QueryModel,
+        opts: &EnumOpts,
+    ) -> (Arc<PreparedQuery>, bool) {
+        let key = PlanKey::new(&entry.name, entry.epoch, model, opts.substrate);
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            bump(&self.metrics.plan_cache_hits);
+            return (plan, true);
+        }
+        bump(&self.metrics.plan_cache_misses);
+        // Prepare outside the lock: cold preparations of different
+        // keys proceed in parallel. Two racing queries for the same
+        // key both prepare; last insert wins (harmless duplicate
+        // work, never a stale plan).
+        let plan = Arc::new(PreparedQuery::prepare(
+            &entry.graph,
+            model,
+            Default::default(),
+            opts.substrate,
+        ));
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, Arc::clone(&plan));
+        (plan, false)
+    }
+
+    fn query(&self, graph: &str, model: QueryModel, opts: EnumOpts) -> Reply {
+        bump(&self.metrics.queries_total);
+        let t0 = Instant::now();
+        let deadline_at = opts.deadline.map(|d| t0 + d);
+        let deadline_reply = |cached| {
+            let status = self.status_line(
+                graph,
+                model,
+                &opts,
+                0,
+                cached,
+                Some(StopReason::Deadline),
+                t0,
+            );
+            self.finish(Reply::ok(status), Some(StopReason::Deadline), t0)
+        };
+        let Some(entry) = self.catalog.get(graph) else {
+            bump(&self.metrics.queries_err);
+            return Reply::err("NOGRAPH", format!("no graph named {graph:?}"));
+        };
+        let _slot = match self.admission.admit(deadline_at) {
+            Ok(slot) => slot,
+            Err(AdmitRefused::Busy) => {
+                bump(&self.metrics.rejected_busy);
+                bump(&self.metrics.queries_err);
+                return Reply::err("BUSY", "worker pool and queue are full; retry later");
+            }
+            // The deadline expired while queued: the slot was released
+            // at expiry and the reply is empty-but-well-formed.
+            Err(AdmitRefused::DeadlineExpired) => return deadline_reply(false),
+        };
+
+        let (plan, cached) = self.plan_for(&entry, model, &opts);
+
+        // The deadline is one wall clock covering queue wait and (for
+        // cold plans) preparation: whatever they consumed is gone from
+        // the enumeration budget. Preparation itself is not
+        // interruptible mid-pass (pruning carries no budget clock), so
+        // a cold query can overshoot its deadline by one prepare —
+        // but it then gets a zero enumeration budget rather than a
+        // fresh one, and the plan stays cached for the retry.
+        let remaining = deadline_at.map(|d| d.saturating_duration_since(Instant::now()));
+        if remaining == Some(Duration::ZERO) {
+            return deadline_reply(cached);
+        }
+
+        let limit = match opts.mode {
+            EnumMode::Collect => Some(opts.limit.unwrap_or(self.cfg.default_result_limit)),
+            _ => opts.limit,
+        };
+        let budget = Budget {
+            max_nodes: None,
+            max_time: remaining,
+            max_results: limit,
+            cancel: Some(self.shutdown.clone()),
+        };
+        let cfg = RunConfig {
+            budget,
+            threads: opts.threads,
+            sorted: true,
+            substrate: opts.substrate,
+            ..RunConfig::default()
+        };
+
+        let (count, payload, stop) = match opts.mode {
+            EnumMode::Collect => {
+                let report = plan.execute(&cfg);
+                let lines = report.bicliques.iter().map(|b| b.to_string()).collect();
+                (report.stats.emitted, lines, report.truncated_by)
+            }
+            EnumMode::Count => {
+                let report = plan.count(&cfg);
+                (report.stats.emitted, Vec::new(), report.truncated_by)
+            }
+            EnumMode::Maximum(metric) => {
+                let (best, stats) = plan.maximum(metric, &cfg);
+                let lines: Vec<String> = best.iter().map(|b| b.to_string()).collect();
+                (lines.len() as u64, lines, stats.stop)
+            }
+        };
+
+        let mut reply = Reply::ok(self.status_line(graph, model, &opts, count, cached, stop, t0));
+        reply.payload = payload;
+        self.finish(reply, stop, t0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn status_line(
+        &self,
+        graph: &str,
+        model: QueryModel,
+        opts: &EnumOpts,
+        count: u64,
+        cached: bool,
+        stop: Option<StopReason>,
+        t0: Instant,
+    ) -> String {
+        let mut s = format!(
+            "model={} graph={graph} count={count} cached={cached} threads={} elapsed_us={}",
+            model.name(),
+            opts.threads,
+            t0.elapsed().as_micros()
+        );
+        if let Some(stop) = stop {
+            s.push_str(&format!(" truncated={stop}"));
+        }
+        s
+    }
+
+    fn finish(&self, reply: Reply, stop: Option<StopReason>, t0: Instant) -> Reply {
+        self.metrics.observe_latency(t0.elapsed());
+        bump(&self.metrics.queries_ok);
+        if let Some(stop) = stop {
+            self.metrics.observe_truncation(stop);
+        }
+        reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Arc<Engine> {
+        Engine::new(ServiceConfig::default())
+    }
+
+    fn ok_status(o: &Outcome) -> &str {
+        let r = o.reply();
+        assert!(r.is_ok(), "expected OK, got {}", r.status);
+        &r.status
+    }
+
+    fn field<'a>(status: &'a str, key: &str) -> Option<&'a str> {
+        status
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix(&format!("{key}=") as &str))
+    }
+
+    #[test]
+    fn ping_graphs_gen_drop_roundtrip() {
+        let e = engine();
+        assert_eq!(ok_status(&e.handle_line("PING")), "OK pong");
+        let s = e.handle_line("GEN g uniform:20,20,120,7");
+        assert!(ok_status(&s).contains("upper=20"));
+        let s = e.handle_line("GRAPHS");
+        assert!(ok_status(&s).contains("graphs=1"));
+        assert_eq!(s.reply().payload.len(), 1);
+        assert!(ok_status(&e.handle_line("DROP g")).contains("dropped"));
+        let r = e.handle_line("DROP g");
+        assert!(r.reply().status.starts_with("ERR NOGRAPH"));
+        let r = e.handle_line("ENUM g ssfbc alpha=1 beta=1 delta=1");
+        assert!(r.reply().status.starts_with("ERR NOGRAPH"));
+    }
+
+    #[test]
+    fn enum_runs_and_second_query_hits_the_plan_cache() {
+        let e = engine();
+        e.handle_line("GEN g uniform:20,20,120,7");
+        let q = "ENUM g ssfbc alpha=2 beta=1 delta=1";
+        let first = e.handle_line(q);
+        let s1 = ok_status(&first).to_string();
+        assert_eq!(field(&s1, "cached"), Some("false"));
+        let n1: u64 = field(&s1, "count").unwrap().parse().unwrap();
+        assert_eq!(first.reply().payload.len() as u64, n1);
+
+        let second = e.handle_line(q);
+        let s2 = ok_status(&second).to_string();
+        assert_eq!(field(&s2, "cached"), Some("true"));
+        assert_eq!(second.reply().payload, first.reply().payload);
+
+        // Different params → different plan (miss), same graph.
+        let third = e.handle_line("ENUM g ssfbc alpha=3 beta=1 delta=1");
+        assert_eq!(field(ok_status(&third), "cached"), Some("false"));
+
+        let stats = e.handle_line("STATS");
+        let hits = stats
+            .reply()
+            .payload
+            .iter()
+            .find(|l| l.starts_with("plan_cache_hits "))
+            .unwrap();
+        assert_eq!(hits, "plan_cache_hits 1");
+    }
+
+    #[test]
+    fn all_four_models_and_modes_work() {
+        let e = engine();
+        e.handle_line("GEN g uniform:16,16,90,5");
+        for model in ["ssfbc", "bsfbc"] {
+            let q = format!("ENUM g {model} alpha=1 beta=1 delta=1");
+            assert!(ok_status(&e.handle_line(&q)).contains("count="));
+            let q = format!("ENUM g {model} alpha=1 beta=1 delta=1 max=edges");
+            assert!(ok_status(&e.handle_line(&q)).contains("count="));
+        }
+        for model in ["pssfbc", "pbsfbc"] {
+            let q = format!("ENUM g {model} alpha=1 beta=1 delta=1 theta=0.3 count-only");
+            let o = e.handle_line(&q);
+            assert!(ok_status(&o).contains("count="));
+            assert!(o.reply().payload.is_empty(), "count-only has no payload");
+        }
+    }
+
+    #[test]
+    fn collect_mode_applies_the_default_result_limit() {
+        let e = Engine::new(ServiceConfig {
+            default_result_limit: 2,
+            ..ServiceConfig::default()
+        });
+        e.handle_line("GEN g uniform:20,20,140,3");
+        let o = e.handle_line("ENUM g ssfbc alpha=1 beta=1 delta=2");
+        let s = ok_status(&o);
+        assert_eq!(field(s, "count"), Some("2"));
+        assert!(s.contains("truncated=result-cap"), "{s}");
+        assert_eq!(o.reply().payload.len(), 2);
+        // count-only is exempt from the default limit.
+        let o = e.handle_line("ENUM g ssfbc alpha=1 beta=1 delta=2 count-only");
+        let n: u64 = field(ok_status(&o), "count").unwrap().parse().unwrap();
+        assert!(n > 2);
+    }
+
+    #[test]
+    fn zero_deadline_truncates_without_poisoning() {
+        let e = engine();
+        e.handle_line("GEN g uniform:20,20,120,7");
+        let o = e.handle_line("ENUM g ssfbc alpha=2 beta=1 delta=1 deadline-ms=0");
+        let s = ok_status(&o);
+        assert!(s.contains("truncated=deadline"), "{s}");
+        assert_eq!(field(s, "count"), Some("0"));
+        // The server still answers normal queries afterwards.
+        let o = e.handle_line("ENUM g ssfbc alpha=2 beta=1 delta=1");
+        assert!(!ok_status(&o).contains("truncated"));
+    }
+
+    #[test]
+    fn shutdown_refuses_further_commands() {
+        let e = engine();
+        let o = e.handle_line("SHUTDOWN");
+        assert!(matches!(o, Outcome::Shutdown(_)));
+        assert!(e.is_shutdown());
+        let o = e.handle_line("PING");
+        assert!(o.reply().status.starts_with("ERR SHUTDOWN"));
+    }
+
+    #[test]
+    fn admission_refuses_beyond_workers_plus_queue() {
+        let adm = Admission::new(1, 1);
+        let a = adm.admit(None).expect("first admitted");
+        // One waiter is allowed; simulate it occupying the queue.
+        {
+            let mut st = adm.state.lock().unwrap();
+            st.waiting = 1;
+        }
+        assert_eq!(
+            adm.admit(None).unwrap_err(),
+            AdmitRefused::Busy,
+            "beyond queue depth is refused"
+        );
+        {
+            let mut st = adm.state.lock().unwrap();
+            st.waiting = 0;
+        }
+        drop(a);
+        let _b = adm.admit(None).expect("slot freed");
+    }
+
+    #[test]
+    fn queued_queries_give_up_at_their_deadline() {
+        let adm = Admission::new(1, 4);
+        let slot = adm.admit(None).expect("occupies the worker");
+        // An already-expired deadline is refused promptly, and the
+        // queue slot is released (a later unbounded admit still fits).
+        let t0 = Instant::now();
+        assert_eq!(
+            adm.admit(Some(Instant::now())).unwrap_err(),
+            AdmitRefused::DeadlineExpired
+        );
+        let waited = t0.elapsed();
+        assert!(waited < Duration::from_secs(2), "gave up fast: {waited:?}");
+        assert_eq!(adm.state.lock().unwrap().waiting, 0, "queue slot released");
+        // A short real deadline also expires while the worker is busy.
+        let t0 = Instant::now();
+        assert_eq!(
+            adm.admit(Some(Instant::now() + Duration::from_millis(30)))
+                .unwrap_err(),
+            AdmitRefused::DeadlineExpired
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        drop(slot);
+        let _ = adm.admit(Some(Instant::now() + Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn reloading_a_graph_invalidates_its_cached_plans() {
+        let e = engine();
+        e.handle_line("GEN g uniform:16,16,80,1");
+        let q = "ENUM g ssfbc alpha=2 beta=1 delta=1";
+        e.handle_line(q);
+        assert_eq!(field(ok_status(&e.handle_line(q)), "cached"), Some("true"));
+        // Replacing the graph drops the old generation's plans
+        // entirely (they could never be hit again).
+        e.handle_line("GEN g uniform:16,16,80,2");
+        let stats = e.handle_line("STATS");
+        assert!(
+            ok_status(&stats).contains("plans=0"),
+            "{}",
+            stats.reply().status
+        );
+        let o = e.handle_line(q);
+        assert_eq!(field(ok_status(&o), "cached"), Some("false"));
+    }
+
+    #[test]
+    fn bad_lines_get_machine_readable_codes() {
+        let e = engine();
+        assert!(e
+            .handle_line("FROBNICATE")
+            .reply()
+            .status
+            .starts_with("ERR BADCMD"));
+        assert!(e
+            .handle_line("ENUM g ssfbc alpha=oops beta=1 delta=1")
+            .reply()
+            .status
+            .starts_with("ERR BADARG"));
+        assert!(e
+            .handle_line("LOAD g /definitely/not/here")
+            .reply()
+            .status
+            .starts_with("ERR IO"));
+    }
+}

@@ -1,0 +1,63 @@
+//! `fbe-service` — a resident fair-biclique query service.
+//!
+//! One-shot CLI runs pay the full pipeline — graph load, FCore/CFCore
+//! pruning (with its 2-hop/coloring work), candidate-plan resolution —
+//! on every invocation. This crate keeps a process resident and
+//! amortizes those costs across queries:
+//!
+//! * **Graph catalog** ([`catalog`]) — named graphs loaded once
+//!   (`LOAD`/`GEN`) and queried many times.
+//! * **Prepared-plan cache** ([`plan_cache`]) — an LRU over
+//!   [`fair_biclique::prepared::PreparedQuery`] keyed by
+//!   `(graph, model, params, substrate)`; repeat queries skip straight
+//!   to enumeration.
+//! * **Admission control** ([`engine`]) — a bounded worker pool with a
+//!   bounded wait queue; overload is refused (`ERR BUSY`) instead of
+//!   queued without bound, and per-query wall-clock deadlines cover
+//!   queue wait + execution, enforced cooperatively through
+//!   [`fair_biclique::config::CancelToken`] / budget deadlines.
+//! * **Metrics** ([`metrics`]) — atomic counters and a coarse latency
+//!   histogram, served by the `STATS` command.
+//!
+//! Transport is a versioned, line-oriented text protocol
+//! ([`protocol`]) served over TCP by [`server::Server`]
+//! (`std::net::TcpListener`, thread-per-connection; no async runtime
+//! is available in this environment) and, byte-for-byte identically,
+//! by the offline [`batch`] runner reading from a file or stdin.
+//! `fbe serve` / `fbe batch` in the CLI crate wrap these.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod catalog;
+pub mod engine;
+pub mod metrics;
+pub mod plan_cache;
+pub mod protocol;
+pub mod server;
+
+/// Tunables of a service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum queries executing concurrently (the worker pool bound).
+    pub workers: usize,
+    /// Maximum queries waiting for a worker before new arrivals are
+    /// refused with `ERR BUSY`.
+    pub queue_depth: usize,
+    /// Maximum prepared plans retained by the LRU cache.
+    pub plan_cache_capacity: usize,
+    /// Result cap applied to collecting queries that do not pass their
+    /// own `limit=` (protects the server from unbounded result sets).
+    pub default_result_limit: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 16,
+            plan_cache_capacity: 32,
+            default_result_limit: 1000,
+        }
+    }
+}

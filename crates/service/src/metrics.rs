@@ -1,0 +1,158 @@
+//! Atomic metrics registry served by `STATS`.
+
+use fair_biclique::StopReason;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket
+/// is unbounded.
+const BUCKET_BOUNDS_US: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Lock-free counters + coarse latency histogram for one service
+/// instance. All methods take `&self`; relaxed ordering is fine —
+/// these are statistics, not synchronization.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Every query received (before admission).
+    pub queries_total: AtomicU64,
+    /// Queries answered with `OK` (including truncated ones).
+    pub queries_ok: AtomicU64,
+    /// Queries answered with `ERR`.
+    pub queries_err: AtomicU64,
+    /// Queries refused by admission control.
+    pub rejected_busy: AtomicU64,
+    /// Queries truncated by their deadline.
+    pub truncated_deadline: AtomicU64,
+    /// Queries truncated by a result/node cap.
+    pub truncated_budget: AtomicU64,
+    /// Queries truncated by cancellation (shutdown).
+    pub truncated_cancelled: AtomicU64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: AtomicU64,
+    /// Plan-cache misses (plans prepared).
+    pub plan_cache_misses: AtomicU64,
+    /// Graphs loaded or generated into the catalog.
+    pub graphs_loaded: AtomicU64,
+    latency_buckets: [AtomicU64; 6],
+    latency_count: AtomicU64,
+    latency_sum_us: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            queries_total: AtomicU64::new(0),
+            queries_ok: AtomicU64::new(0),
+            queries_err: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            truncated_deadline: AtomicU64::new(0),
+            truncated_budget: AtomicU64::new(0),
+            truncated_cancelled: AtomicU64::new(0),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            graphs_loaded: AtomicU64::new(0),
+            latency_buckets: Default::default(),
+            latency_count: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// `ctr += 1`, relaxed.
+pub fn bump(ctr: &AtomicU64) {
+    ctr.fetch_add(1, Ordering::Relaxed);
+}
+
+impl Metrics {
+    /// Fresh registry (uptime starts now).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one query's end-to-end latency.
+    pub fn observe_latency(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        bump(&self.latency_buckets[idx]);
+        bump(&self.latency_count);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record why a truncated query stopped.
+    pub fn observe_truncation(&self, stop: StopReason) {
+        match stop {
+            StopReason::Deadline => bump(&self.truncated_deadline),
+            StopReason::Cancelled => bump(&self.truncated_cancelled),
+            StopReason::NodeCap | StopReason::ResultCap => bump(&self.truncated_budget),
+        }
+    }
+
+    /// `STATS` payload lines (`<key> <value>`), stable order. The
+    /// engine appends catalog/plan-cache gauges it owns.
+    pub fn render(&self) -> Vec<String> {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = vec![
+            format!("uptime_s {}", self.started.elapsed().as_secs()),
+            format!("queries_total {}", g(&self.queries_total)),
+            format!("queries_ok {}", g(&self.queries_ok)),
+            format!("queries_err {}", g(&self.queries_err)),
+            format!("rejected_busy {}", g(&self.rejected_busy)),
+            format!("truncated_deadline {}", g(&self.truncated_deadline)),
+            format!("truncated_budget {}", g(&self.truncated_budget)),
+            format!("truncated_cancelled {}", g(&self.truncated_cancelled)),
+            format!("plan_cache_hits {}", g(&self.plan_cache_hits)),
+            format!("plan_cache_misses {}", g(&self.plan_cache_misses)),
+            format!("graphs_loaded {}", g(&self.graphs_loaded)),
+            format!("latency_count {}", g(&self.latency_count)),
+            format!("latency_sum_us {}", g(&self.latency_sum_us)),
+        ];
+        for (i, b) in self.latency_buckets.iter().enumerate() {
+            let label = BUCKET_BOUNDS_US
+                .get(i)
+                .map_or("inf".to_string(), |us| format!("{us}us"));
+            out.push(format!("latency_le_{label} {}", b.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histogram() {
+        let m = Metrics::new();
+        bump(&m.queries_total);
+        bump(&m.queries_ok);
+        m.observe_latency(Duration::from_micros(500));
+        m.observe_latency(Duration::from_millis(5));
+        m.observe_latency(Duration::from_secs(20));
+        m.observe_truncation(StopReason::Deadline);
+        m.observe_truncation(StopReason::ResultCap);
+        m.observe_truncation(StopReason::Cancelled);
+        let lines = m.render();
+        let find = |k: &str| -> u64 {
+            lines
+                .iter()
+                .find_map(|l| l.strip_prefix(&format!("{k} ")))
+                .unwrap_or_else(|| panic!("missing {k}"))
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(find("queries_total"), 1);
+        assert_eq!(find("latency_count"), 3);
+        assert_eq!(find("latency_le_1000us"), 1);
+        assert_eq!(find("latency_le_10000us"), 1);
+        assert_eq!(find("latency_le_inf"), 1);
+        assert_eq!(find("truncated_deadline"), 1);
+        assert_eq!(find("truncated_budget"), 1);
+        assert_eq!(find("truncated_cancelled"), 1);
+        assert!(find("latency_sum_us") >= 20_000_000);
+    }
+}

@@ -1,0 +1,254 @@
+//! LRU cache of prepared query plans.
+//!
+//! Keyed by `(graph name, graph epoch, model, params, requested
+//! substrate)`; the value is an `Arc<PreparedQuery>` — the pruned core
+//! plus resolved candidate plan — so a hit skips pruning, 2-hop /
+//! coloring, and bitset-row construction entirely and goes straight to
+//! enumeration. Replacing a graph bumps its catalog epoch, so plans of
+//! the old generation can never be returned for the new graph; they
+//! simply age out of the LRU.
+
+use fair_biclique::prepared::{PreparedQuery, QueryModel};
+use fair_biclique::Substrate;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of a prepared plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Catalog graph name.
+    pub graph: String,
+    /// Catalog epoch of that graph when the plan was built.
+    pub epoch: u64,
+    /// Model name (`SSFBC` / `BSFBC` / `PSSFBC` / `PBSFBC`).
+    pub model: &'static str,
+    /// `α`.
+    pub alpha: u32,
+    /// `β`.
+    pub beta: u32,
+    /// `δ`.
+    pub delta: u32,
+    /// `θ` as IEEE-754 bits (0 for the absolute models; the model tag
+    /// disambiguates a genuine `θ = 0.0`).
+    pub theta_bits: u64,
+    /// The *requested* substrate (resolution happens per pruned core).
+    pub substrate: Substrate,
+}
+
+impl PlanKey {
+    /// Key for `model` with `opts.substrate` over `graph@epoch`.
+    pub fn new(graph: &str, epoch: u64, model: QueryModel, substrate: Substrate) -> PlanKey {
+        let base = model.base();
+        PlanKey {
+            graph: graph.to_string(),
+            epoch,
+            model: model.name(),
+            alpha: base.alpha,
+            beta: base.beta,
+            delta: base.delta,
+            theta_bits: model.theta().map_or(0, f64::to_bits),
+            substrate,
+        }
+    }
+}
+
+struct Slot {
+    plan: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+/// A small LRU over prepared plans with hit/miss/eviction accounting.
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    slots: HashMap<PlanKey, Slot>,
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that missed (caller prepares and inserts).
+    pub misses: u64,
+    /// Plans displaced by capacity.
+    pub evictions: u64,
+}
+
+impl PlanCache {
+    /// Cache retaining at most `capacity` plans (capacity 0 disables
+    /// caching: every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            tick: 0,
+            slots: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        self.tick += 1;
+        match self.slots.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&slot.plan))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly prepared plan, evicting the least recently
+    /// used slot when full.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<PreparedQuery>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.slots.contains_key(&key) && self.slots.len() >= self.capacity {
+            if let Some(lru) = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.slots.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.slots.insert(
+            key,
+            Slot {
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drop every plan of `graph` (any epoch), e.g. on `DROP`.
+    pub fn invalidate_graph(&mut self, graph: &str) {
+        self.slots.retain(|k, _| k.graph != graph);
+    }
+
+    /// Drop everything (benchmark cold-path support).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total heap bytes pinned by cached plans.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.values().map(|s| s.plan.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::generate::random_uniform;
+    use fair_biclique::config::{FairParams, PruneKind};
+
+    fn plan_for(seed: u64) -> Arc<PreparedQuery> {
+        let g = random_uniform(8, 8, 24, 2, 2, seed);
+        Arc::new(PreparedQuery::prepare(
+            &g,
+            QueryModel::Ssfbc(FairParams::unchecked(1, 1, 1)),
+            PruneKind::Colorful,
+            Substrate::Auto,
+        ))
+    }
+
+    fn key(name: &str, epoch: u64, alpha: u32) -> PlanKey {
+        PlanKey::new(
+            name,
+            epoch,
+            QueryModel::Ssfbc(FairParams::unchecked(alpha, 1, 1)),
+            Substrate::Auto,
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut c = PlanCache::new(2);
+        assert!(c.get(&key("g", 0, 1)).is_none());
+        assert_eq!(c.misses, 1);
+        c.insert(key("g", 0, 1), plan_for(1));
+        c.insert(key("g", 0, 2), plan_for(2));
+        assert!(c.get(&key("g", 0, 1)).is_some());
+        assert_eq!(c.hits, 1);
+        // Inserting a third evicts the LRU — alpha=2, since alpha=1
+        // was just touched.
+        c.insert(key("g", 0, 3), plan_for(3));
+        assert_eq!(c.evictions, 1);
+        assert!(c.get(&key("g", 0, 1)).is_some());
+        assert!(c.get(&key("g", 0, 2)).is_none());
+        assert!(c.get(&key("g", 0, 3)).is_some());
+        assert_eq!(c.len(), 2);
+        assert!(c.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn epoch_and_graph_isolation() {
+        let mut c = PlanCache::new(8);
+        c.insert(key("g", 0, 1), plan_for(1));
+        // Same params, new epoch → different key.
+        assert!(c.get(&key("g", 1, 1)).is_none());
+        c.insert(key("h", 5, 1), plan_for(2));
+        c.invalidate_graph("g");
+        assert!(c.get(&key("g", 0, 1)).is_none());
+        assert!(c.get(&key("h", 5, 1)).is_some());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        c.insert(key("g", 0, 1), plan_for(1));
+        assert!(c.get(&key("g", 0, 1)).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn theta_is_part_of_the_key() {
+        use fair_biclique::config::ProParams;
+        let a = PlanKey::new(
+            "g",
+            0,
+            QueryModel::Pssfbc(ProParams::new(1, 1, 1, 0.2).unwrap()),
+            Substrate::Auto,
+        );
+        let b = PlanKey::new(
+            "g",
+            0,
+            QueryModel::Pssfbc(ProParams::new(1, 1, 1, 0.3).unwrap()),
+            Substrate::Auto,
+        );
+        assert_ne!(a, b);
+        // Absolute vs proportion-at-θ=0 differ by model tag.
+        let c = PlanKey::new(
+            "g",
+            0,
+            QueryModel::Ssfbc(FairParams::unchecked(1, 1, 1)),
+            Substrate::Auto,
+        );
+        let d = PlanKey::new(
+            "g",
+            0,
+            QueryModel::Pssfbc(ProParams::new(1, 1, 1, 0.0).unwrap()),
+            Substrate::Auto,
+        );
+        assert_ne!(c, d);
+    }
+}

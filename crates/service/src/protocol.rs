@@ -1,0 +1,529 @@
+//! The service's versioned, line-oriented text protocol.
+//!
+//! # Grammar
+//!
+//! Requests are single lines, one command each:
+//!
+//! ```text
+//! PING
+//! LOAD <name> <path> [attrs=AU,AV]
+//! GEN <name> <youtube|twitter|imdb|wiki-cat|dblp>
+//! GEN <name> uniform:NU,NV,M[,SEED[,AU,AV]]
+//! GRAPHS
+//! DROP <name>
+//! ENUM <graph> <ssfbc|bsfbc|pssfbc|pbsfbc> alpha=A beta=B delta=D
+//!      [theta=T] [threads=N] [limit=K] [deadline-ms=MS]
+//!      [substrate=auto|sorted-vec|bitset] [count-only]
+//!      [max=vertices|edges]
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! Command verbs are case-insensitive. Every reply is a block: one
+//! status line — `OK <k>=<v>...` or `ERR <CODE> <message>` — followed
+//! by zero or more payload lines, terminated by a line holding a
+//! single `.`. On connect, a server greets with an `OK` block
+//! (`OK fbe-service protocol=1`).
+//!
+//! # Error codes
+//!
+//! | code       | meaning                                         |
+//! |------------|-------------------------------------------------|
+//! | `BADCMD`   | unknown command verb                            |
+//! | `BADARG`   | malformed or missing argument                   |
+//! | `NOGRAPH`  | `ENUM`/`DROP` names a graph not in the catalog  |
+//! | `BUSY`     | admission refused: workers and queue are full   |
+//! | `IO`       | loading a graph from disk failed                |
+//! | `SHUTDOWN` | server is stopping; command not accepted        |
+
+use fair_biclique::config::{FairParams, ProParams, Substrate};
+use fair_biclique::maximum::SizeMetric;
+use fair_biclique::prepared::QueryModel;
+use fbe_datasets::corpus::Dataset;
+use std::io::Write;
+use std::time::Duration;
+
+/// Protocol version announced in the greeting.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Reply-block terminator line.
+pub const TERMINATOR: &str = ".";
+
+/// What an `ENUM` query emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumMode {
+    /// Collect and return the results (subject to the result limit).
+    Collect,
+    /// Return only the count (streaming; no materialization).
+    Count,
+    /// Return the single largest result under a metric.
+    Maximum(SizeMetric),
+}
+
+/// Per-query execution knobs of an `ENUM` request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnumOpts {
+    /// Worker threads for this query (≥ 1; >1 uses the parallel
+    /// engine).
+    pub threads: usize,
+    /// Result budget (`limit=K`); collecting queries fall back to the
+    /// service default when absent.
+    pub limit: Option<u64>,
+    /// Wall-clock deadline covering queue wait + execution.
+    pub deadline: Option<Duration>,
+    /// Requested candidate substrate (part of the plan-cache key).
+    pub substrate: Substrate,
+    /// Output mode.
+    pub mode: EnumMode,
+}
+
+impl Default for EnumOpts {
+    fn default() -> Self {
+        EnumOpts {
+            threads: 1,
+            limit: None,
+            deadline: None,
+            substrate: Substrate::Auto,
+            mode: EnumMode::Collect,
+        }
+    }
+}
+
+/// How `GEN` builds a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenSpec {
+    /// A scaled corpus dataset analog.
+    Dataset(Dataset),
+    /// `uniform:NU,NV,M[,SEED[,AU,AV]]`.
+    Uniform {
+        /// `|U|`.
+        n_upper: usize,
+        /// `|V|`.
+        n_lower: usize,
+        /// Edge count.
+        m: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Attribute domain sizes.
+        attrs: (u16, u16),
+    },
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Load a graph from disk into the catalog.
+    Load {
+        /// Catalog name.
+        name: String,
+        /// `<stem>` or bare edge-list path.
+        path: String,
+        /// Attribute domain sizes.
+        attrs: (u16, u16),
+    },
+    /// Generate a graph into the catalog.
+    Gen {
+        /// Catalog name.
+        name: String,
+        /// What to generate.
+        spec: GenSpec,
+    },
+    /// List the catalog.
+    Graphs,
+    /// Remove a graph (and invalidate its cached plans).
+    Drop {
+        /// Catalog name.
+        name: String,
+    },
+    /// Run a fair-biclique query.
+    Enum {
+        /// Catalog name of the graph.
+        graph: String,
+        /// Model + parameters.
+        model: QueryModel,
+        /// Execution knobs.
+        opts: EnumOpts,
+    },
+    /// Dump the metrics registry.
+    Stats,
+    /// Stop the server (cancels in-flight queries cooperatively).
+    Shutdown,
+}
+
+/// A reply block: status line plus payload, terminated by `.` on the
+/// wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// `OK ...` or `ERR <CODE> <message>`.
+    pub status: String,
+    /// Zero or more payload lines.
+    pub payload: Vec<String>,
+}
+
+impl Reply {
+    /// An `OK` status with no payload.
+    pub fn ok(status: impl Into<String>) -> Reply {
+        let s = status.into();
+        Reply {
+            status: if s.is_empty() {
+                "OK".to_string()
+            } else {
+                format!("OK {s}")
+            },
+            payload: Vec::new(),
+        }
+    }
+
+    /// An error reply with a machine-readable code.
+    pub fn err(code: &str, msg: impl std::fmt::Display) -> Reply {
+        Reply {
+            status: format!("ERR {code} {msg}"),
+            payload: Vec::new(),
+        }
+    }
+
+    /// True for `OK` replies.
+    pub fn is_ok(&self) -> bool {
+        self.status.starts_with("OK")
+    }
+
+    /// Serialize the block (status, payload, terminator).
+    pub fn write_to(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        writeln!(w, "{}", self.status)?;
+        for line in &self.payload {
+            writeln!(w, "{line}")?;
+        }
+        writeln!(w, "{TERMINATOR}")
+    }
+
+    /// The greeting block a server sends on connect.
+    pub fn greeting() -> Reply {
+        Reply::ok(format!("fbe-service protocol={PROTOCOL_VERSION}"))
+    }
+}
+
+fn parse_pair_u16(s: &str) -> Result<(u16, u16), String> {
+    let (a, b) = s
+        .split_once(',')
+        .ok_or_else(|| format!("expected AU,AV, got {s:?}"))?;
+    Ok((
+        a.trim().parse().map_err(|e| format!("attrs: {e}"))?,
+        b.trim().parse().map_err(|e| format!("attrs: {e}"))?,
+    ))
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "youtube" => Ok(Dataset::Youtube),
+        "twitter" => Ok(Dataset::Twitter),
+        "imdb" => Ok(Dataset::Imdb),
+        "wiki-cat" | "wikicat" | "wiki" => Ok(Dataset::WikiCat),
+        "dblp" => Ok(Dataset::Dblp),
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+fn parse_gen_spec(s: &str) -> Result<GenSpec, String> {
+    if let Some(rest) = s.strip_prefix("uniform:") {
+        let nums: Vec<&str> = rest.split(',').collect();
+        if nums.len() != 3 && nums.len() != 4 && nums.len() != 6 {
+            return Err(format!(
+                "uniform spec wants NU,NV,M[,SEED[,AU,AV]], got {rest:?}"
+            ));
+        }
+        let p = |i: usize| -> Result<u64, String> {
+            nums[i]
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("uniform spec: {e}"))
+        };
+        let (nu, nv, m) = (p(0)? as usize, p(1)? as usize, p(2)? as usize);
+        if nu == 0 || nv == 0 {
+            return Err("uniform spec: sides must be non-empty".into());
+        }
+        let seed = if nums.len() >= 4 { p(3)? } else { 42 };
+        let attrs = if nums.len() == 6 {
+            (p(4)? as u16, p(5)? as u16)
+        } else {
+            (2, 2)
+        };
+        Ok(GenSpec::Uniform {
+            n_upper: nu,
+            n_lower: nv,
+            m,
+            seed,
+            attrs,
+        })
+    } else {
+        parse_dataset(s).map(GenSpec::Dataset)
+    }
+}
+
+/// Split `token` at `=`, failing with a uniform message otherwise.
+fn kv(token: &str) -> Result<(&str, &str), String> {
+    token
+        .split_once('=')
+        .ok_or_else(|| format!("expected key=value, got {token:?}"))
+}
+
+fn parse_enum(graph: &str, model: &str, rest: &[&str]) -> Result<Request, String> {
+    let model_l = model.to_ascii_lowercase();
+    let (bi, pro) = match model_l.as_str() {
+        "ssfbc" => (false, false),
+        "bsfbc" => (true, false),
+        "pssfbc" => (false, true),
+        "pbsfbc" => (true, true),
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let (mut alpha, mut beta, mut delta, mut theta) = (None, None, None, None);
+    let mut opts = EnumOpts::default();
+    for &tok in rest {
+        if tok.eq_ignore_ascii_case("count-only") {
+            opts.mode = EnumMode::Count;
+            continue;
+        }
+        let (k, v) = kv(tok)?;
+        match k.to_ascii_lowercase().as_str() {
+            "alpha" => alpha = Some(v.parse::<u32>().map_err(|e| format!("alpha: {e}"))?),
+            "beta" => beta = Some(v.parse::<u32>().map_err(|e| format!("beta: {e}"))?),
+            "delta" => delta = Some(v.parse::<u32>().map_err(|e| format!("delta: {e}"))?),
+            "theta" => theta = Some(v.parse::<f64>().map_err(|e| format!("theta: {e}"))?),
+            "threads" => {
+                opts.threads = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("threads: {e}"))?
+                    .max(1)
+            }
+            "limit" => opts.limit = Some(v.parse::<u64>().map_err(|e| format!("limit: {e}"))?),
+            "deadline-ms" => {
+                opts.deadline = Some(Duration::from_millis(
+                    v.parse::<u64>().map_err(|e| format!("deadline-ms: {e}"))?,
+                ))
+            }
+            "substrate" => opts.substrate = v.parse::<Substrate>()?,
+            "max" => {
+                opts.mode = EnumMode::Maximum(match v.to_ascii_lowercase().as_str() {
+                    "vertices" | "v" => SizeMetric::Vertices,
+                    "edges" | "e" => SizeMetric::Edges,
+                    other => return Err(format!("max: unknown metric {other:?}")),
+                })
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let alpha = alpha.ok_or("alpha= is required")?;
+    let beta = beta.ok_or("beta= is required")?;
+    let delta = delta.ok_or("delta= is required")?;
+    let model = if pro {
+        let theta = theta.ok_or("theta= is required for the proportion models")?;
+        let p = ProParams::new(alpha, beta, delta, theta).map_err(|e| e.to_string())?;
+        if bi {
+            QueryModel::Pbsfbc(p)
+        } else {
+            QueryModel::Pssfbc(p)
+        }
+    } else {
+        if theta.is_some() {
+            return Err("theta= is only valid for the proportion models".into());
+        }
+        let p = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
+        if bi {
+            QueryModel::Bsfbc(p)
+        } else {
+            QueryModel::Ssfbc(p)
+        }
+    };
+    Ok(Request::Enum {
+        graph: graph.to_string(),
+        model,
+        opts,
+    })
+}
+
+/// Parse one request line. `Err` carries a human-readable message for
+/// a `BADARG`/`BADCMD` reply.
+pub fn parse_request(line: &str) -> Result<Request, Reply> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((&verb, rest)) = tokens.split_first() else {
+        return Err(Reply::err("BADCMD", "empty command"));
+    };
+    let badarg = |msg: String| Reply::err("BADARG", msg);
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Request::Ping),
+        "GRAPHS" => Ok(Request::Graphs),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "DROP" => match rest {
+            [name] => Ok(Request::Drop {
+                name: name.to_string(),
+            }),
+            _ => Err(badarg("DROP wants exactly one graph name".into())),
+        },
+        "LOAD" => {
+            let [name, path, extra @ ..] = rest else {
+                return Err(badarg("LOAD wants <name> <path> [attrs=AU,AV]".into()));
+            };
+            let mut attrs = (2u16, 2u16);
+            for tok in extra {
+                let (k, v) = kv(tok).map_err(badarg)?;
+                match k.to_ascii_lowercase().as_str() {
+                    "attrs" => attrs = parse_pair_u16(v).map_err(badarg)?,
+                    other => return Err(badarg(format!("unknown option {other:?}"))),
+                }
+            }
+            Ok(Request::Load {
+                name: name.to_string(),
+                path: path.to_string(),
+                attrs,
+            })
+        }
+        "GEN" => match rest {
+            [name, spec] => Ok(Request::Gen {
+                name: name.to_string(),
+                spec: parse_gen_spec(spec).map_err(badarg)?,
+            }),
+            _ => Err(badarg(
+                "GEN wants <name> <dataset|uniform:NU,NV,M,...>".into(),
+            )),
+        },
+        "ENUM" => {
+            let [graph, model, opts @ ..] = rest else {
+                return Err(badarg("ENUM wants <graph> <model> <params...>".into()));
+            };
+            parse_enum(graph, model, opts).map_err(badarg)
+        }
+        other => Err(Reply::err("BADCMD", format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_verbs_case_insensitively() {
+        assert_eq!(parse_request("ping").unwrap(), Request::Ping);
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("Shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("GRAPHS").unwrap(), Request::Graphs);
+        assert_eq!(
+            parse_request("DROP g").unwrap(),
+            Request::Drop { name: "g".into() }
+        );
+    }
+
+    #[test]
+    fn parses_load_and_gen() {
+        assert_eq!(
+            parse_request("LOAD g /tmp/x attrs=3,2").unwrap(),
+            Request::Load {
+                name: "g".into(),
+                path: "/tmp/x".into(),
+                attrs: (3, 2)
+            }
+        );
+        assert_eq!(
+            parse_request("GEN yt youtube").unwrap(),
+            Request::Gen {
+                name: "yt".into(),
+                spec: GenSpec::Dataset(Dataset::Youtube)
+            }
+        );
+        assert_eq!(
+            parse_request("GEN u uniform:10,20,30,7").unwrap(),
+            Request::Gen {
+                name: "u".into(),
+                spec: GenSpec::Uniform {
+                    n_upper: 10,
+                    n_lower: 20,
+                    m: 30,
+                    seed: 7,
+                    attrs: (2, 2)
+                }
+            }
+        );
+        assert_eq!(
+            parse_request("GEN u uniform:10,20,30,7,3,1").unwrap(),
+            Request::Gen {
+                name: "u".into(),
+                spec: GenSpec::Uniform {
+                    n_upper: 10,
+                    n_lower: 20,
+                    m: 30,
+                    seed: 7,
+                    attrs: (3, 1)
+                }
+            }
+        );
+        assert!(parse_request("GEN u uniform:10,20").is_err());
+        assert!(parse_request("GEN u nope").is_err());
+        assert!(parse_request("LOAD onlyname").is_err());
+    }
+
+    #[test]
+    fn parses_enum_with_options() {
+        let req = parse_request(
+            "ENUM g pbsfbc alpha=2 beta=1 delta=1 theta=0.3 threads=4 \
+             limit=10 deadline-ms=250 substrate=bitset count-only",
+        )
+        .unwrap();
+        let Request::Enum { graph, model, opts } = req else {
+            panic!("not an ENUM");
+        };
+        assert_eq!(graph, "g");
+        assert_eq!(model.name(), "PBSFBC");
+        assert_eq!(model.base(), FairParams::unchecked(2, 1, 1));
+        assert_eq!(model.theta(), Some(0.3));
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.limit, Some(10));
+        assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(opts.substrate, Substrate::Bitset);
+        assert_eq!(opts.mode, EnumMode::Count);
+    }
+
+    #[test]
+    fn parses_enum_maximum_mode() {
+        let req = parse_request("ENUM g bsfbc alpha=1 beta=1 delta=0 max=edges").unwrap();
+        let Request::Enum { model, opts, .. } = req else {
+            panic!();
+        };
+        assert_eq!(model.name(), "BSFBC");
+        assert_eq!(opts.mode, EnumMode::Maximum(SizeMetric::Edges));
+    }
+
+    #[test]
+    fn rejects_bad_enums() {
+        // Missing params.
+        assert!(parse_request("ENUM g ssfbc alpha=2 beta=1").is_err());
+        // theta on an absolute model / missing on a proportion model.
+        assert!(parse_request("ENUM g ssfbc alpha=2 beta=1 delta=1 theta=0.3").is_err());
+        assert!(parse_request("ENUM g pssfbc alpha=2 beta=1 delta=1").is_err());
+        // Invalid values.
+        assert!(parse_request("ENUM g ssfbc alpha=0 beta=1 delta=1").is_err());
+        assert!(parse_request("ENUM g pssfbc alpha=1 beta=1 delta=1 theta=0.9").is_err());
+        assert!(parse_request("ENUM g ssfbc alpha=2 beta=1 delta=1 bogus=1").is_err());
+        assert!(parse_request("ENUM g nsfbc alpha=2 beta=1 delta=1").is_err());
+        // Unknown verb & empty line.
+        assert!(parse_request("FROB x").is_err());
+        assert!(parse_request("   ").is_err());
+    }
+
+    #[test]
+    fn reply_blocks_serialize_with_terminator() {
+        let mut r = Reply::ok("count=3");
+        r.payload.push("L=[0] R=[1]".into());
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "OK count=3\nL=[0] R=[1]\n.\n"
+        );
+        assert!(r.is_ok());
+        let e = Reply::err("BUSY", "queue full");
+        assert!(!e.is_ok());
+        assert_eq!(e.status, "ERR BUSY queue full");
+        assert!(Reply::greeting().status.contains("protocol=1"));
+    }
+}

@@ -1,0 +1,179 @@
+//! TCP transport: `std::net::TcpListener`, thread-per-connection.
+
+use crate::engine::{Engine, Outcome};
+use crate::protocol::Reply;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// A bound-but-not-yet-serving server. Bind with port 0 for an
+/// ephemeral port, read it back via [`Server::local_addr`], then
+/// [`Server::run`] the accept loop (it returns after `SHUTDOWN`).
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) for `engine`.
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+        })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve connections until a client issues `SHUTDOWN`.
+    /// Each connection gets its own thread; in-flight queries observe
+    /// the engine's cancellation token and stop cooperatively.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.local_addr()?;
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.engine.is_shutdown() {
+                // Raced with shutdown (possibly our own wake-up
+                // connection): drop the stream and stop accepting.
+                break;
+            }
+            let engine = Arc::clone(&self.engine);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &engine);
+                // Wake the accept loop whenever the engine is stopping
+                // — deliberately not only on a clean SHUTDOWN reply: if
+                // the client closed without reading (the reply write
+                // failed with a pipe error), the token is already
+                // cancelled and the accept loop must still be unblocked
+                // or the server would hang in accept() forever.
+                if engine.is_shutdown() {
+                    let _ = TcpStream::connect(addr);
+                }
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection until the client disconnects or asks for
+/// shutdown.
+fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    Reply::greeting().write_to(&mut writer)?;
+    writer.flush()?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match engine.handle_line(line.trim()) {
+            Outcome::Reply(reply) => {
+                reply.write_to(&mut writer)?;
+                writer.flush()?;
+            }
+            Outcome::Shutdown(reply) => {
+                reply.write_to(&mut writer)?;
+                writer.flush()?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+
+    /// Minimal in-test client: send a line, read one reply block.
+    pub(crate) fn roundtrip(
+        reader: &mut impl BufRead,
+        writer: &mut impl Write,
+        cmd: &str,
+    ) -> (String, Vec<String>) {
+        writeln!(writer, "{cmd}").unwrap();
+        writer.flush().unwrap();
+        read_block(reader)
+    }
+
+    pub(crate) fn read_block(reader: &mut impl BufRead) -> (String, Vec<String>) {
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let status = status.trim_end().to_string();
+        let mut payload = Vec::new();
+        loop {
+            let mut l = String::new();
+            reader.read_line(&mut l).unwrap();
+            let l = l.trim_end().to_string();
+            if l == crate::protocol::TERMINATOR {
+                break;
+            }
+            payload.push(l);
+        }
+        (status, payload)
+    }
+
+    #[test]
+    fn serves_a_session_and_shuts_down() {
+        let engine = Engine::new(ServiceConfig::default());
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let (greet, _) = read_block(&mut reader);
+        assert!(greet.contains("protocol=1"), "{greet}");
+
+        let (s, _) = roundtrip(&mut reader, &mut writer, "PING");
+        assert_eq!(s, "OK pong");
+        let (s, _) = roundtrip(&mut reader, &mut writer, "GEN g uniform:10,10,40,1");
+        assert!(s.contains("upper=10"), "{s}");
+        let (s, payload) = roundtrip(
+            &mut reader,
+            &mut writer,
+            "ENUM g ssfbc alpha=1 beta=1 delta=1",
+        );
+        assert!(s.starts_with("OK model=SSFBC"), "{s}");
+        assert!(!payload.is_empty());
+
+        let (s, _) = roundtrip(&mut reader, &mut writer, "SHUTDOWN");
+        assert_eq!(s, "OK bye");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_from_a_client_that_never_reads_still_stops_the_server() {
+        let engine = Engine::new(ServiceConfig::default());
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        {
+            // Send SHUTDOWN and slam the connection without ever
+            // reading the reply: the reply write may fail, but the
+            // accept loop must still be woken.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"SHUTDOWN\n").unwrap();
+            stream.flush().unwrap();
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            tx.send(handle.join()).ok();
+        });
+        let joined = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("server exited within the timeout");
+        joined.unwrap().unwrap();
+        assert!(engine.is_shutdown());
+    }
+}

@@ -1,0 +1,267 @@
+//! Loopback integration test of the resident query service: a real
+//! TCP server on an ephemeral port, driven by scripted multi-client
+//! sessions, cross-checked against the CLI pipelines.
+
+use fbe_service::engine::Engine;
+use fbe_service::server::Server;
+use fbe_service::ServiceConfig;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// One protocol client over a real socket.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut c = Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: BufWriter::new(stream),
+        };
+        let (greet, _) = c.read_block();
+        assert!(greet.contains("protocol=1"), "greeting: {greet}");
+        c
+    }
+
+    fn read_block(&mut self) -> (String, Vec<String>) {
+        let mut status = String::new();
+        self.reader.read_line(&mut status).expect("status line");
+        let status = status.trim_end().to_string();
+        let mut payload = Vec::new();
+        loop {
+            let mut l = String::new();
+            self.reader.read_line(&mut l).expect("payload line");
+            let l = l.trim_end().to_string();
+            if l == "." {
+                break;
+            }
+            payload.push(l);
+        }
+        (status, payload)
+    }
+
+    fn cmd(&mut self, line: &str) -> (String, Vec<String>) {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        self.read_block()
+    }
+
+    /// Send and require an `OK` status.
+    fn ok(&mut self, line: &str) -> (String, Vec<String>) {
+        let (status, payload) = self.cmd(line);
+        assert!(status.starts_with("OK"), "{line} -> {status}");
+        (status, payload)
+    }
+}
+
+fn field<'a>(status: &'a str, key: &str) -> Option<&'a str> {
+    status
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix(&format!("{key}=") as &str))
+}
+
+fn stat_value(payload: &[String], key: &str) -> u64 {
+    payload
+        .iter()
+        .find_map(|l| l.strip_prefix(&format!("{key} ") as &str))
+        .unwrap_or_else(|| panic!("missing stat {key}"))
+        .parse()
+        .unwrap()
+}
+
+fn start_server(cfg: ServiceConfig) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let engine = Engine::new(cfg);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind ephemeral");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn sv(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+/// Extract the `  L=[..] R=[..]` result lines from CLI enumerate
+/// output, trimmed.
+fn cli_bicliques(out: &str) -> Vec<String> {
+    out.lines()
+        .filter(|l| l.trim_start().starts_with("L=["))
+        .map(|l| l.trim().to_string())
+        .collect()
+}
+
+#[test]
+fn scripted_session_matches_cli_caches_plans_and_survives_deadlines() {
+    // A graph on disk, written by the CLI itself.
+    let dir = std::env::temp_dir().join("fbe_service_loopback");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stem = dir.join("g");
+    let stem_s = stem.to_str().unwrap();
+    fbe_cli::run(&sv(&[
+        "generate",
+        "--uniform",
+        "20,20,120",
+        "--seed",
+        "7",
+        "--out",
+        stem_s,
+    ]))
+    .expect("generate");
+
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut c = Client::connect(&addr);
+
+    let (status, _) = c.ok("PING");
+    assert_eq!(status, "OK pong");
+    let (status, _) = c.ok(&format!("LOAD g {stem_s}"));
+    assert!(status.contains("upper=20"), "{status}");
+
+    // --- every miner: service results == CLI results, byte for byte.
+    let cases = [
+        ("ssfbc", vec![], "ENUM g ssfbc alpha=2 beta=1 delta=1"),
+        ("bsfbc", vec!["--bi"], "ENUM g bsfbc alpha=2 beta=1 delta=1"),
+        (
+            "pssfbc",
+            vec!["--theta", "0.3"],
+            "ENUM g pssfbc alpha=2 beta=1 delta=1 theta=0.3",
+        ),
+        (
+            "pbsfbc",
+            vec!["--bi", "--theta", "0.3"],
+            "ENUM g pbsfbc alpha=2 beta=1 delta=1 theta=0.3",
+        ),
+    ];
+    for (name, cli_extra, service_cmd) in &cases {
+        let mut argv = sv(&[
+            "enumerate",
+            stem_s,
+            "--alpha",
+            "2",
+            "--beta",
+            "1",
+            "--delta",
+            "1",
+            "--sorted",
+        ]);
+        argv.extend(sv(cli_extra));
+        let cli_out = fbe_cli::run(&argv).expect("cli enumerate");
+        let want = cli_bicliques(&cli_out);
+        let (status, payload) = c.ok(service_cmd);
+        assert_eq!(payload, want, "{name}: service vs CLI");
+        assert_eq!(
+            field(&status, "count"),
+            Some(want.len().to_string().as_str()),
+            "{name}: {status}"
+        );
+        // Multi-threaded service execution agrees too.
+        let (_, payload4) = c.ok(&format!("{service_cmd} threads=4"));
+        assert_eq!(payload4, want, "{name} threads=4");
+    }
+
+    // Maximum search through the service matches the CLI's.
+    let cli_max = fbe_cli::run(&sv(&[
+        "maximum", stem_s, "--alpha", "2", "--beta", "1", "--delta", "1", "--metric", "edges",
+    ]))
+    .expect("cli maximum");
+    let want_max = cli_bicliques(&cli_max);
+    let (_, got_max) = c.ok("ENUM g ssfbc alpha=2 beta=1 delta=1 max=edges");
+    assert_eq!(got_max, want_max, "maximum via service vs CLI");
+
+    // --- plan cache: an identical repeat is served from cache.
+    let q = "ENUM g ssfbc alpha=2 beta=1 delta=1";
+    let (s1, p1) = c.ok(q);
+    // (first run of this exact key happened above and was a miss;
+    // by now it must be a hit)
+    assert_eq!(field(&s1, "cached"), Some("true"), "{s1}");
+    let (s2, p2) = c.ok(q);
+    assert_eq!(field(&s2, "cached"), Some("true"), "{s2}");
+    assert_eq!(p1, p2, "cached replay is identical");
+    let (_, stats) = c.ok("STATS");
+    assert!(stat_value(&stats, "plan_cache_hits") >= 2);
+    assert!(stat_value(&stats, "plan_cache_misses") >= 1);
+    assert!(stat_value(&stats, "latency_count") > 0);
+
+    // --- deadline: a 1 ms deadline on a heavy query truncates...
+    c.ok("GEN big uniform:400,400,40000,9");
+    let (status, payload) = c.ok("ENUM big ssfbc alpha=1 beta=1 delta=1 deadline-ms=1 count-only");
+    assert!(status.contains("truncated=deadline"), "{status}");
+    assert!(payload.is_empty());
+    // ...without poisoning the server: the next query is exact again.
+    let (status, _) = c.ok(q);
+    assert!(!status.contains("truncated"), "{status}");
+    let (_, stats) = c.ok("STATS");
+    assert!(stat_value(&stats, "truncated_deadline") >= 1);
+
+    // --- multi-client: concurrent sessions on their own connections.
+    let addr2 = addr.clone();
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr2.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr);
+                let (status, payload) = c.ok(&format!(
+                    "ENUM g ssfbc alpha=2 beta=1 delta=1 threads={}",
+                    i + 1
+                ));
+                (status, payload)
+            })
+        })
+        .collect();
+    let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    for (status, payload) in &results {
+        assert!(status.starts_with("OK"), "{status}");
+        assert_eq!(payload, &results[0].1, "all clients see identical results");
+    }
+
+    // --- shutdown ends the server; the listener goes away.
+    let (status, _) = c.ok("SHUTDOWN");
+    assert_eq!(status, "OK bye");
+    handle.join().unwrap().expect("server run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_graphs_and_bad_commands_do_not_kill_the_session() {
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut c = Client::connect(&addr);
+    let (status, _) = c.cmd("ENUM nope ssfbc alpha=1 beta=1 delta=1");
+    assert!(status.starts_with("ERR NOGRAPH"), "{status}");
+    let (status, _) = c.cmd("FROBNICATE");
+    assert!(status.starts_with("ERR BADCMD"), "{status}");
+    let (status, _) = c.cmd("ENUM g ssfbc alpha=zero beta=1 delta=1");
+    assert!(status.starts_with("ERR BADARG"), "{status}");
+    // The connection still works.
+    let (status, _) = c.ok("PING");
+    assert_eq!(status, "OK pong");
+    c.ok("SHUTDOWN");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn result_limits_truncate_collecting_queries() {
+    let (addr, handle) = start_server(ServiceConfig {
+        default_result_limit: 3,
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(&addr);
+    c.ok("GEN g uniform:20,20,140,3");
+    let (status, payload) = c.ok("ENUM g ssfbc alpha=1 beta=1 delta=2");
+    assert_eq!(field(&status, "count"), Some("3"), "{status}");
+    assert!(status.contains("truncated=result-cap"), "{status}");
+    assert_eq!(payload.len(), 3);
+    // An explicit limit overrides the default.
+    let (status, payload) = c.ok("ENUM g ssfbc alpha=1 beta=1 delta=2 limit=5");
+    assert_eq!(payload.len(), 5);
+    assert!(status.contains("truncated=result-cap"), "{status}");
+    // count-only is exempt from the default cap.
+    let (status, _) = c.ok("ENUM g ssfbc alpha=1 beta=1 delta=2 count-only");
+    let n: u64 = field(&status, "count").unwrap().parse().unwrap();
+    assert!(n > 5, "{status}");
+    assert!(!status.contains("truncated"), "{status}");
+    c.ok("SHUTDOWN");
+    handle.join().unwrap().unwrap();
+}
