@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI gate for the fair-biclique workspace.
 #
-#   ./ci.sh          # lint + tier-1 verify + bench/smoke compile checks
-#   ./ci.sh --quick  # skip the release build (debug tests only)
+#   ./ci.sh            # lint + tier-1 verify + bench/smoke compile checks
+#   ./ci.sh --quick    # skip the release build (debug tests only)
+#   ./ci.sh --sanitize # additionally run the service tests under TSan
+#                      # (best-effort: skipped unless a nightly
+#                      # toolchain with -Zsanitizer=thread is available)
 #
 # Tier-1 verify (must stay green; see ROADMAP.md):
 #   cargo build --release && cargo test -q
@@ -11,7 +14,14 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 quick=0
-[[ "${1:-}" == "--quick" ]] && quick=1
+sanitize=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        --sanitize) sanitize=1 ;;
+        *) echo "ci.sh: unknown argument $arg" >&2; exit 2 ;;
+    esac
+done
 
 step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
 
@@ -20,6 +30,27 @@ cargo fmt --check
 
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+step "fbe-lint --deny (workspace static analysis; see README: Static analysis)"
+cargo run -q -p fbe-lint -- --deny
+
+if [[ $sanitize -eq 1 ]]; then
+    step "cargo +nightly test -p fbe-service under ThreadSanitizer (best-effort)"
+    # TSan needs a nightly toolchain with the matching std source or
+    # prebuilt sanitizer runtimes; in environments without one this
+    # step reports and moves on rather than failing the gate.
+    host=$(rustc -vV | sed -n 's/^host: //p')
+    if rustup run nightly rustc --version >/dev/null 2>&1; then
+        if RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -p fbe-service --target "$host" -q; then
+            echo "TSan pass clean."
+        else
+            echo "TSan run failed or is unsupported here; not gating on it." >&2
+        fi
+    else
+        echo "No nightly toolchain available; skipping the TSan pass." >&2
+    fi
+fi
 
 if [[ $quick -eq 0 ]]; then
     step "cargo build --release (tier-1)"

@@ -70,6 +70,10 @@ fn main() {
             "{label:<28} {cold_qps:>12.1} {cached_qps:>12.1} {:>7.1}x",
             cached_qps / cold_qps.max(1e-9)
         );
+        fbe_bench::export_json_record(
+            &format!("service_throughput/{label}"),
+            &[("cold_qps", cold_qps), ("cached_qps", cached_qps)],
+        );
     }
 
     // Loopback TCP: cached-plan queries through a real socket.
@@ -99,11 +103,14 @@ fn main() {
             writer.flush().expect("flush");
             read_block(&mut reader);
         }
+        let loopback_qps = qps(iters, t0.elapsed());
         println!(
             "{:<28} {:>12} {:>12.1}",
-            "loopback tcp (cached)",
-            "-",
-            qps(iters, t0.elapsed())
+            "loopback tcp (cached)", "-", loopback_qps
+        );
+        fbe_bench::export_json_record(
+            "service_throughput/loopback tcp (cached)",
+            &[("cached_qps", loopback_qps)],
         );
         writeln!(writer, "SHUTDOWN").expect("send");
         writer.flush().expect("flush");

@@ -35,6 +35,9 @@
 //! Adjacency lists are always sorted ascending, which the enumeration
 //! crate relies on for linear-time sorted intersections.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod butterfly;
 pub mod candidate;

@@ -168,19 +168,13 @@ impl<'a> Cursor<'a> {
 
 fn parse_pair_u16(s: &str, what: &str) -> Result<(u16, u16), String> {
     let parts: Vec<&str> = s.split(',').collect();
-    if parts.len() != 2 {
+    let [a, b] = parts.as_slice() else {
         return Err(format!(
             "{what}: expected two comma-separated values, got {s:?}"
         ));
-    }
-    let a = parts[0]
-        .trim()
-        .parse()
-        .map_err(|e| format!("{what}: {e}"))?;
-    let b = parts[1]
-        .trim()
-        .parse()
-        .map_err(|e| format!("{what}: {e}"))?;
+    };
+    let a = a.trim().parse().map_err(|e| format!("{what}: {e}"))?;
+    let b = b.trim().parse().map_err(|e| format!("{what}: {e}"))?;
     Ok((a, b))
 }
 
@@ -233,13 +227,15 @@ fn parse_generate(c: &mut Cursor<'_>) -> Result<Command, String> {
             "--uniform" => {
                 let v = c.value("--uniform")?;
                 let parts: Vec<&str> = v.split(',').collect();
-                if parts.len() != 3 {
+                let [nu, nv, m] = parts.as_slice() else {
                     return Err(format!("--uniform: expected NU,NV,M, got {v:?}"));
-                }
-                let nums: Result<Vec<usize>, _> =
-                    parts.iter().map(|p| p.trim().parse::<usize>()).collect();
-                let nums = nums.map_err(|e| format!("--uniform: {e}"))?;
-                uniform = Some((nums[0], nums[1], nums[2]));
+                };
+                let parse_dim = |p: &str| {
+                    p.trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("--uniform: {e}"))
+                };
+                uniform = Some((parse_dim(nu)?, parse_dim(nv)?, parse_dim(m)?));
             }
             "--attrs" => attrs = parse_pair_u16(c.value("--attrs")?, "--attrs")?,
             "--seed" => {

@@ -117,7 +117,7 @@ pub fn execute_to(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
 pub fn execute(cmd: Command) -> Result<String, String> {
     let mut buf = Vec::new();
     match execute_to(cmd, &mut buf) {
-        Ok(()) => Ok(String::from_utf8(buf).expect("command output is UTF-8")),
+        Ok(()) => Ok(String::from_utf8_lossy(&buf).into_owned()),
         Err(e) => Err(e.to_string()),
     }
 }
@@ -456,6 +456,7 @@ fn serve(
         queue_depth: queue,
         plan_cache_capacity: plan_cache,
         default_result_limit: default_limit,
+        ..fbe_service::ServiceConfig::default()
     });
     let server = fbe_service::server::Server::bind(&format!("{host}:{port}"), engine)
         .map_err(|e| CliError::Usage(format!("serve: binding {host}:{port}: {e}")))?;

@@ -24,6 +24,7 @@
 //! The binary is a thin wrapper around [`run`], which is fully unit
 //! tested (argument parsing and command execution return strings).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

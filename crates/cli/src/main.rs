@@ -1,5 +1,7 @@
 //! The `fbe` binary: thin wrapper around [`fbe_cli::run_to`].
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 
 fn main() {

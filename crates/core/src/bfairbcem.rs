@@ -149,12 +149,12 @@ pub fn bfairbcem_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    bfairbcem_with(g, params, order, budget, Substrate::Auto, sink)
+    bfairbcem_on_pruned_with(g, params, order, budget, Substrate::Auto, sink)
 }
 
 /// [`bfairbcem_on_pruned`] with an explicit candidate substrate for
 /// the upper-side expansion stage.
-pub fn bfairbcem_with(
+pub fn bfairbcem_on_pruned_with(
     g: &BipartiteGraph,
     params: FairParams,
     order: VertexOrder,
@@ -193,13 +193,13 @@ pub fn bfairbcem_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    bfairbcem_pp_with(g, params, order, budget, Substrate::Auto, sink)
+    bfairbcem_pp_on_pruned_with(g, params, order, budget, Substrate::Auto, sink)
 }
 
 /// [`bfairbcem_pp_on_pruned`] with an explicit candidate substrate
 /// shared by the walker, the fair-side expansion, and the upper-side
 /// expansion.
-pub fn bfairbcem_pp_with(
+pub fn bfairbcem_pp_on_pruned_with(
     g: &BipartiteGraph,
     params: FairParams,
     order: VertexOrder,

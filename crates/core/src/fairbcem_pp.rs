@@ -38,12 +38,12 @@ pub fn fairbcem_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    fairbcem_pp_with(g, params, order, budget, Substrate::Auto, sink)
+    fairbcem_pp_on_pruned_with(g, params, order, budget, Substrate::Auto, sink)
 }
 
 /// [`fairbcem_pp_on_pruned`] with an explicit candidate substrate
 /// (results are identical across substrates).
-pub fn fairbcem_pp_with(
+pub fn fairbcem_pp_on_pruned_with(
     g: &BipartiteGraph,
     params: FairParams,
     order: VertexOrder,

@@ -57,6 +57,7 @@
 //! convention); to mine with the upper side fair, call
 //! [`bigraph::BipartiteGraph::flipped`] first.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bfairbcem;

@@ -4,16 +4,16 @@
 //! graphs; the functions here compose the paper's full pipelines and
 //! translate results back to the caller's vertex ids.
 
-use crate::bfairbcem::{bfairbcem_pp_with, bfairbcem_with};
+use crate::bfairbcem::{bfairbcem_on_pruned_with, bfairbcem_pp_on_pruned_with};
 use crate::bfcore::{bcfcore, bfcore};
 use crate::biclique::{Biclique, BicliqueSink, EnumStats, MappingSink};
 use crate::cfcore::cfcore;
 use crate::config::{FairParams, ProParams, PruneKind, RunConfig};
 use crate::fairbcem::fairbcem_on_pruned;
-use crate::fairbcem_pp::fairbcem_pp_with;
+use crate::fairbcem_pp::fairbcem_pp_on_pruned_with;
 use crate::fcore::{fcore, no_prune, PruneOutcome, PruneStats};
 use crate::naive::{bnsf_on_pruned, nsf_on_pruned};
-use crate::proportion::{bfairbcem_pro_pp_with, fairbcem_pro_pp_with};
+use crate::proportion::{bfairbcem_pro_pp_on_pruned_with, fairbcem_pro_pp_on_pruned_with};
 use bigraph::BipartiteGraph;
 use serde::{Deserialize, Serialize};
 
@@ -122,7 +122,7 @@ pub fn run_ssfbc(
             cfg.budget.clone(),
             &mut mapped,
         ),
-        SsAlgorithm::FairBcemPP => fairbcem_pp_with(
+        SsAlgorithm::FairBcemPP => fairbcem_pp_on_pruned_with(
             &pruned.sub.graph,
             params,
             cfg.order,
@@ -156,7 +156,7 @@ pub fn run_bsfbc(
             cfg.budget.clone(),
             &mut mapped,
         ),
-        BiAlgorithm::BFairBcem => bfairbcem_with(
+        BiAlgorithm::BFairBcem => bfairbcem_on_pruned_with(
             &pruned.sub.graph,
             params,
             cfg.order,
@@ -164,7 +164,7 @@ pub fn run_bsfbc(
             cfg.substrate,
             &mut mapped,
         ),
-        BiAlgorithm::BFairBcemPP => bfairbcem_pp_with(
+        BiAlgorithm::BFairBcemPP => bfairbcem_pp_on_pruned_with(
             &pruned.sub.graph,
             params,
             cfg.order,
@@ -189,7 +189,7 @@ pub fn run_pssfbc(
         &pruned.sub.lower_to_parent,
         sink,
     );
-    let stats = fairbcem_pro_pp_with(
+    let stats = fairbcem_pro_pp_on_pruned_with(
         &pruned.sub.graph,
         pro,
         cfg.order,
@@ -213,7 +213,7 @@ pub fn run_pbsfbc(
         &pruned.sub.lower_to_parent,
         sink,
     );
-    let stats = bfairbcem_pro_pp_with(
+    let stats = bfairbcem_pro_pp_on_pruned_with(
         &pruned.sub.graph,
         pro,
         cfg.order,

@@ -35,11 +35,11 @@ pub fn fairbcem_pro_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    fairbcem_pro_pp_with(g, pro, order, budget, Substrate::Auto, sink)
+    fairbcem_pro_pp_on_pruned_with(g, pro, order, budget, Substrate::Auto, sink)
 }
 
 /// [`fairbcem_pro_pp_on_pruned`] with an explicit candidate substrate.
-pub fn fairbcem_pro_pp_with(
+pub fn fairbcem_pro_pp_on_pruned_with(
     g: &BipartiteGraph,
     pro: ProParams,
     order: VertexOrder,
@@ -201,12 +201,12 @@ pub fn bfairbcem_pro_pp_on_pruned(
     budget: Budget,
     sink: &mut dyn BicliqueSink,
 ) -> EnumStats {
-    bfairbcem_pro_pp_with(g, pro, order, budget, Substrate::Auto, sink)
+    bfairbcem_pro_pp_on_pruned_with(g, pro, order, budget, Substrate::Auto, sink)
 }
 
 /// [`bfairbcem_pro_pp_on_pruned`] with an explicit candidate
 /// substrate shared by every stage of the chain.
-pub fn bfairbcem_pro_pp_with(
+pub fn bfairbcem_pro_pp_on_pruned_with(
     g: &BipartiteGraph,
     pro: ProParams,
     order: VertexOrder,

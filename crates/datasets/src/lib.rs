@@ -19,6 +19,7 @@
 //!   graphs, the Jobs recommendation scenario, and the Movies
 //!   recommendation scenario, with human-readable labels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod case_studies;

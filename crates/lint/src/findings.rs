@@ -1,0 +1,106 @@
+//! Findings: what a rule reports, and how it is rendered.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path (`crates/service/src/engine.rs`).
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule identifier (`no-panic-paths`, ...).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding for `rule` at `path:line`.
+    pub fn new(rule: &'static str, path: &str, line: usize, message: impl Into<String>) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escape `s` for a JSON string literal body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a stable machine-readable JSON document:
+/// one object per finding, sorted by (path, line, rule), with a
+/// schema-version field so consumers can detect format changes.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"fbe_lint_schema\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_path_line_rule_message() {
+        let f = Finding::new("no-panic-paths", "crates/x/src/a.rs", 7, "msg");
+        assert_eq!(f.to_string(), "crates/x/src/a.rs:7: [no-panic-paths] msg");
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let fs = vec![
+            Finding::new("r1", "a.rs", 1, "say \"hi\"\nline2"),
+            Finding::new("r2", "b.rs", 2, "plain"),
+        ];
+        let j = render_json(&fs);
+        assert!(j.contains("\"fbe_lint_schema\": 1"));
+        assert!(j.contains("say \\\"hi\\\"\\nline2"));
+        assert!(j.contains("\"total\": 2"));
+        // Empty set still renders a complete document.
+        let j = render_json(&[]);
+        assert!(j.contains("\"total\": 0"));
+        assert!(j.contains("\"findings\": []"));
+    }
+}

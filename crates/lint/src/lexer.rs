@@ -1,0 +1,467 @@
+//! A lightweight Rust source scrubber.
+//!
+//! Every rule in this tool wants to reason about *code*, never about
+//! the insides of string literals, char literals, or comments — a
+//! `panic!` mentioned in a doc comment or an `unwrap()` inside an
+//! error-message string must not fire a rule. Instead of a full
+//! parser, [`scrub`] runs a small character-level state machine that
+//! understands exactly the lexical features that matter:
+//!
+//! * line comments (`//`) and **nested** block comments (`/* /* */ */`),
+//! * string literals with escapes (`"a \" b"`), byte strings (`b"…"`),
+//! * raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char and byte-char literals (`'a'`, `'\n'`, `b'\x7f'`),
+//!   disambiguated from lifetimes (`'a` in `&'a str` stays code).
+//!
+//! The output preserves the *shape* of the file: each line yields the
+//! same number of columns, with every non-code byte replaced by a
+//! space, so rule matches report accurate line numbers, plus the
+//! comment text collected per line (rules use it for
+//! `// fbe-lint: allow(...)` suppressions and justification
+//! comments).
+
+/// One source line after scrubbing.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubbedLine {
+    /// The line with every string/char/comment byte blanked to a
+    /// space. Safe to substring-match for tokens.
+    pub code: String,
+    /// Comment text that appeared on this line (line and block
+    /// comments, `//`/`/*` markers excluded).
+    pub comment: String,
+}
+
+/// A whole file after scrubbing: scrubbed lines plus the raw source
+/// lines (kept for rules that inspect human-facing text such as
+/// `expect` messages).
+#[derive(Debug, Default)]
+pub struct ScrubbedFile {
+    /// Scrubbed code + comments, one entry per source line.
+    pub lines: Vec<ScrubbedLine>,
+    /// The unmodified source lines.
+    pub raw: Vec<String>,
+}
+
+impl ScrubbedFile {
+    /// Scrubbed code of 1-indexed `line` (empty past EOF).
+    pub fn code(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map_or("", |l| l.code.as_str())
+    }
+
+    /// Comment text of 1-indexed `line` (empty past EOF).
+    pub fn comment(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map_or("", |l| l.comment.as_str())
+    }
+
+    /// Raw text of 1-indexed `line` (empty past EOF).
+    pub fn raw(&self, line: usize) -> &str {
+        self.raw
+            .get(line.wrapping_sub(1))
+            .map_or("", |l| l.as_str())
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The scrubbed code joined with `\n`, for matches that span a
+    /// rustfmt line break (e.g. `.lock()\n.unwrap()`). Byte offsets
+    /// into the result map back to lines via [`ScrubbedFile::line_of`]
+    /// with the offsets produced here.
+    pub fn joined_code(&self) -> (String, Vec<usize>) {
+        let mut text = String::new();
+        let mut starts = Vec::with_capacity(self.lines.len());
+        for l in &self.lines {
+            starts.push(text.len());
+            text.push_str(&l.code);
+            text.push('\n');
+        }
+        (text, starts)
+    }
+
+    /// Map a byte offset in [`ScrubbedFile::joined_code`] output back
+    /// to a 1-indexed line number.
+    pub fn line_of(starts: &[usize], offset: usize) -> usize {
+        match starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i, // first start > offset; offset is on line i
+        }
+    }
+
+    /// Lines (1-indexed) covered by `#[cfg(test)]`-gated items: the
+    /// attribute line through the matching close brace of the item
+    /// that follows it. Rules scoped to "non-test code" skip these.
+    pub fn test_region_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.lines.len()];
+        let (text, starts) = self.joined_code();
+        let bytes = text.as_bytes();
+        let mut search_from = 0;
+        while let Some(pos) = text[search_from..].find("#[cfg(test)]") {
+            let attr_at = search_from + pos;
+            // Find the first `{` after the attribute and match braces.
+            let Some(open_rel) = text[attr_at..].find('{') else {
+                break;
+            };
+            let open = attr_at + open_rel;
+            let mut depth = 0usize;
+            let mut close = bytes.len().saturating_sub(1);
+            for (i, &b) in bytes.iter().enumerate().skip(open) {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let first = Self::line_of(starts.as_slice(), attr_at);
+            let last = Self::line_of(starts.as_slice(), close);
+            for m in mask.iter_mut().take(last).skip(first.saturating_sub(1)) {
+                *m = true;
+            }
+            search_from = close.max(attr_at + 1);
+        }
+        mask
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Inside `"…"`; true after a backslash.
+    Str(bool),
+    /// Inside `r#*"…"#*`; hash count.
+    RawStr(u32),
+    /// Inside `'…'`; true after a backslash.
+    Char(bool),
+}
+
+/// True when `c` can be part of an identifier (so a preceding `r`/`b`
+/// is not a raw-string / byte-string prefix).
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scrub `src` into per-line code + comment channels.
+pub fn scrub(src: &str) -> ScrubbedFile {
+    let mut out = ScrubbedFile::default();
+    let mut state = State::Code;
+    for raw_line in src.lines() {
+        let mut line = ScrubbedLine::default();
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+        // A line comment never continues onto the next line.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => {
+                    let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                    if c == '/' && next == Some('/') {
+                        state = State::LineComment;
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(1);
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    // Raw / byte-string prefixes: r", r#", br", b".
+                    if !prev_ident && (c == 'r' || c == 'b') {
+                        let mut j = i;
+                        if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                            j += 1;
+                        }
+                        if c == 'b' && chars.get(j + 1) == Some(&'"') {
+                            // b"..." — plain byte string.
+                            for _ in i..=j {
+                                line.code.push(' ');
+                            }
+                            i = j + 1;
+                            state = State::Str(false);
+                            line.code.push(' ');
+                            i += 1;
+                            continue;
+                        }
+                        if c == 'r' || chars.get(j) == Some(&'r') {
+                            let mut hashes = 0;
+                            let mut k = j + 1;
+                            while chars.get(k) == Some(&'#') {
+                                hashes += 1;
+                                k += 1;
+                            }
+                            if chars.get(k) == Some(&'"') {
+                                for _ in i..=k {
+                                    line.code.push(' ');
+                                }
+                                i = k + 1;
+                                state = State::RawStr(hashes);
+                                continue;
+                            }
+                        }
+                    }
+                    if c == '"' {
+                        state = State::Str(false);
+                        line.code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Char literal vs lifetime. `'\…'` is always a
+                        // char; `'x'` (any single char then a quote) is
+                        // a char; otherwise it is a lifetime and stays
+                        // code.
+                        let is_char = match next {
+                            Some('\\') => true,
+                            Some(_) => chars.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char {
+                            state = State::Char(false);
+                            line.code.push(' ');
+                            i += 1;
+                            continue;
+                        }
+                        line.code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(c);
+                    i += 1;
+                }
+                State::LineComment => {
+                    line.comment.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    line.comment.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::Str(escaped) => {
+                    line.code.push(' ');
+                    state = match (escaped, c) {
+                        (false, '"') => State::Code,
+                        (false, '\\') => State::Str(true),
+                        _ => State::Str(false),
+                    };
+                    i += 1;
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(i + 1 + k as usize) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=(hashes as usize) {
+                                line.code.push(' ');
+                            }
+                            i += 1 + hashes as usize;
+                            state = State::Code;
+                            continue;
+                        }
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::Char(escaped) => {
+                    line.code.push(' ');
+                    state = match (escaped, c) {
+                        (false, '\'') => State::Code,
+                        (false, '\\') => State::Char(true),
+                        _ => State::Char(false),
+                    };
+                    i += 1;
+                }
+            }
+        }
+        // Unterminated string states continue across lines (multiline
+        // string literals); char literals never span lines.
+        if let State::Char(_) = state {
+            state = State::Code;
+        }
+        out.lines.push(line);
+        out.raw.push(raw_line.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_lines(src: &str) -> Vec<String> {
+        scrub(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_inside_strings_stay_strings() {
+        let s = scrub(r#"let url = "https://example.com"; x.unwrap();"#);
+        assert!(!s.code(1).contains("https"));
+        assert!(s.code(1).contains(".unwrap()"));
+        assert!(s.comment(1).is_empty(), "no comment: {:?}", s.comment(1));
+    }
+
+    #[test]
+    fn strings_inside_line_comments_stay_comments() {
+        let s = scrub("let x = 1; // a \"quoted\" panic!() here");
+        assert!(s.code(1).contains("let x = 1;"));
+        assert!(!s.code(1).contains("panic!"));
+        assert!(s.comment(1).contains("panic!"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let p = r#"panic!("in a raw string")"#; q.unwrap();"####;
+        let s = scrub(src);
+        assert!(!s.code(1).contains("panic!"), "{:?}", s.code(1));
+        assert!(s.code(1).contains("q.unwrap()"));
+        // Raw string with an embedded quote-hash that is *shorter*
+        // than the delimiter.
+        let src = r####"let p = r##"end "# not yet"##; done();"####;
+        let s = scrub(src);
+        assert!(s.code(1).contains("done()"), "{:?}", s.code(1));
+        assert!(!s.code(1).contains("not yet"));
+    }
+
+    #[test]
+    fn multiline_raw_string() {
+        let src = "let s = r#\"line one\nunwrap() inside\n\"#;\nreal.unwrap();";
+        let lines = code_lines(src);
+        assert!(!lines[1].contains("unwrap"), "{:?}", lines[1]);
+        assert!(lines[3].contains("real.unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* inner */ still comment */ b();";
+        let s = scrub(src);
+        assert!(s.code(1).contains("a();"));
+        assert!(s.code(1).contains("b();"));
+        assert!(!s.code(1).contains("still"));
+        assert!(s.comment(1).contains("still comment"));
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_lines() {
+        let src = "x();\n/* one\ntwo unwrap()\nthree */\ny.unwrap();";
+        let lines = code_lines(src);
+        assert!(!lines[2].contains("unwrap"));
+        assert!(lines[4].contains("y.unwrap()"));
+    }
+
+    #[test]
+    fn comment_slashes_in_char_literals() {
+        // '/' twice would start a line comment if chars were not
+        // recognized.
+        let s = scrub("let c = '/'; let d = '/'; still_code();");
+        assert!(s.code(1).contains("still_code()"), "{:?}", s.code(1));
+        // An escaped quote in a char literal.
+        let s = scrub(r"let q = '\''; after();");
+        assert!(s.code(1).contains("after()"), "{:?}", s.code(1));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scrub("fn f<'a>(x: &'a str) -> &'a str { x } g();");
+        assert!(s.code(1).contains("&'a str"), "{:?}", s.code(1));
+        assert!(s.code(1).contains("g();"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let s = scrub(r#"w.write_all(b"SHUTDOWN\n").ok(); let b = b'\n'; t();"#);
+        assert!(!s.code(1).contains("SHUTDOWN"));
+        assert!(s.code(1).contains(".ok()"));
+        assert!(s.code(1).contains("t();"), "{:?}", s.code(1));
+    }
+
+    #[test]
+    fn raw_string_prefix_requires_token_boundary() {
+        // `var` ends in r-adjacent ident chars; `br`/`r` inside an
+        // identifier must not open a raw string.
+        let s = scrub("let decr = 1; let x = decr; y();");
+        assert!(s.code(1).contains("y();"));
+    }
+
+    #[test]
+    fn shape_is_preserved() {
+        let src = r#"abc("str").unwrap(); // tail"#;
+        let s = scrub(src);
+        assert_eq!(s.code(1).chars().count(), src.chars().count());
+        let at = s.code(1).find(".unwrap()").unwrap();
+        assert_eq!(src.find(".unwrap()").unwrap(), at);
+    }
+
+    #[test]
+    fn test_region_mask_covers_cfg_test_mods() {
+        let src = "\
+fn real() { a.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { b.unwrap(); }
+}
+
+fn also_real() {}
+";
+        let s = scrub(src);
+        let mask = s.test_region_mask();
+        assert!(!mask[0], "real code not masked");
+        assert!(mask[2], "attribute line masked");
+        assert!(mask[5], "test body masked");
+        assert!(mask[6], "closing brace masked");
+        assert!(!mask[8], "code after the mod not masked");
+    }
+
+    #[test]
+    fn joined_code_maps_offsets_to_lines() {
+        let s = scrub("one\ntwo\nthree");
+        let (text, starts) = s.joined_code();
+        let off = text.find("three").unwrap();
+        assert_eq!(ScrubbedFile::line_of(&starts, off), 3);
+        assert_eq!(ScrubbedFile::line_of(&starts, 0), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! # fbe-lint — workspace-specific static analysis
+//!
+//! A std-only linter for invariants this workspace relies on but no
+//! general-purpose tool checks: no-panic request paths in the resident
+//! service, Mutex acquisition discipline, justified atomic orderings,
+//! `*_with` API symmetry and protocol/README agreement, hash-map-free
+//! deterministic emission paths, and pinned `#![forbid(unsafe_code)]`.
+//! See each module under [`rules`] for the full rationale of a rule,
+//! and the README's "Static analysis" section for the catalog.
+//!
+//! Sources are scanned with a lightweight lexer ([`lexer`]) that
+//! blanks string literals, char literals, and (nested) comments before
+//! any rule runs, so rules never fire on prose or message text.
+//!
+//! ## Suppressions
+//!
+//! A violation is suppressible only with an inline comment carrying a
+//! written reason:
+//!
+//! ```text
+//! // fbe-lint: allow(<rule>): <reason>
+//! ```
+//!
+//! trailing on the flagged line, or standing alone on the line
+//! directly above it. An allow without
+//! a reason (or naming an unknown rule) is itself a violation
+//! (`bad-allow`), so suppressions stay auditable.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p fbe-lint --              # warn mode: list findings, exit 0
+//! cargo run -p fbe-lint -- --deny      # CI gate: exit 1 on any finding
+//! cargo run -p fbe-lint -- --json      # stable machine-readable output
+//! cargo run -p fbe-lint -- --rule no-panic-paths   # run a subset
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+#[cfg(test)]
+mod fixtures;
+
+use findings::Finding;
+use walk::{Analysis, SourceFile};
+
+/// Rule name reported for malformed `allow` comments.
+pub const BAD_ALLOW: &str = "bad-allow";
+
+/// A parsed `// fbe-lint: allow(rule): reason` comment.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rule: String,
+    /// A trailing allow (sharing its line with code) covers only that
+    /// line; a standalone comment line covers the line below it.
+    trailing: bool,
+    /// `None` when well-formed; otherwise why it is rejected.
+    problem: Option<String>,
+}
+
+/// Parse the allow comments of one file.
+fn parse_allows(file: &SourceFile) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, l) in file.scrub.lines.iter().enumerate() {
+        let comment = l.comment.as_str();
+        let Some(at) = comment.find("fbe-lint:") else {
+            continue;
+        };
+        // Doc comments describe the allow grammar; they never grant
+        // suppressions themselves.
+        let raw_trim = file.scrub.raw[idx].trim_start();
+        if raw_trim.starts_with("///") || raw_trim.starts_with("//!") {
+            continue;
+        }
+        let line = idx + 1;
+        let rest = comment[at + "fbe-lint:".len()..].trim_start();
+        let parsed = (|| -> Result<(String, String), String> {
+            let rest = rest
+                .strip_prefix("allow(")
+                .ok_or("expected `allow(<rule>): <reason>`")?;
+            let close = rest.find(')').ok_or("missing `)` after rule name")?;
+            let rule = rest[..close].trim().to_string();
+            let tail = rest[close + 1..].trim_start();
+            let reason = tail
+                .strip_prefix(':')
+                .ok_or("missing `: <reason>` after allow(...)")?
+                .trim();
+            if reason.is_empty() {
+                return Err("a written reason is mandatory".to_string());
+            }
+            Ok((rule, reason.to_string()))
+        })();
+        let trailing = !l.code.trim().is_empty();
+        match parsed {
+            Ok((rule, _reason)) => {
+                let known = rules::rule(&rule).is_some();
+                out.push(Allow {
+                    line,
+                    trailing,
+                    problem: (!known).then(|| format!("unknown rule {rule:?}")),
+                    rule,
+                });
+            }
+            Err(msg) => out.push(Allow {
+                line,
+                rule: String::new(),
+                trailing,
+                problem: Some(msg.to_string()),
+            }),
+        }
+    }
+    out
+}
+
+/// Run `selected` rules (or all) over an already-scanned analysis,
+/// apply allow-comment suppressions, and report malformed allows.
+/// Findings come back sorted by `(path, line, rule)`.
+pub fn check_analysis(analysis: &Analysis, selected: Option<&[String]>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in rules::RULES {
+        let wanted = selected.map_or(true, |s| s.iter().any(|n| n == rule.name));
+        if wanted {
+            (rule.check)(analysis, &mut findings);
+        }
+    }
+    let mut kept = Vec::new();
+    for f in findings {
+        let suppressed = analysis.file(&f.path).is_some_and(|file| {
+            parse_allows(file).iter().any(|a| {
+                a.problem.is_none()
+                    && a.rule == f.rule
+                    && if a.trailing {
+                        a.line == f.line
+                    } else {
+                        a.line + 1 == f.line
+                    }
+            })
+        });
+        if !suppressed {
+            kept.push(f);
+        }
+    }
+    // Malformed allows are findings themselves — reasonless
+    // suppressions must not pass a deny gate silently.
+    for file in &analysis.files {
+        for a in parse_allows(file) {
+            if let Some(problem) = a.problem {
+                kept.push(Finding::new(
+                    BAD_ALLOW,
+                    &file.path,
+                    a.line,
+                    format!("malformed fbe-lint allow comment: {problem}"),
+                ));
+            }
+        }
+    }
+    kept.sort();
+    kept.dedup();
+    kept
+}
+
+/// Scan the workspace at `root` and run `selected` rules (or all).
+pub fn run(root: &std::path::Path, selected: Option<&[String]>) -> std::io::Result<Vec<Finding>> {
+    let analysis = walk::scan_workspace(root)?;
+    Ok(check_analysis(&analysis, selected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_file(path: &str, src: &str) -> Analysis {
+        let mut a = Analysis::default();
+        a.files.push(SourceFile::parse(path, src));
+        a
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let src = "\
+// fbe-lint: allow(no-panic-paths): deliberate crash hook for tests
+fn f() { x.unwrap(); }
+fn g() { y.unwrap(); } // fbe-lint: allow(no-panic-paths): documented fallback
+fn h() { z.unwrap(); }
+";
+        let a = one_file("crates/service/src/x.rs", src);
+        let f = check_analysis(&a, None);
+        let panics: Vec<_> = f.iter().filter(|f| f.rule == "no-panic-paths").collect();
+        assert_eq!(panics.len(), 1, "{panics:?}");
+        assert_eq!(panics.first().map(|f| f.line), Some(4));
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "fn f() { x.unwrap(); } // fbe-lint: allow(no-panic-paths):\n";
+        let a = one_file("crates/service/src/x.rs", src);
+        let f = check_analysis(&a, None);
+        assert!(f.iter().any(|f| f.rule == BAD_ALLOW), "{f:?}");
+        // ... and does NOT suppress.
+        assert!(f.iter().any(|f| f.rule == "no-panic-paths"));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_finding() {
+        let src = "fn f() {} // fbe-lint: allow(imaginary-rule): because\n";
+        let a = one_file("crates/service/src/x.rs", src);
+        let f = check_analysis(&a, None);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.first().map(|f| f.rule), Some(BAD_ALLOW));
+    }
+
+    #[test]
+    fn doc_comments_do_not_grant_or_break_allows() {
+        let src = "\
+//! Suppress with `// fbe-lint: allow(broken-grammar`
+/// e.g. // fbe-lint: allow(no-panic-paths): documented elsewhere
+fn f() { x.unwrap(); }
+";
+        let a = one_file("crates/service/src/x.rs", src);
+        let f = check_analysis(&a, None);
+        assert!(!f.iter().any(|f| f.rule == BAD_ALLOW), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "no-panic-paths"), "{f:?}");
+    }
+
+    #[test]
+    fn rule_selection_runs_a_subset() {
+        let src = "fn f() { x.unwrap(); let m: HashMap<u32, u32>; }\n";
+        let a = one_file("crates/service/src/x.rs", src);
+        let only = vec!["determinism-hygiene".to_string()];
+        assert!(check_analysis(&a, Some(&only)).is_empty());
+        let only = vec!["no-panic-paths".to_string()];
+        assert_eq!(check_analysis(&a, Some(&only)).len(), 1);
+    }
+}

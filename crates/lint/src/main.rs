@@ -1,0 +1,125 @@
+//! Command-line entry point for `fbe-lint`.
+//!
+//! ```text
+//! fbe-lint [--deny] [--json] [--root <dir>] [--rule <name>]... [--list-rules]
+//! ```
+//!
+//! Exit status: `0` when clean (or in warn mode), `1` when `--deny` is
+//! set and findings exist, `2` on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+struct Opts {
+    deny: bool,
+    json: bool,
+    root: PathBuf,
+    rules: Vec<String>,
+    list: bool,
+}
+
+/// Parse `args` (without argv[0]).
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        deny: false,
+        json: false,
+        root: PathBuf::from("."),
+        rules: Vec::new(),
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--rule" => {
+                let v = it.next().ok_or("--rule requires a rule name argument")?;
+                if fbe_lint::rules::rule(v).is_none() {
+                    return Err(format!(
+                        "unknown rule {v:?}; try --list-rules for the catalog"
+                    ));
+                }
+                opts.rules.push(v.clone());
+            }
+            "--help" | "-h" => {
+                return Err(String::new()); // handled by caller as usage
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "\
+usage: fbe-lint [--deny] [--json] [--root <dir>] [--rule <name>]... [--list-rules]
+
+  --deny        exit 1 when any finding is reported (CI gate mode)
+  --json        machine-readable output (stable schema, fbe_lint_schema: 1)
+  --root <dir>  workspace root to scan (default: current directory)
+  --rule <name> run only the named rule (repeatable)
+  --list-rules  print the rule catalog and exit
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            let mut err = std::io::stderr().lock();
+            if !msg.is_empty() {
+                let _ = writeln!(err, "fbe-lint: {msg}");
+            }
+            let _ = write!(err, "{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        let mut out = std::io::stdout().lock();
+        for r in fbe_lint::rules::RULES {
+            let _ = writeln!(out, "{:<22} {}", r.name, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected = (!opts.rules.is_empty()).then_some(opts.rules.as_slice());
+    let findings = match fbe_lint::run(&opts.root, selected) {
+        Ok(f) => f,
+        Err(e) => {
+            let _ = writeln!(
+                std::io::stderr().lock(),
+                "fbe-lint: scanning {}: {e}",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let mut out = std::io::stdout().lock();
+    if opts.json {
+        let _ = writeln!(out, "{}", fbe_lint::findings::render_json(&findings));
+    } else {
+        for f in &findings {
+            let _ = writeln!(out, "{f}");
+        }
+        let _ = writeln!(
+            out,
+            "fbe-lint: {} finding{} ({} mode)",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            if opts.deny { "deny" } else { "warn" }
+        );
+    }
+    if opts.deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,76 @@
+//! `atomic-ordering` — every memory-ordering choice is a decision.
+//!
+//! # Rationale
+//!
+//! The workspace uses atomics in three places with three different
+//! correctness arguments: the shared enumeration budget
+//! (`core::config` — counters whose only consumer tolerates slack),
+//! the service metrics registry (`service::metrics` — statistics, not
+//! synchronization), and ad-hoc sites elsewhere (catalog epochs,
+//! future subsystems). The first two are *audited cores*: their module
+//! docs state the ordering argument once for every site inside, so
+//! individual `Ordering::Relaxed` uses there are covered.
+//!
+//! Everywhere else, an `Ordering::Relaxed`/`SeqCst`/`Acquire`/
+//! `Release`/`AcqRel` token must carry an inline justification —
+//! `// lint: ordering: <why this ordering is sufficient>` on the same
+//! line or within the two lines above. `Relaxed` without an argument
+//! is how publication bugs are born; `SeqCst` without an argument is
+//! how "just to be safe" hides a missing argument and costs a fence.
+//!
+//! Suppress with `// fbe-lint: allow(atomic-ordering): <reason>` only
+//! when a justification comment is genuinely impossible (e.g.
+//! generated code).
+
+use crate::findings::Finding;
+use crate::rules::{crate_sources, justified_nearby, token_positions};
+use crate::walk::Analysis;
+
+/// Rule identifier.
+pub const NAME: &str = "atomic-ordering";
+
+/// Modules whose docs carry a blanket ordering argument.
+const AUDITED: &[&str] = &["crates/core/src/config.rs", "crates/service/src/metrics.rs"];
+
+/// The atomic (not `cmp`) ordering variants.
+const VARIANTS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::SeqCst",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
+
+/// The justification marker.
+pub const MARKER: &str = "lint: ordering:";
+
+/// Run the rule.
+pub fn check(analysis: &Analysis, findings: &mut Vec<Finding>) {
+    for file in crate_sources(analysis) {
+        if AUDITED.contains(&file.path.as_str()) {
+            continue;
+        }
+        for (idx, line) in file.scrub.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if file.in_test(lineno) {
+                continue;
+            }
+            for v in VARIANTS {
+                if token_positions(&line.code, v).is_empty() {
+                    continue;
+                }
+                if !justified_nearby(file, lineno, 2, MARKER) {
+                    findings.push(Finding::new(
+                        NAME,
+                        &file.path,
+                        lineno,
+                        format!(
+                            "`{v}` outside the audited cores without a \
+                             `// {MARKER} ...` justification comment"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! `determinism-hygiene` — keep nondeterministic iteration out of the
+//! enumeration core.
+//!
+//! # Rationale
+//!
+//! PR 2 established a contract the whole test strategy leans on:
+//! serial and parallel runs of every miner are **byte-identical** in
+//! `--sorted` mode, and top-k/maximum results are identical at any
+//! thread count. That only holds because every path from candidate
+//! generation to `Sink` emission and `results::canonical_order` walks
+//! deterministic containers (CSR adjacency, sorted `Vec`s, `BTreeMap`).
+//! `std::collections::HashMap`/`HashSet` iteration order varies *per
+//! process* (SipHash keyed by a random seed), so a single hash-map
+//! iteration feeding an emission path silently breaks golden
+//! snapshots, the serial==parallel differential battery, and the plan
+//! cache's "identical replies" guarantee — typically only under a
+//! different seed than CI's.
+//!
+//! Rather than chase data flow, the rule bans the types outright in
+//! `crates/core/src` non-test code: the core crate's whole job is
+//! deterministic enumeration, and membership tests are served equally
+//! well by `BTreeSet` or sorted `Vec`s. Other crates (e.g. the
+//! service's plan cache, bigraph's generators) may use hash maps for
+//! keyed lookup where nothing iterates toward output. If a core use
+//! is genuinely iteration-free, say so:
+//! `// fbe-lint: allow(determinism-hygiene): <why no iteration
+//! reaches emission>`.
+
+use crate::findings::Finding;
+use crate::rules::token_positions;
+use crate::walk::Analysis;
+
+/// Rule identifier.
+pub const NAME: &str = "determinism-hygiene";
+
+/// The crate held to the no-hash-containers bar.
+const SCOPE: &str = "crates/core/src/";
+
+/// Run the rule.
+pub fn check(analysis: &Analysis, findings: &mut Vec<Finding>) {
+    for file in analysis.under(SCOPE) {
+        for (idx, line) in file.scrub.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if file.in_test(lineno) {
+                continue;
+            }
+            for ty in ["HashMap", "HashSet"] {
+                if !token_positions(&line.code, ty).is_empty() {
+                    findings.push(Finding::new(
+                        NAME,
+                        &file.path,
+                        lineno,
+                        format!(
+                            "`{ty}` in the enumeration core: iteration order is \
+                             per-process random and would break the \
+                             serial==parallel byte-identity contract; use \
+                             BTreeMap/BTreeSet or sorted vecs"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The rule registry and shared matching helpers.
+//!
+//! Every rule is a pure function over the scanned [`Analysis`]; rules
+//! never read the filesystem themselves, so the same code path serves
+//! the real workspace and the embedded fixture self-tests.
+
+use crate::findings::Finding;
+use crate::walk::{Analysis, SourceFile};
+
+pub mod atomics;
+pub mod determinism;
+pub mod locks;
+pub mod panic_paths;
+pub mod symmetry;
+pub mod unsafe_code;
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable identifier, used in output and `allow(...)` comments.
+    pub name: &'static str,
+    /// One-line description for `--list-rules` and the README catalog.
+    pub summary: &'static str,
+    /// The check itself.
+    pub check: fn(&Analysis, &mut Vec<Finding>),
+}
+
+/// All rules, in catalog order.
+///
+/// To add a rule: write a module with a `check(&Analysis, &mut
+/// Vec<Finding>)` function and a rustdoc'd rationale, register it
+/// here, add a positive/negative fixture pair in `fixtures.rs`, and
+/// document it in the README's rule catalog.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: panic_paths::NAME,
+        summary: "no unwrap/expect/panic/indexing-by-literal in server and CLI request paths",
+        check: panic_paths::check,
+    },
+    Rule {
+        name: locks::NAME,
+        summary: "no nested Mutex acquisition while a guard is held; poisoning policy documented",
+        check: locks::check,
+    },
+    Rule {
+        name: atomics::NAME,
+        summary: "atomic Ordering choices outside the audited cores carry a justification",
+        check: atomics::check,
+    },
+    Rule {
+        name: symmetry::NAME,
+        summary: "public *_with drivers have non-_with wrappers; protocol verbs match the README",
+        check: symmetry::check,
+    },
+    Rule {
+        name: determinism::NAME,
+        summary: "no HashMap/HashSet in core (iteration order feeds canonical emission)",
+        check: determinism::check,
+    },
+    Rule {
+        name: unsafe_code::NAME,
+        summary: "crates with zero unsafe tokens must #![forbid(unsafe_code)]",
+        check: unsafe_code::check,
+    },
+];
+
+/// Look up a rule by name.
+pub fn rule(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// True when `c` continues an identifier.
+pub(crate) fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of `tok` in `code` at identifier boundaries (so
+/// `unwrap` does not match `unwrap_or`, and `[` / `.` edges in the
+/// token itself are fine).
+pub(crate) fn token_positions(code: &str, tok: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(tok) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !is_ident(code[..at].chars().next_back().unwrap_or(' '))
+            || !tok.starts_with(is_ident);
+        let after = code[at + tok.len()..].chars().next();
+        let after_ok = !tok.ends_with(|c: char| is_ident(c)) || !after.is_some_and(is_ident);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + tok.len().max(1);
+    }
+    out
+}
+
+/// True when `needle` occurs (case-insensitively) in the raw text of
+/// lines `line - above ..= line` of `file` — how rules look for
+/// justification comments "nearby".
+pub(crate) fn justified_nearby(file: &SourceFile, line: usize, above: usize, needle: &str) -> bool {
+    let lo = line.saturating_sub(above).max(1);
+    let needle = needle.to_ascii_lowercase();
+    (lo..=line).any(|l| file.scrub.raw(l).to_ascii_lowercase().contains(&needle))
+}
+
+/// Files under `crates/<anything>/src/`.
+pub(crate) fn crate_sources(analysis: &Analysis) -> impl Iterator<Item = &SourceFile> {
+    analysis
+        .files
+        .iter()
+        .filter(|f| f.path.starts_with("crates/") && f.path.contains("/src/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(rule(r.name).is_some());
+            assert!(
+                !RULES[..i].iter().any(|p| p.name == r.name),
+                "duplicate rule name {}",
+                r.name
+            );
+        }
+        assert!(rule("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn token_positions_respect_boundaries() {
+        assert_eq!(token_positions("x.unwrap_or(y)", ".unwrap()").len(), 0);
+        assert_eq!(token_positions("x.unwrap()", ".unwrap()").len(), 1);
+        assert_eq!(token_positions("my_panic!()", "panic!").len(), 0);
+        assert_eq!(token_positions("panic!(\"\")", "panic!").len(), 1);
+        assert_eq!(token_positions("HashMapLike", "HashMap").len(), 0);
+        assert_eq!(token_positions("a HashMap b HashMap", "HashMap").len(), 2);
+    }
+}

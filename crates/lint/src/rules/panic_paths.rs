@@ -1,0 +1,124 @@
+//! `no-panic-paths` — the resident server and the CLI must never die.
+//!
+//! # Rationale
+//!
+//! Fair-biclique enumeration queries run for seconds to minutes
+//! (Yin et al., ICDE 2023), so `fbe serve` holds state — the graph
+//! catalog, the plan cache, admission counters — that many clients
+//! depend on. A panic anywhere on a request path either kills the
+//! process (losing every loaded graph and cached plan) or poisons a
+//! shared lock for all subsequent clients. The service contract is to
+//! degrade into `ERR` replies instead: fallible operations return
+//! `Result` and are rendered as `ERR <CODE>` blocks, and the one
+//! deliberate backstop (`catch_unwind` in the engine) exists to
+//! contain bugs, not to excuse them.
+//!
+//! The rule therefore forbids, in non-test code under
+//! `crates/service/src` and `crates/cli/src`:
+//!
+//! * `.unwrap()` and `.expect(` — convert to `?` / explicit handling;
+//! * `panic!`, `todo!`, `unimplemented!`, `unreachable!`;
+//! * indexing by an integer literal (`xs[0]`) — use `.first()` /
+//!   `.get(0)` and handle `None`.
+//!
+//! Suppress a deliberate site with
+//! `// fbe-lint: allow(no-panic-paths): <reason>`.
+
+use crate::findings::Finding;
+use crate::rules::{is_ident, token_positions};
+use crate::walk::Analysis;
+
+/// Rule identifier.
+pub const NAME: &str = "no-panic-paths";
+
+/// Paths (prefixes) this rule polices.
+const SCOPES: &[&str] = &["crates/service/src/", "crates/cli/src/"];
+
+/// Forbidden tokens and what to do instead.
+const TOKENS: &[(&str, &str)] = &[
+    (".unwrap()", "propagate the error or reply ERR"),
+    (".expect(", "propagate the error or reply ERR"),
+    ("panic!", "return an error; the server must not die"),
+    ("todo!", "unfinished code must not ship on a request path"),
+    (
+        "unimplemented!",
+        "unfinished code must not ship on a request path",
+    ),
+    (
+        "unreachable!",
+        "encode the invariant in types or return an error",
+    ),
+];
+
+/// Byte offsets where `code` indexes with an integer literal:
+/// an identifier / `)` / `]` directly followed by `[digits]`.
+fn literal_index_positions(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if !(is_ident(prev) || prev == ')' || prev == ']') {
+            continue;
+        }
+        let rest = &bytes[i + 1..];
+        let digits = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+        if digits > 0 && rest.get(digits) == Some(&b']') {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Run the rule.
+pub fn check(analysis: &Analysis, findings: &mut Vec<Finding>) {
+    for file in &analysis.files {
+        if !SCOPES.iter().any(|s| file.path.starts_with(s)) {
+            continue;
+        }
+        for (idx, line) in file.scrub.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if file.in_test(lineno) {
+                continue;
+            }
+            for (tok, fix) in TOKENS {
+                if !token_positions(&line.code, tok).is_empty() {
+                    findings.push(Finding::new(
+                        NAME,
+                        &file.path,
+                        lineno,
+                        format!("`{tok}` on a no-panic path: {fix}"),
+                    ));
+                }
+            }
+            if !literal_index_positions(&line.code).is_empty() {
+                findings.push(Finding::new(
+                    NAME,
+                    &file.path,
+                    lineno,
+                    "indexing by integer literal on a no-panic path: \
+                     use .get(..) and handle None",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_index_detection() {
+        assert_eq!(literal_index_positions("let x = xs[0];").len(), 1);
+        assert_eq!(literal_index_positions("f(a)[17]").len(), 1);
+        assert_eq!(literal_index_positions("m[i][3]").len(), 1);
+        // Variable index, type syntax, attributes: no match.
+        assert_eq!(literal_index_positions("xs[i]").len(), 0);
+        assert_eq!(literal_index_positions("let b: [u64; 5] = x;").len(), 0);
+        assert_eq!(literal_index_positions("#[cfg(test)]").len(), 0);
+        assert_eq!(literal_index_positions("&[0]").len(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! `api-symmetry` — two cheap-to-check API contracts.
+//!
+//! # Rationale
+//!
+//! 1. **`*_with` drivers pair with plain wrappers.** The core crates
+//!    grew `<name>_with(...)` variants (explicit candidate substrate)
+//!    alongside `<name>(...)` defaults. The convention only helps if
+//!    it is total: a `pub fn foo_with` without a matching `pub fn foo`
+//!    in the same crate means either a missing convenience wrapper or
+//!    an inconsistently named driver — both confuse callers choosing
+//!    an entry point.
+//! 2. **Protocol verbs match the README grammar.** The service's
+//!    line protocol is documented twice: the `match` in
+//!    `service/src/protocol.rs` (what the server accepts) and the
+//!    grammar block in the README's Protocol section (what clients are
+//!    told). This rule parses both and diffs the verb sets, so adding
+//!    a command without documenting it — or documenting vapor — fails
+//!    CI.
+//!
+//! Suppress with `// fbe-lint: allow(api-symmetry): <reason>` on the
+//! `pub fn` line (check 1); check 2 has no sensible suppression —
+//! update the README.
+
+use crate::findings::Finding;
+use crate::rules::is_ident;
+use crate::walk::Analysis;
+use std::collections::BTreeSet;
+
+/// Rule identifier.
+pub const NAME: &str = "api-symmetry";
+
+/// Crates held to the `_with` pairing convention.
+const WITH_SCOPES: &[&str] = &["crates/core/src/", "crates/bigraph/src/"];
+
+/// Where the protocol match lives.
+const PROTOCOL: &str = "crates/service/src/protocol.rs";
+
+/// Extract the function name declared by `pub fn NAME...` on `code`,
+/// if any (only plain `pub` counts as public API).
+fn pub_fn_name(code: &str) -> Option<&str> {
+    let at = code.find("pub fn ")?;
+    // `pub(crate) fn` etc. would not match "pub fn ".
+    let rest = code[at + "pub fn ".len()..].trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !is_ident(c))
+        .map_or(rest.len(), |(i, _)| i);
+    let name = &rest[..end];
+    // Require the declaration shape (generics or parameter list).
+    let after = rest[end..].trim_start();
+    if !name.is_empty() && (after.starts_with('(') || after.starts_with('<')) {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Verbs matched by `parse_request`: string-literal match arms that
+/// are all-uppercase, taken from the raw lines (string contents are
+/// scrubbed out of the code channel on purpose).
+fn protocol_verbs(analysis: &Analysis) -> Option<(BTreeSet<String>, usize)> {
+    let file = analysis.file(PROTOCOL)?;
+    let mut verbs = BTreeSet::new();
+    let mut anchor = 1;
+    for (idx, raw) in file.scrub.raw.iter().enumerate() {
+        // Pattern: "VERB" =>
+        let mut rest = raw.as_str();
+        while let Some(q0) = rest.find('"') {
+            let tail = &rest[q0 + 1..];
+            let Some(q1) = tail.find('"') else { break };
+            let lit = &tail[..q1];
+            let after = tail[q1 + 1..].trim_start();
+            if !lit.is_empty()
+                && lit.chars().all(|c| c.is_ascii_uppercase())
+                && after.starts_with("=>")
+            {
+                verbs.insert(lit.to_string());
+                anchor = idx + 1;
+            }
+            rest = &tail[q1 + 1..];
+        }
+    }
+    Some((verbs, anchor))
+}
+
+/// Verbs documented in the README: first token of each line of the
+/// fenced grammar block following the `### Protocol` heading, kept
+/// when all-uppercase.
+fn readme_verbs(readme: &[String]) -> Option<BTreeSet<String>> {
+    let start = readme.iter().position(|l| l.contains("### Protocol"))?;
+    let fence = readme[start..]
+        .iter()
+        .position(|l| l.trim_start().starts_with("```"))?
+        + start;
+    let mut verbs = BTreeSet::new();
+    for line in &readme[fence + 1..] {
+        if line.trim_start().starts_with("```") {
+            break;
+        }
+        if let Some(tok) = line.split_whitespace().next() {
+            if !tok.is_empty()
+                && tok
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() && c.is_ascii_alphabetic())
+            {
+                verbs.insert(tok.to_string());
+            }
+        }
+    }
+    Some(verbs)
+}
+
+/// Run the rule.
+pub fn check(analysis: &Analysis, findings: &mut Vec<Finding>) {
+    // (1) *_with pairing, per crate.
+    for scope in WITH_SCOPES {
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        let mut with_sites: Vec<(String, usize, String)> = Vec::new();
+        for file in analysis.under(scope) {
+            for (idx, line) in file.scrub.lines.iter().enumerate() {
+                if let Some(name) = pub_fn_name(&line.code) {
+                    names.insert(name.to_string());
+                    if let Some(base) = name.strip_suffix("_with") {
+                        if !base.is_empty() {
+                            with_sites.push((file.path.clone(), idx + 1, base.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        for (path, line, base) in with_sites {
+            if !names.contains(&base) {
+                findings.push(Finding::new(
+                    NAME,
+                    &path,
+                    line,
+                    format!(
+                        "`pub fn {base}_with` has no matching `pub fn {base}` \
+                         in {scope}: add the default-substrate wrapper or \
+                         rename the driver to pair with an existing entry point"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // (2) protocol verbs vs README grammar.
+    let Some((matched, anchor)) = protocol_verbs(analysis) else {
+        return; // partial tree without the service crate: nothing to check
+    };
+    let Some(documented) = readme_verbs(&analysis.readme) else {
+        findings.push(Finding::new(
+            NAME,
+            PROTOCOL,
+            1,
+            "README has no `### Protocol` grammar block to diff the verb set against",
+        ));
+        return;
+    };
+    for verb in matched.difference(&documented) {
+        findings.push(Finding::new(
+            NAME,
+            PROTOCOL,
+            anchor,
+            format!("protocol verb `{verb}` is matched by parse_request but missing from the README grammar"),
+        ));
+    }
+    for verb in documented.difference(&matched) {
+        findings.push(Finding::new(
+            NAME,
+            PROTOCOL,
+            anchor,
+            format!("README documents verb `{verb}` but parse_request does not match it"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pub_fn_extraction() {
+        assert_eq!(pub_fn_name("pub fn foo_with("), Some("foo_with"));
+        assert_eq!(pub_fn_name("    pub fn foo<T: Clone>(x: T)"), Some("foo"));
+        assert_eq!(pub_fn_name("pub(crate) fn hidden("), None);
+        assert_eq!(pub_fn_name("fn private("), None);
+        assert_eq!(pub_fn_name("pub fn"), None);
+    }
+
+    #[test]
+    fn readme_grammar_parsing() {
+        let readme: Vec<String> = [
+            "## Service",
+            "### Protocol",
+            "Text.",
+            "```text",
+            "PING",
+            "LOAD <name> <path>",
+            "ENUM <graph> alpha=A",
+            "     [continuation]",
+            "```",
+            "After.",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let verbs = readme_verbs(&readme).unwrap();
+        assert_eq!(
+            verbs.iter().cloned().collect::<Vec<_>>(),
+            vec!["ENUM", "LOAD", "PING"]
+        );
+        assert!(readme_verbs(&["no protocol".to_string()]).is_none());
+    }
+}

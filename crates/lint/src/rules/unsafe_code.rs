@@ -1,0 +1,100 @@
+//! `forbid-unsafe` — crates that are safe today stay safe tomorrow.
+//!
+//! # Rationale
+//!
+//! The entire workspace is currently written in safe Rust (the
+//! accelerator substrate uses `u64` words and popcounts, not SIMD
+//! intrinsics). That is a property worth pinning: with
+//! `#![forbid(unsafe_code)]` in the crate root, a future PR that
+//! introduces `unsafe` must *also* visibly remove the attribute,
+//! turning a silent soundness surface into a reviewable decision.
+//!
+//! The rule counts `unsafe` tokens in each crate's sources (comment-
+//! and string-aware, so prose about unsafety does not count). A crate
+//! with zero tokens must carry `#![forbid(unsafe_code)]` in its root
+//! (`src/lib.rs` / `src/main.rs`); a crate with genuine `unsafe` is
+//! left alone — the compiler already forces those blocks to be
+//! scrutinized.
+
+use crate::findings::Finding;
+use crate::rules::token_positions;
+use crate::walk::Analysis;
+use std::collections::BTreeMap;
+
+/// Rule identifier.
+pub const NAME: &str = "forbid-unsafe";
+
+/// Crate-root files: `<dir>/src/lib.rs` or `<dir>/src/main.rs`.
+fn root_of(path: &str) -> Option<&str> {
+    if path.ends_with("/src/lib.rs") || path.ends_with("/src/main.rs") {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// The `<dir>/src/` prefix of a source path.
+fn src_prefix(path: &str) -> Option<&str> {
+    path.find("/src/").map(|i| &path[..i + "/src/".len()])
+}
+
+/// Run the rule.
+pub fn check(analysis: &Analysis, findings: &mut Vec<Finding>) {
+    // Count unsafe tokens per src tree.
+    let mut unsafe_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for file in &analysis.files {
+        let Some(prefix) = src_prefix(&file.path) else {
+            continue;
+        };
+        let n: usize = file
+            .scrub
+            .lines
+            .iter()
+            .map(|l| token_positions(&l.code, "unsafe").len())
+            .sum();
+        *unsafe_counts.entry(prefix).or_insert(0) += n;
+    }
+    for file in &analysis.files {
+        let Some(root) = root_of(&file.path) else {
+            continue;
+        };
+        let prefix = match src_prefix(root) {
+            Some(p) => p,
+            None => continue,
+        };
+        if unsafe_counts.get(prefix).copied().unwrap_or(0) > 0 {
+            continue; // genuine unsafe: the attribute cannot be added
+        }
+        let has_forbid = file
+            .scrub
+            .lines
+            .iter()
+            .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+        if !has_forbid {
+            findings.push(Finding::new(
+                NAME,
+                &file.path,
+                1,
+                "crate has zero `unsafe` tokens but its root lacks \
+                 `#![forbid(unsafe_code)]`: pin the safety property",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_and_prefix_detection() {
+        assert!(root_of("crates/core/src/lib.rs").is_some());
+        assert!(root_of("crates/cli/src/main.rs").is_some());
+        assert!(root_of("crates/core/src/mbea.rs").is_none());
+        assert_eq!(
+            src_prefix("crates/core/src/mbea.rs"),
+            Some("crates/core/src/")
+        );
+        assert_eq!(src_prefix("README.md"), None);
+    }
+}

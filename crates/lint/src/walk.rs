@@ -1,0 +1,147 @@
+//! Workspace discovery: which files the linter reads, and the
+//! in-memory analysis that rules run over.
+
+use crate::lexer::{scrub, ScrubbedFile};
+use std::path::{Path, PathBuf};
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Scrubbed source (code / comment / raw channels).
+    pub scrub: ScrubbedFile,
+    /// Per-line: true inside `#[cfg(test)]`-gated items.
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Build from a path label and source text.
+    pub fn parse(path: impl Into<String>, src: &str) -> SourceFile {
+        let scrub = scrub(src);
+        let test_mask = scrub.test_region_mask();
+        SourceFile {
+            path: path.into(),
+            scrub,
+            test_mask,
+        }
+    }
+
+    /// True when 1-indexed `line` is inside a `#[cfg(test)]` region.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_mask.get(line.wrapping_sub(1)).copied() == Some(true)
+    }
+}
+
+/// Everything the rules see: the scanned Rust sources plus the README
+/// (for the protocol-grammar symmetry check).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All scanned files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// README raw lines, when present.
+    pub readme: Vec<String>,
+}
+
+impl Analysis {
+    /// Files whose path starts with `prefix`.
+    pub fn under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SourceFile> {
+        self.files
+            .iter()
+            .filter(move |f| f.path.starts_with(prefix))
+    }
+
+    /// The file at exactly `path`, if scanned.
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+/// Directories scanned for Rust sources, relative to the workspace
+/// root. `vendor/` (third-party stand-ins) and generated `target/`
+/// trees are deliberately absent.
+pub const SCAN_ROOTS: &[&str] = &["crates", "tests/src", "tests/tests", "examples"];
+
+fn push_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            push_rs_files(&p, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the workspace at `root` into an [`Analysis`]. Unreadable
+/// scan roots are skipped (a partial checkout still lints); an
+/// unreadable individual file is an error.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let mut paths = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            push_rs_files(&dir, &mut paths)?;
+        }
+    }
+    let mut analysis = Analysis::default();
+    for p in paths {
+        let src = std::fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        analysis.files.push(SourceFile::parse(rel, &src));
+    }
+    analysis.files.sort_by(|a, b| a.path.cmp(&b.path));
+    if let Ok(readme) = std::fs::read_to_string(root.join("README.md")) {
+        analysis.readme = readme.lines().map(str::to_string).collect();
+    }
+    Ok(analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_file_tracks_test_regions() {
+        let f = SourceFile::parse("x.rs", "fn a() {}\n#[cfg(test)]\nmod t {\n  fn b() {}\n}\n");
+        assert!(!f.in_test(1));
+        assert!(f.in_test(3));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(99));
+    }
+
+    #[test]
+    fn analysis_filters_by_prefix() {
+        let mut a = Analysis::default();
+        a.files.push(SourceFile::parse("crates/core/src/a.rs", ""));
+        a.files.push(SourceFile::parse("crates/cli/src/b.rs", ""));
+        assert_eq!(a.under("crates/core/").count(), 1);
+        assert!(a.file("crates/cli/src/b.rs").is_some());
+        assert!(a.file("nope.rs").is_none());
+    }
+
+    #[test]
+    fn scan_finds_this_crate() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let a = scan_workspace(&root).expect("scan");
+        assert!(a.file("crates/lint/src/walk.rs").is_some());
+        assert!(
+            a.files.iter().all(|f| !f.path.starts_with("vendor/")),
+            "vendor is excluded"
+        );
+        assert!(!a.readme.is_empty(), "README scanned");
+    }
+}

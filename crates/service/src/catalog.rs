@@ -1,6 +1,7 @@
 //! The graph catalog: named graphs loaded once, queried many times.
 
 use crate::protocol::GenSpec;
+use crate::sync::{read_unpoisoned, write_unpoisoned};
 use bigraph::BipartiteGraph;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,38 +54,30 @@ impl GraphCatalog {
     pub fn insert(&self, name: &str, graph: BipartiteGraph, source: String) -> Arc<GraphEntry> {
         let entry = Arc::new(GraphEntry {
             name: name.to_string(),
+            // The epoch only needs to be unique per insert — the map's
+            // write lock below is what publishes the entry to others.
+            // lint: ordering: uniqueness, not synchronization
             epoch: self.epoch.fetch_add(1, Ordering::Relaxed),
             graph,
             source,
         });
-        self.graphs
-            .write()
-            .expect("catalog poisoned")
-            .insert(name.to_string(), Arc::clone(&entry));
+        write_unpoisoned(&self.graphs).insert(name.to_string(), Arc::clone(&entry));
         entry
     }
 
     /// Look up `name`.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
-        self.graphs
-            .read()
-            .expect("catalog poisoned")
-            .get(name)
-            .cloned()
+        read_unpoisoned(&self.graphs).get(name).cloned()
     }
 
     /// Remove `name`; true when it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.graphs
-            .write()
-            .expect("catalog poisoned")
-            .remove(name)
-            .is_some()
+        write_unpoisoned(&self.graphs).remove(name).is_some()
     }
 
     /// Number of cataloged graphs.
     pub fn len(&self) -> usize {
-        self.graphs.read().expect("catalog poisoned").len()
+        read_unpoisoned(&self.graphs).len()
     }
 
     /// True when no graph is loaded.
@@ -94,9 +87,7 @@ impl GraphCatalog {
 
     /// Summaries in name order.
     pub fn summaries(&self) -> Vec<String> {
-        self.graphs
-            .read()
-            .expect("catalog poisoned")
+        read_unpoisoned(&self.graphs)
             .values()
             .map(|e| e.summary())
             .collect()

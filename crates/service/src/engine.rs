@@ -5,9 +5,11 @@ use crate::catalog::{generate, GraphCatalog, GraphEntry};
 use crate::metrics::{bump, Metrics};
 use crate::plan_cache::{PlanCache, PlanKey};
 use crate::protocol::{EnumMode, EnumOpts, Reply, Request};
+use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 use crate::ServiceConfig;
 use fair_biclique::config::{Budget, CancelToken, RunConfig, StopReason};
 use fair_biclique::prepared::{PreparedQuery, QueryModel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -54,7 +56,9 @@ struct AdmissionGuard<'a>(&'a Admission);
 
 impl Drop for AdmissionGuard<'_> {
     fn drop(&mut self) {
-        let mut st = self.0.state.lock().expect("admission poisoned");
+        // Also runs while unwinding out of a panicked query, so the
+        // worker slot is always returned.
+        let mut st = lock_unpoisoned(&self.0.state);
         st.active -= 1;
         drop(st);
         self.0.cv.notify_one();
@@ -75,7 +79,7 @@ impl Admission {
     /// query's deadline keeps ticking while it waits (and its queue
     /// slot is released the moment it expires).
     fn admit(&self, deadline_at: Option<Instant>) -> Result<AdmissionGuard<'_>, AdmitRefused> {
-        let mut st = self.state.lock().expect("admission poisoned");
+        let mut st = lock_unpoisoned(&self.state);
         if st.active >= self.workers {
             if st.waiting >= self.queue_depth {
                 return Err(AdmitRefused::Busy);
@@ -83,18 +87,14 @@ impl Admission {
             st.waiting += 1;
             while st.active >= self.workers {
                 match deadline_at {
-                    None => st = self.cv.wait(st).expect("admission poisoned"),
+                    None => st = wait_unpoisoned(&self.cv, st),
                     Some(d) => {
                         let remaining = d.saturating_duration_since(Instant::now());
                         if remaining.is_zero() {
                             st.waiting -= 1;
                             return Err(AdmitRefused::DeadlineExpired);
                         }
-                        st = self
-                            .cv
-                            .wait_timeout(st, remaining)
-                            .expect("admission poisoned")
-                            .0;
+                        st = wait_timeout_unpoisoned(&self.cv, st, remaining).0;
                     }
                 }
             }
@@ -152,7 +152,7 @@ impl Engine {
     /// Drop all cached plans (benchmarks use this to measure the cold
     /// path repeatedly).
     pub fn clear_plans(&self) {
-        self.plans.lock().expect("plan cache poisoned").clear();
+        lock_unpoisoned(&self.plans).clear();
     }
 
     /// Parse and execute one request line.
@@ -160,9 +160,39 @@ impl Engine {
         if self.is_shutdown() {
             return Outcome::Reply(Reply::err("SHUTDOWN", "server is stopping"));
         }
+        // Deliberate fault injection for resilience tests; not a
+        // protocol verb (absent from parse_request and the README
+        // grammar) and inert unless `debug_commands` is enabled.
+        if self.cfg.debug_commands && line.trim().eq_ignore_ascii_case("CRASH") {
+            // fbe-lint: allow(no-panic-paths): CRASH exists to panic — it proves the server degrades to ERR INTERNAL instead of wedging
+            let crash = || -> Outcome { panic!("CRASH debug command") };
+            return self.recovered(catch_unwind(AssertUnwindSafe(crash)));
+        }
         match crate::protocol::parse_request(line) {
             Err(reply) => Outcome::Reply(reply),
-            Ok(req) => self.handle(req),
+            Ok(req) => self.recovered(catch_unwind(AssertUnwindSafe(|| self.handle(req)))),
+        }
+    }
+
+    /// Map a panicked request to `ERR INTERNAL` so one buggy (or
+    /// deliberately crashed) query degrades into an error reply on its
+    /// own connection instead of killing the connection thread and —
+    /// via lock poisoning — every request after it. The locks the
+    /// panic may have poisoned are all recovered by [`crate::sync`]'s
+    /// helpers at their next use.
+    fn recovered(&self, result: std::thread::Result<Outcome>) -> Outcome {
+        match result {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                bump(&self.metrics.queries_err);
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Outcome::Reply(Reply::err("INTERNAL", format!("request panicked: {what}")))
+            }
         }
     }
 
@@ -180,10 +210,7 @@ impl Engine {
                 Outcome::Reply(r)
             }
             Request::Drop { name } => Outcome::Reply(if self.catalog.remove(&name) {
-                self.plans
-                    .lock()
-                    .expect("plan cache poisoned")
-                    .invalidate_graph(&name);
+                lock_unpoisoned(&self.plans).invalidate_graph(&name);
                 Reply::ok(format!("dropped={name}"))
             } else {
                 Reply::err("NOGRAPH", format!("no graph named {name:?}"))
@@ -199,7 +226,7 @@ impl Engine {
                 Outcome::Reply(Reply::ok(self.catalog_insert(&name, g, source).summary()))
             }
             Request::Stats => {
-                let plans = self.plans.lock().expect("plan cache poisoned");
+                let plans = lock_unpoisoned(&self.plans);
                 let mut r = Reply::ok(format!(
                     "graphs={} plans={} plan_bytes={}",
                     self.catalog.len(),
@@ -234,10 +261,7 @@ impl Engine {
         // name is now an unreachable old-epoch plan. (A query racing
         // the replacement may momentarily lose a fresh plan too — it
         // is simply re-prepared on next use.)
-        self.plans
-            .lock()
-            .expect("plan cache poisoned")
-            .invalidate_graph(name);
+        lock_unpoisoned(&self.plans).invalidate_graph(name);
         bump(&self.metrics.graphs_loaded);
         entry
     }
@@ -251,7 +275,7 @@ impl Engine {
         opts: &EnumOpts,
     ) -> (Arc<PreparedQuery>, bool) {
         let key = PlanKey::new(&entry.name, entry.epoch, model, opts.substrate);
-        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+        if let Some(plan) = lock_unpoisoned(&self.plans).get(&key) {
             bump(&self.metrics.plan_cache_hits);
             return (plan, true);
         }
@@ -266,10 +290,7 @@ impl Engine {
             Default::default(),
             opts.substrate,
         ));
-        self.plans
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(key, Arc::clone(&plan));
+        lock_unpoisoned(&self.plans).insert(key, Arc::clone(&plan));
         (plan, false)
     }
 
@@ -603,5 +624,34 @@ mod tests {
             .reply()
             .status
             .starts_with("ERR IO"));
+    }
+
+    #[test]
+    fn crash_hook_is_gated_behind_debug_commands() {
+        // Off by default: CRASH is just an unknown verb.
+        let e = engine();
+        assert!(e
+            .handle_line("CRASH")
+            .reply()
+            .status
+            .starts_with("ERR BADCMD"));
+
+        // Enabled: it panics inside the handler, degrades to
+        // ERR INTERNAL, and the engine keeps answering.
+        let e = Engine::new(ServiceConfig {
+            debug_commands: true,
+            ..ServiceConfig::default()
+        });
+        let r = e.handle_line("CRASH");
+        assert!(
+            r.reply().status.starts_with("ERR INTERNAL"),
+            "{}",
+            r.reply().status
+        );
+        assert!(r.reply().status.contains("CRASH debug command"));
+        assert_eq!(ok_status(&e.handle_line("PING")), "OK pong");
+        e.handle_line("GEN g uniform:12,12,60,1");
+        let o = e.handle_line("ENUM g ssfbc alpha=1 beta=1 delta=1");
+        assert!(ok_status(&o).contains("count="));
     }
 }

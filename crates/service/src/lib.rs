@@ -26,6 +26,7 @@
 //! by the offline [`batch`] runner reading from a file or stdin.
 //! `fbe serve` / `fbe batch` in the CLI crate wrap these.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -35,6 +36,7 @@ pub mod metrics;
 pub mod plan_cache;
 pub mod protocol;
 pub mod server;
+pub mod sync;
 
 /// Tunables of a service instance.
 #[derive(Debug, Clone)]
@@ -49,6 +51,11 @@ pub struct ServiceConfig {
     /// Result cap applied to collecting queries that do not pass their
     /// own `limit=` (protects the server from unbounded result sets).
     pub default_result_limit: u64,
+    /// Enable debug-only commands (currently `CRASH`, which panics
+    /// inside the request handler so resilience tests can prove the
+    /// server answers `ERR INTERNAL` and keeps serving). Off by
+    /// default; not part of the public protocol.
+    pub debug_commands: bool,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +65,7 @@ impl Default for ServiceConfig {
             queue_depth: 16,
             plan_cache_capacity: 32,
             default_result_limit: 1000,
+            debug_commands: false,
         }
     }
 }

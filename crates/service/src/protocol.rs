@@ -35,6 +35,11 @@
 //! | `BUSY`     | admission refused: workers and queue are full   |
 //! | `IO`       | loading a graph from disk failed                |
 //! | `SHUTDOWN` | server is stopping; command not accepted        |
+//! | `INTERNAL` | the request handler panicked; the query failed  |
+//!
+//! `INTERNAL` is a degradation, not a protocol state: the engine
+//! catches the panic ([`crate::engine`]), answers the offending
+//! request with the error, and keeps serving every other connection.
 
 use fair_biclique::config::{FairParams, ProParams, Substrate};
 use fair_biclique::maximum::SizeMetric;

@@ -1,0 +1,92 @@
+//! Poison-recovering lock helpers.
+//!
+//! The service keeps serving after a query thread panics. `std`'s
+//! locks poison themselves when a holder panics, and the easy
+//! `.lock().unwrap()` turns that one crashed query into a permanently
+//! wedged server: every later request panics on the poisoned lock.
+//!
+//! Recovery is sound here because every structure these locks protect
+//! is mutated only through single, self-contained std-collection calls
+//! (`BTreeMap::insert`/`remove`, plan-cache `insert`/`get`, counter
+//! bumps): a panic while the lock is held cannot leave a half-applied
+//! update behind, so the data under a poisoned lock is still
+//! internally consistent and safe to keep using. Each helper therefore
+//! takes the guard out of the `PoisonError` and carries on
+//! ([`PoisonError::into_inner`]).
+//!
+//! If a future change ever holds one of these locks across a
+//! multi-step mutation, that call site must stop using these helpers
+//! and handle poisoning explicitly (e.g. rebuild the structure).
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+use std::time::Duration;
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-lock `l`, recovering the guard if a writer panicked.
+pub fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock `l`, recovering the guard if a holder panicked.
+pub fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`], recovering the guard on poison.
+pub fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`], recovering the guard on poison.
+pub fn wait_timeout_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn a_poisoned_mutex_is_recovered_with_its_data_intact() {
+        let m = Arc::new(Mutex::new(41u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let mut g = lock_unpoisoned(&m2);
+            *g += 1;
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned(), "the panic poisoned the mutex");
+        assert_eq!(*lock_unpoisoned(&m), 42, "data survives recovery");
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 43, "lock keeps working");
+    }
+
+    #[test]
+    fn a_poisoned_rwlock_is_recovered_for_readers_and_writers() {
+        let l = Arc::new(RwLock::new(vec![1u32, 2, 3]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = write_unpoisoned(&l2);
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(l.is_poisoned());
+        assert_eq!(read_unpoisoned(&l).len(), 3);
+        write_unpoisoned(&l).push(4);
+        assert_eq!(read_unpoisoned(&l).len(), 4);
+    }
+}

@@ -1,1 +1,2 @@
 //! Shared helpers for the example binaries (intentionally minimal).
+#![forbid(unsafe_code)]

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Produce a BENCH_<n>.json perf-trajectory snapshot.
+#
+#   ./scripts/bench_snapshot.sh 6        # writes BENCH_6.json
+#
+# Runs the four trajectory bench targets (micro, substrate_compare,
+# parallel_scaling, service_throughput) in release mode with the
+# vendored criterion stand-in's FBE_BENCH_JSON export enabled, then
+# assembles one JSON document with machine/thread metadata. Medians
+# are the headline statistic; mean/min ride along for context.
+#
+# Snapshots are committed so ROADMAP re-anchors can compare numbers
+# across PRs instead of trusting prose claims. They are measurements
+# of *this* machine at *this* commit — compare trajectories, not
+# absolute values across machines.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n="${1:?usage: bench_snapshot.sh <snapshot-number>}"
+out="BENCH_${n}.json"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+targets=(micro substrate_compare parallel_scaling service_throughput)
+for t in "${targets[@]}"; do
+    echo "== bench $t =="
+    FBE_BENCH_JSON="$tmp/$t.ndjson" cargo bench --bench "$t"
+done
+
+SNAPSHOT_N="$n" TMPDIR_NDJSON="$tmp" OUT="$out" python3 - <<'EOF'
+import json, os, platform, subprocess
+
+tmp = os.environ["TMPDIR_NDJSON"]
+doc = {
+    "schema": "fbe-bench-snapshot/1",
+    "snapshot": int(os.environ["SNAPSHOT_N"]),
+    "commit": subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True).stdout.strip(),
+    "machine": {
+        "os": platform.system().lower(),
+        "release": platform.release(),
+        "arch": platform.machine(),
+        "cpus": os.cpu_count(),
+        "rustc": subprocess.run(["rustc", "--version"],
+                                capture_output=True, text=True).stdout.strip(),
+    },
+    "statistic": ("criterion rows: median_ns headline (mean_ns/min_ns for context); "
+                  "table rows: the harness's native columns (seconds / q/s)"),
+    "benches": {},
+}
+for t in ["micro", "substrate_compare", "parallel_scaling", "service_throughput"]:
+    path = os.path.join(tmp, f"{t}.ndjson")
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    doc["benches"][t] = rows
+
+with open(os.environ["OUT"], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}: "
+      + ", ".join(f"{k}={len(v)}" for k, v in doc["benches"].items()))
+EOF

@@ -3,6 +3,8 @@
 //! (used to certify enumerator output on graphs too large for the
 //! brute-force oracles).
 
+#![forbid(unsafe_code)]
+
 use bigraph::{BipartiteGraph, Side, VertexId};
 use fair_biclique::biclique::Biclique;
 use fair_biclique::config::{FairParams, ProParams};

@@ -265,3 +265,45 @@ fn result_limits_truncate_collecting_queries() {
     c.ok("SHUTDOWN");
     handle.join().unwrap().unwrap();
 }
+
+#[test]
+fn a_crashed_query_degrades_to_err_internal_without_wedging_the_server() {
+    let (addr, handle) = start_server(ServiceConfig {
+        debug_commands: true,
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(&addr);
+    c.ok("GEN g uniform:16,16,90,5");
+
+    // A deliberately failed request panics inside the handler; the
+    // engine catches it and answers on the same connection.
+    let (status, payload) = c.cmd("CRASH");
+    assert!(status.starts_with("ERR INTERNAL"), "{status}");
+    assert!(payload.is_empty());
+
+    // The same connection keeps working, and queries still execute:
+    // the poisoned locks were recovered and no worker slot leaked.
+    let (status, _) = c.ok("PING");
+    assert_eq!(status, "OK pong");
+    let (status, first) = c.ok("ENUM g ssfbc alpha=1 beta=1 delta=1");
+    assert!(field(&status, "count").is_some(), "{status}");
+
+    // Crash repeatedly: every one degrades, none wedges.
+    for _ in 0..4 {
+        let (status, _) = c.cmd("CRASH");
+        assert!(status.starts_with("ERR INTERNAL"), "{status}");
+    }
+    let (_, again) = c.ok("ENUM g ssfbc alpha=1 beta=1 delta=1");
+    assert_eq!(again, first, "results are unchanged after the crashes");
+
+    // Other connections are unaffected too.
+    let mut c2 = Client::connect(&addr);
+    let (_, stats) = c2.ok("STATS");
+    assert!(
+        stat_value(&stats, "queries_err") >= 5,
+        "crashes are counted"
+    );
+
+    c2.ok("SHUTDOWN");
+    handle.join().unwrap().unwrap();
+}

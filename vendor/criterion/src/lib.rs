@@ -6,9 +6,17 @@
 //!
 //! Measurement model: one warm-up call calibrates an iteration count
 //! targeting ~`measurement_time` of wall clock per sample, then
-//! `sample_size` samples are timed and the mean/min per-iteration time
-//! is printed to stdout. No statistics beyond that, no HTML reports.
+//! `sample_size` samples are timed and the median/mean/min
+//! per-iteration time is printed to stdout. No statistics beyond
+//! that, no HTML reports.
+//!
+//! When the `FBE_BENCH_JSON` environment variable names a file, each
+//! benchmark additionally appends one NDJSON record to it:
+//! `{"id": ..., "median_ns": ..., "mean_ns": ..., "min_ns": ...,
+//! "iters": ..., "samples": ...}` — the hook the workspace's
+//! `BENCH_*.json` perf-trajectory snapshots are built from.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -98,19 +106,56 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     };
     f(&mut bencher);
     match bencher.result {
-        Some(m) => println!(
-            "{id:<40} time: [mean {:>12} min {:>12}]  ({} iters x {} samples)",
-            fmt_ns(m.mean_ns),
-            fmt_ns(m.min_ns),
-            m.iters,
-            m.samples,
-        ),
+        Some(m) => {
+            println!(
+                "{id:<40} time: [median {:>12} mean {:>12} min {:>12}]  ({} iters x {} samples)",
+                fmt_ns(m.median_ns),
+                fmt_ns(m.mean_ns),
+                fmt_ns(m.min_ns),
+                m.iters,
+                m.samples,
+            );
+            export_json(id, &m);
+        }
         None => println!("{id:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Append the measurement as one NDJSON line to `$FBE_BENCH_JSON`,
+/// when set. Failures are reported, not fatal — a read-only filesystem
+/// must not fail a benchmark run.
+fn export_json(id: &str, m: &Measurement) {
+    let Ok(path) = std::env::var("FBE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let record = format!(
+        "{{\"id\": \"{escaped}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}, \"samples\": {}}}\n",
+        m.median_ns, m.mean_ns, m.min_ns, m.iters, m.samples
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("criterion stand-in: appending to {path}: {e}");
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Measurement {
+    median_ns: f64,
     mean_ns: f64,
     min_ns: f64,
     iters: u64,
@@ -139,19 +184,23 @@ impl Bencher {
             self.sample_size.max(1)
         };
 
-        let mut mean_sum = 0.0f64;
-        let mut min_ns = f64::INFINITY;
+        let mut times = Vec::with_capacity(samples);
         for _ in 0..samples {
             let t = Instant::now();
             for _ in 0..iters {
                 black_box(f());
             }
-            let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
-            mean_sum += per_iter;
-            min_ns = min_ns.min(per_iter);
+            times.push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
+        let mean_ns = times.iter().sum::<f64>() / samples as f64;
+        let min_ns = times.iter().copied().fold(f64::INFINITY, f64::min);
+        times.sort_by(|a, b| a.total_cmp(b));
+        // Even sample counts take the lower middle: stable, and for
+        // timing distributions the conservative (faster) of the two.
+        let median_ns = times[(samples - 1) / 2];
         self.result = Some(Measurement {
-            mean_ns: mean_sum / samples as f64,
+            median_ns,
+            mean_ns,
             min_ns,
             iters,
             samples,
