@@ -64,7 +64,7 @@ cargo test -q
 # the smoke steps against the debug profile and skip the bench build
 # so no release compilation happens at all.
 if [[ $quick -eq 0 ]]; then
-    step "cargo bench --no-run (all 14 bench targets must compile)"
+    step "cargo bench --no-run (all 15 bench targets must compile)"
     cargo bench --no-run
     step "cargo bench --bench parallel_scaling --no-run (engine scaling target)"
     cargo bench --bench parallel_scaling --no-run
@@ -114,11 +114,14 @@ cargo run "${profile_flag[@]}" --bin fbe -- \
     --substrate bitset --threads 4 > "$smokedir/bit4.out"
 diff "$smokedir/sv.out" "$smokedir/bit4.out"
 
-step "smoke: fbe serve — scripted loopback session (cache hit + shutdown)"
+step "smoke: fbe serve — scripted session (cache hit + mutations + shutdown)"
 # The smoke graph from above is reused; the server picks an ephemeral
 # port and prints it, the client script LOADs, runs the same query
-# twice (the second must come from the plan cache), checks STATS, and
-# shuts the server down. Any hang fails via the bounded wait loops.
+# twice (the second must come from the plan cache), mutates the graph
+# through the dynamic verbs (a pendant edge on a fresh vertex never
+# meets alpha=2, so the cached plan must survive every update), checks
+# STATS, and shuts the server down. Any hang fails via the bounded
+# wait loops.
 "$bindir/fbe" serve --port 0 --workers 2 > "$smokedir/serve.log" &
 serve_pid=$!
 addr=""
@@ -132,13 +135,25 @@ cat > "$smokedir/session.fbe" <<EOF
 LOAD g $smokedir/g
 ENUM g ssfbc alpha=2 beta=1 delta=1
 ENUM g ssfbc alpha=2 beta=1 delta=1
+ADDVERTEX g lower attr=0
+ADDEDGE g 0 40
+DELEDGE g 0 40
+ENUM g ssfbc alpha=2 beta=1 delta=1
 STATS
 SHUTDOWN
 EOF
 "$bindir/fbe" batch --connect "$addr" "$smokedir/session.fbe" > "$smokedir/session.out"
 grep -q "cached=false" "$smokedir/session.out"
-grep -q "cached=true" "$smokedir/session.out"
-grep -q "^plan_cache_hits 1$" "$smokedir/session.out"
+grep -q "vertex=40" "$smokedir/session.out"
+grep -q "edges=301" "$smokedir/session.out"
+grep -q "edges=300" "$smokedir/session.out"
+# Both the repeat query and the post-mutation query hit the cache: all
+# three updates were provably outside the (2, 1) core.
+[[ $(grep -c "cached=true" "$smokedir/session.out") -eq 2 ]]
+[[ $(grep -c "plans_kept=1" "$smokedir/session.out") -eq 3 ]]
+grep -q "^plan_cache_hits 2$" "$smokedir/session.out"
+grep -q "^plan_cache_invalidated 0$" "$smokedir/session.out"
+grep -q "^updates_applied 3$" "$smokedir/session.out"
 grep -q "^OK bye$" "$smokedir/session.out"
 for _ in $(seq 1 100); do
     kill -0 "$serve_pid" 2>/dev/null || break

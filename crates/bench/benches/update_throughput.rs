@@ -1,0 +1,128 @@
+//! Dynamic-graph update throughput: incremental fair-core repair
+//! (`fair_biclique::incremental::CoreTracker`) vs recomputing the
+//! core from scratch after every edit, plus the full service verb
+//! path (`ADDEDGE`/`DELEDGE` through the engine: CSR splice + repair
+//! + surgical plan-cache sweep).
+//!
+//! Run: `cargo bench --bench update_throughput` (`-- --quick` for a
+//! reduced iteration count).
+
+use bigraph::generate::random_uniform;
+use bigraph::{BipartiteGraph, VertexId};
+use fair_biclique::fcore::fcore_masks;
+use fair_biclique::incremental::CoreTracker;
+use fbe_service::engine::Engine;
+use fbe_service::ServiceConfig;
+use std::time::Instant;
+
+fn ups(n: u32, total: std::time::Duration) -> f64 {
+    n as f64 / total.as_secs_f64().max(1e-9)
+}
+
+/// Deterministic xorshift so both strategies replay the same script.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Apply `steps` random edge flips, repairing the tracked core
+/// incrementally after each one.
+fn run_incremental(start: &BipartiteGraph, steps: u32, seed: u64) -> f64 {
+    let mut g = start.clone();
+    let mut tracker = CoreTracker::new(&g, 2, 2);
+    let mut rng = seed;
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        let u = (xorshift(&mut rng) % g.n_upper() as u64) as VertexId;
+        let v = (xorshift(&mut rng) % g.n_lower() as u64) as VertexId;
+        if g.has_edge(u, v) {
+            let g2 = g.without_edge(u, v).expect("edge removal");
+            tracker.remove_edge(&g2, u, v);
+            g = g2;
+        } else {
+            let g2 = g.with_edge(u, v).expect("edge insertion");
+            tracker.add_edge(&g2, u, v);
+            g = g2;
+        }
+    }
+    ups(steps, t0.elapsed())
+}
+
+/// The same script, but peeling the core from scratch after each
+/// splice — what a service without incremental maintenance pays.
+fn run_scratch(start: &BipartiteGraph, steps: u32, seed: u64) -> f64 {
+    let mut g = start.clone();
+    let mut rng = seed;
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        let u = (xorshift(&mut rng) % g.n_upper() as u64) as VertexId;
+        let v = (xorshift(&mut rng) % g.n_lower() as u64) as VertexId;
+        g = if g.has_edge(u, v) {
+            g.without_edge(u, v).expect("edge removal")
+        } else {
+            g.with_edge(u, v).expect("edge insertion")
+        };
+        let _ = fcore_masks(&g, 2, 2);
+    }
+    ups(steps, t0.elapsed())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let steps: u32 = if quick { 100 } else { 1000 };
+    println!("=== Dynamic-graph update throughput (updates/s, core at (2, 2)) ===");
+    println!(
+        "{:<28} {:>14} {:>14} {:>8}",
+        "case", "incremental", "scratch", "speedup"
+    );
+    for (nu, nv, m) in [(200usize, 200usize, 2_000usize), (800, 800, 9_600)] {
+        let label = format!("uniform {nu}x{nv} m={m}");
+        let g = random_uniform(nu, nv, m, 2, 2, 7);
+        let inc = run_incremental(&g, steps, 0xfbe7);
+        let scratch = run_scratch(&g, steps.min(200), 0xfbe7);
+        println!(
+            "{label:<28} {inc:>14.0} {scratch:>14.0} {:>7.1}x",
+            inc / scratch.max(1e-9)
+        );
+        fbe_bench::export_json_record(
+            &format!("update_throughput/{label}"),
+            &[("incremental_ups", inc), ("scratch_ups", scratch)],
+        );
+    }
+
+    // Full verb path through the engine: pendant edge on a fresh
+    // vertex flipped on and off. Every update is clean for the primed
+    // (2, 1) plan, so this measures splice + repair + the surgical
+    // sweep that keeps the plan alive.
+    let engine = Engine::new(ServiceConfig::default());
+    assert!(engine
+        .handle_line("GEN u uniform:500,500,6000,7")
+        .reply()
+        .is_ok());
+    assert!(engine
+        .handle_line("ENUM u ssfbc alpha=2 beta=1 delta=1 count-only")
+        .reply()
+        .is_ok());
+    assert!(engine
+        .handle_line("ADDVERTEX u lower attr=0")
+        .reply()
+        .is_ok());
+    let t0 = Instant::now();
+    for i in 0..steps {
+        let verb = if i % 2 == 0 { "ADDEDGE" } else { "DELEDGE" };
+        let outcome = engine.handle_line(&format!("{verb} u 0 500"));
+        let reply = outcome.reply();
+        assert!(reply.is_ok(), "{}", reply.status);
+    }
+    let verb_ups = ups(steps, t0.elapsed());
+    println!(
+        "{:<28} {:>14.0} {:>14} {:>8}",
+        "engine verb path (clean)", verb_ups, "-", "-"
+    );
+    fbe_bench::export_json_record(
+        "update_throughput/engine verb path (clean)",
+        &[("incremental_ups", verb_ups)],
+    );
+}

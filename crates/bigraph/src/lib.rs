@@ -23,6 +23,9 @@
 //! * [`generate`] — seeded synthetic generators (uniform, Chung–Lu
 //!   power-law, planted bicliques) standing in for the KONECT corpora.
 //! * [`io`] — edge-list / attribute-file readers and writers.
+//! * [`mutate`] — single-update CSR splices (`with_edge` /
+//!   `without_edge` / `with_vertex`) backing the service's dynamic
+//!   graph verbs.
 //! * [`subgraph`] — induced subgraphs and edge sampling (scalability
 //!   experiments).
 //! * [`stats`] — degree and density statistics (Table I of the paper).
@@ -46,6 +49,7 @@ pub mod coloring;
 pub mod generate;
 pub mod graph;
 pub mod io;
+pub mod mutate;
 pub mod stats;
 pub mod subgraph;
 pub mod twohop;
@@ -54,6 +58,7 @@ pub mod unigraph;
 pub use builder::{BuildError, GraphBuilder};
 pub use candidate::{AdjOps, BitRows, CandidateOps, CandidatePlan, Substrate};
 pub use graph::{AttrValueId, BipartiteGraph, Side, VertexId};
+pub use mutate::MutateError;
 pub use unigraph::UniGraph;
 
 /// Intersect two ascending-sorted slices, appending the common elements

@@ -1,0 +1,283 @@
+//! Single-update mutations of [`BipartiteGraph`].
+//!
+//! The graph is immutable CSR; a dynamic workload (the service's
+//! `ADDEDGE` / `DELEDGE` / `ADDVERTEX` verbs) produces a **new** graph
+//! per update so readers of the old generation stay consistent. The
+//! mutation is a CSR splice — one `Vec::insert`/`remove` in each
+//! direction's adjacency plus an offset shift — which is `O(|E|)`
+//! memmove but avoids the sort/dedup/validate of a full
+//! [`crate::GraphBuilder`] rebuild, and preserves the sorted-adjacency
+//! invariant by construction.
+
+use crate::graph::{AttrValueId, BipartiteGraph, Side, SideStore, VertexId};
+
+/// Errors raised by the single-update mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateError {
+    /// An endpoint id is not a vertex of the graph.
+    VertexOutOfRange {
+        /// Side of the offending id.
+        side: Side,
+        /// The offending id.
+        vertex: VertexId,
+        /// Number of vertices on that side.
+        n: usize,
+    },
+    /// `with_edge` on an edge that is already present.
+    EdgeExists(VertexId, VertexId),
+    /// `without_edge` on an edge that is not present.
+    EdgeMissing(VertexId, VertexId),
+    /// `with_vertex` with an attribute outside the declared domain.
+    AttrOutOfDomain {
+        /// Side of the new vertex.
+        side: Side,
+        /// The out-of-domain attribute value.
+        attr: AttrValueId,
+    },
+    /// The side would exceed `u32` vertex ids.
+    TooManyVertices,
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutateError::VertexOutOfRange { side, vertex, n } => {
+                write!(f, "vertex {vertex} out of range on side {side} (n={n})")
+            }
+            MutateError::EdgeExists(u, v) => write!(f, "edge ({u},{v}) already exists"),
+            MutateError::EdgeMissing(u, v) => write!(f, "edge ({u},{v}) does not exist"),
+            MutateError::AttrOutOfDomain { side, attr } => {
+                write!(f, "attribute {attr} outside the domain of side {side}")
+            }
+            MutateError::TooManyVertices => f.write_str("vertex count exceeds u32 id space"),
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+impl SideStore {
+    /// Splice `dst` into `src`'s sorted neighbor list. Returns false
+    /// when already present.
+    fn insert_neighbor(&mut self, src: VertexId, dst: VertexId) -> bool {
+        let (lo, hi) = (self.offsets[src as usize], self.offsets[src as usize + 1]);
+        match self.adj[lo..hi].binary_search(&dst) {
+            Ok(_) => false,
+            Err(at) => {
+                self.adj.insert(lo + at, dst);
+                for off in &mut self.offsets[src as usize + 1..] {
+                    *off += 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// Splice `dst` out of `src`'s sorted neighbor list. Returns false
+    /// when absent.
+    fn remove_neighbor(&mut self, src: VertexId, dst: VertexId) -> bool {
+        let (lo, hi) = (self.offsets[src as usize], self.offsets[src as usize + 1]);
+        match self.adj[lo..hi].binary_search(&dst) {
+            Err(_) => false,
+            Ok(at) => {
+                self.adj.remove(lo + at);
+                for off in &mut self.offsets[src as usize + 1..] {
+                    *off -= 1;
+                }
+                true
+            }
+        }
+    }
+}
+
+impl BipartiteGraph {
+    fn check_endpoints(&self, u: VertexId, v: VertexId) -> Result<(), MutateError> {
+        if (u as usize) >= self.n_upper() {
+            return Err(MutateError::VertexOutOfRange {
+                side: Side::Upper,
+                vertex: u,
+                n: self.n_upper(),
+            });
+        }
+        if (v as usize) >= self.n_lower() {
+            return Err(MutateError::VertexOutOfRange {
+                side: Side::Lower,
+                vertex: v,
+                n: self.n_lower(),
+            });
+        }
+        Ok(())
+    }
+
+    /// A new graph with edge `(u, v)` added. `O(|E|)`.
+    pub fn with_edge(&self, u: VertexId, v: VertexId) -> Result<BipartiteGraph, MutateError> {
+        self.check_endpoints(u, v)?;
+        if self.has_edge(u, v) {
+            return Err(MutateError::EdgeExists(u, v));
+        }
+        let mut g = self.clone();
+        g.upper.insert_neighbor(u, v);
+        g.lower.insert_neighbor(v, u);
+        debug_assert_eq!(g.validate(), Ok(()));
+        Ok(g)
+    }
+
+    /// A new graph with edge `(u, v)` removed. `O(|E|)`.
+    pub fn without_edge(&self, u: VertexId, v: VertexId) -> Result<BipartiteGraph, MutateError> {
+        self.check_endpoints(u, v)?;
+        if !self.has_edge(u, v) {
+            return Err(MutateError::EdgeMissing(u, v));
+        }
+        let mut g = self.clone();
+        g.upper.remove_neighbor(u, v);
+        g.lower.remove_neighbor(v, u);
+        debug_assert_eq!(g.validate(), Ok(()));
+        Ok(g)
+    }
+
+    /// A new graph with one isolated vertex appended to `side`,
+    /// carrying `attr`. Returns the new graph and the new vertex's id
+    /// (always `n(side)` of the old graph). `O(1)` amortized over the
+    /// cloned arrays.
+    pub fn with_vertex(
+        &self,
+        side: Side,
+        attr: AttrValueId,
+    ) -> Result<(BipartiteGraph, VertexId), MutateError> {
+        let dom = self.n_attr_values(side);
+        if dom > 0 && attr >= dom {
+            return Err(MutateError::AttrOutOfDomain { side, attr });
+        }
+        if self.n(side) >= u32::MAX as usize {
+            return Err(MutateError::TooManyVertices);
+        }
+        let id = self.n(side) as VertexId;
+        let mut g = self.clone();
+        let store = match side {
+            Side::Upper => &mut g.upper,
+            Side::Lower => &mut g.lower,
+        };
+        store.attrs.push(attr);
+        let end = *store.offsets.last().unwrap_or(&0);
+        store.offsets.push(end);
+        debug_assert_eq!(g.validate(), Ok(()));
+        Ok((g, id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_uniform;
+    use crate::GraphBuilder;
+
+    /// Rebuild-from-scratch oracle for an edge set.
+    fn rebuilt(g: &BipartiteGraph, edges: &[(VertexId, VertexId)]) -> BipartiteGraph {
+        let mut b = GraphBuilder::new(g.n_attr_values(Side::Upper), g.n_attr_values(Side::Lower));
+        b.ensure_vertices(g.n_upper(), g.n_lower());
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.set_attrs_upper(g.attrs(Side::Upper));
+        b.set_attrs_lower(g.attrs(Side::Lower));
+        b.build().unwrap()
+    }
+
+    fn same_graph(a: &BipartiteGraph, b: &BipartiteGraph) -> bool {
+        a.n_upper() == b.n_upper()
+            && a.n_lower() == b.n_lower()
+            && a.attrs(Side::Upper) == b.attrs(Side::Upper)
+            && a.attrs(Side::Lower) == b.attrs(Side::Lower)
+            && a.edges().collect::<Vec<_>>() == b.edges().collect::<Vec<_>>()
+            && (0..a.n_lower() as VertexId)
+                .all(|v| a.neighbors(Side::Lower, v) == b.neighbors(Side::Lower, v))
+    }
+
+    #[test]
+    fn add_and_remove_match_rebuild() {
+        let g = random_uniform(10, 12, 40, 2, 2, 5);
+        let mut edges: Vec<_> = g.edges().collect();
+        // Find a non-edge to add.
+        let (u, v) = (0..10u32)
+            .flat_map(|u| (0..12u32).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(u, v))
+            .unwrap();
+        let added = g.with_edge(u, v).unwrap();
+        added.validate().unwrap();
+        edges.push((u, v));
+        assert!(same_graph(&added, &rebuilt(&g, &edges)));
+
+        let removed = added.without_edge(u, v).unwrap();
+        removed.validate().unwrap();
+        assert!(same_graph(&removed, &g), "add then remove is identity");
+
+        // Remove a pre-existing edge and compare to rebuild.
+        let (ru, rv) = g.edges().nth(7).unwrap();
+        let removed = g.without_edge(ru, rv).unwrap();
+        let rest: Vec<_> = g.edges().filter(|&e| e != (ru, rv)).collect();
+        assert!(same_graph(&removed, &rebuilt(&g, &rest)));
+    }
+
+    #[test]
+    fn mutation_errors() {
+        let g = random_uniform(4, 4, 8, 2, 2, 1);
+        let (u, v) = g.edges().next().unwrap();
+        assert_eq!(
+            g.with_edge(u, v).unwrap_err(),
+            MutateError::EdgeExists(u, v)
+        );
+        let missing = (0..4u32)
+            .flat_map(|u| (0..4u32).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(u, v))
+            .unwrap();
+        assert_eq!(
+            g.without_edge(missing.0, missing.1).unwrap_err(),
+            MutateError::EdgeMissing(missing.0, missing.1)
+        );
+        assert!(matches!(
+            g.with_edge(99, 0).unwrap_err(),
+            MutateError::VertexOutOfRange {
+                side: Side::Upper,
+                vertex: 99,
+                ..
+            }
+        ));
+        assert!(matches!(
+            g.without_edge(0, 99).unwrap_err(),
+            MutateError::VertexOutOfRange {
+                side: Side::Lower,
+                ..
+            }
+        ));
+        assert_eq!(
+            g.with_vertex(Side::Upper, 9).unwrap_err(),
+            MutateError::AttrOutOfDomain {
+                side: Side::Upper,
+                attr: 9
+            }
+        );
+        // Error messages render.
+        assert!(MutateError::EdgeExists(1, 2).to_string().contains("(1,2)"));
+        assert!(MutateError::TooManyVertices.to_string().contains("u32"));
+    }
+
+    #[test]
+    fn vertex_append_then_connect() {
+        let g = random_uniform(5, 5, 12, 2, 2, 3);
+        let (g2, id) = g.with_vertex(Side::Lower, 1).unwrap();
+        assert_eq!(id, 5);
+        assert_eq!(g2.n_lower(), 6);
+        assert_eq!(g2.degree(Side::Lower, id), 0);
+        assert_eq!(g2.attr(Side::Lower, id), 1);
+        assert_eq!(g2.n_edges(), g.n_edges());
+        g2.validate().unwrap();
+        // The fresh vertex is immediately connectable.
+        let g3 = g2.with_edge(0, id).unwrap();
+        assert!(g3.has_edge(0, id));
+        g3.validate().unwrap();
+        let (g4, uid) = g3.with_vertex(Side::Upper, 0).unwrap();
+        assert_eq!(uid, 5);
+        assert_eq!(g4.n_upper(), 6);
+        g4.validate().unwrap();
+    }
+}

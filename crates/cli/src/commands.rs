@@ -540,6 +540,30 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    #[test]
+    fn batch_scripts_can_mutate_resident_graphs() {
+        let dir = std::env::temp_dir().join("fbe_cli_batch_update_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("session.fbe");
+        std::fs::write(
+            &script,
+            "GEN g uniform:12,12,60,4\n\
+             ENUM g ssfbc alpha=1 beta=1 delta=1 count-only\n\
+             ADDVERTEX g lower attr=0\n\
+             ADDEDGE g 0 12\n\
+             DELEDGE g 0 12\n\
+             ENUM g ssfbc alpha=1 beta=1 delta=1 count-only\n",
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        batch(&mut buf, None, Some(script.to_str().unwrap())).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("vertex=12"), "{out}");
+        assert!(out.contains("version=3"), "{out}");
+        assert!(!out.contains("ERR"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     fn render_str(
         model: &str,
         count: u64,

@@ -72,8 +72,11 @@ ephemeral port, printed on startup): named graphs are loaded once
 admission controller bounds concurrency and honors per-query
 deadlines. fbe batch runs the same line protocol from a script file or
 stdin — offline against an in-process engine, or against a live
-server with --connect. See the README's Service section for the
-protocol grammar.
+server with --connect. Scripts can mutate resident graphs between
+queries (ADDEDGE/DELEDGE/ADDVERTEX): the service repairs its fair
+cores incrementally and keeps every cached plan whose core the update
+did not touch. See the README's Service section for the protocol
+grammar.
 
 EXAMPLES:
   fbe generate --dataset youtube --out /tmp/yt

@@ -24,7 +24,9 @@
 //!   opt in with [`config::RunConfig::threads`]), maximum fair
 //!   biclique search ([`maximum`]), and an adaptive bitset candidate
 //!   substrate for the enumeration hot path
-//!   ([`config::RunConfig::substrate`]; see [`bigraph::candidate`]).
+//!   ([`config::RunConfig::substrate`]; see [`bigraph::candidate`]),
+//!   and incremental fair-core maintenance for dynamic graphs
+//!   ([`incremental`]).
 //!
 //! ## Quickstart
 //!
@@ -69,6 +71,7 @@ pub mod fairbcem;
 pub mod fairbcem_pp;
 pub mod fairset;
 pub mod fcore;
+pub mod incremental;
 pub mod maximum;
 pub mod mbea;
 pub mod memory;

@@ -2,7 +2,9 @@
 
 use crate::protocol::GenSpec;
 use crate::sync::{read_unpoisoned, write_unpoisoned};
-use bigraph::BipartiteGraph;
+use bigraph::mutate::MutateError;
+use bigraph::{AttrValueId, BipartiteGraph, Side, VertexId};
+use fair_biclique::incremental::{CoreTracker, UpdateEffect};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -16,10 +18,21 @@ pub struct GraphEntry {
     /// changes every plan-cache key derived from the graph, so stale
     /// plans can never serve the new graph (they age out of the LRU).
     pub epoch: u64,
-    /// The graph itself (immutable once cataloged).
+    /// Per-update sub-epoch within one load generation. `ADDEDGE` /
+    /// `DELEDGE` / `ADDVERTEX` publish a **new** entry with the same
+    /// `epoch` (so surviving plan-cache keys keep matching) and
+    /// `version + 1`; readers holding the old `Arc` keep a consistent
+    /// snapshot of the pre-update graph.
+    pub version: u64,
+    /// The graph itself (immutable once cataloged; updates swap in a
+    /// new entry).
     pub graph: BipartiteGraph,
     /// Where it came from (`path` or generation spec), for `GRAPHS`.
     pub source: String,
+    /// Incrementally maintained fair-core membership, one tracker per
+    /// `(α, β)` that ever had a cached plan — repaired in place on
+    /// every update so plan invalidation can be judged per pair.
+    pub(crate) trackers: Vec<CoreTracker>,
 }
 
 impl GraphEntry {
@@ -27,14 +40,51 @@ impl GraphEntry {
     pub fn summary(&self) -> String {
         let g = &self.graph;
         format!(
-            "{} upper={} lower={} edges={} source={}",
+            "{} upper={} lower={} edges={} source={} version={}",
             self.name,
             g.n_upper(),
             g.n_lower(),
             g.n_edges(),
-            self.source
+            self.source,
+            self.version
         )
     }
+}
+
+/// One single-edge/vertex mutation, as carried by the dynamic-graph
+/// protocol verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Insert edge `(u, v)`.
+    AddEdge(VertexId, VertexId),
+    /// Remove edge `(u, v)`.
+    DelEdge(VertexId, VertexId),
+    /// Append an isolated vertex carrying `attr` to `side`.
+    AddVertex(Side, AttrValueId),
+}
+
+/// Why [`GraphCatalog::update`] refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// No graph by that name.
+    NoSuchGraph(String),
+    /// The CSR splice itself refused (bad endpoint, duplicate edge, …).
+    Mutate(MutateError),
+}
+
+/// What one applied update did, for reply rendering and surgical plan
+/// invalidation.
+#[derive(Debug)]
+pub struct UpdateOutcome {
+    /// The freshly published entry (same epoch, `version + 1`).
+    pub entry: Arc<GraphEntry>,
+    /// Tracked `(α, β)` pairs whose fair core was touched — cached
+    /// plans at these pairs are stale.
+    pub stale_pairs: Vec<(u32, u32)>,
+    /// Tracked pairs proven untouched — their plans stay resident.
+    pub clean_pairs: Vec<(u32, u32)>,
+    /// Id of the vertex appended by an `AddVertex` update.
+    pub new_vertex: Option<VertexId>,
 }
 
 /// Thread-safe name → graph map.
@@ -58,11 +108,100 @@ impl GraphCatalog {
             // write lock below is what publishes the entry to others.
             // lint: ordering: uniqueness, not synchronization
             epoch: self.epoch.fetch_add(1, Ordering::Relaxed),
+            version: 0,
             graph,
             source,
+            trackers: Vec::new(),
         });
         write_unpoisoned(&self.graphs).insert(name.to_string(), Arc::clone(&entry));
         entry
+    }
+
+    /// Apply one mutation to `name`, publishing a new entry with the
+    /// same epoch and a bumped version.
+    ///
+    /// `tracked` lists the `(α, β)` pairs that currently have cached
+    /// plans; trackers for them (and any pair tracked by an earlier
+    /// update) are repaired incrementally and classified stale/clean,
+    /// so the caller can invalidate exactly the stale plans. Missing
+    /// trackers are initialized on the **pre-update** graph — the state
+    /// the cached plans were prepared against.
+    ///
+    /// The catalog write lock is held across the splice and repair so
+    /// concurrent updates to one graph serialize; readers holding the
+    /// old `Arc<GraphEntry>` are unaffected.
+    pub fn update(
+        &self,
+        name: &str,
+        update: GraphUpdate,
+        tracked: &[(u32, u32)],
+    ) -> Result<UpdateOutcome, UpdateError> {
+        let mut map = write_unpoisoned(&self.graphs);
+        let Some(old) = map.get(name) else {
+            return Err(UpdateError::NoSuchGraph(name.to_string()));
+        };
+        let mut trackers = old.trackers.clone();
+        for &(alpha, beta) in tracked {
+            if !trackers.iter().any(|t| t.params() == (alpha, beta)) {
+                trackers.push(CoreTracker::new(&old.graph, alpha, beta));
+            }
+        }
+        // Resolve the update to the mutated graph before repairing.
+        enum Applied {
+            Edge { add: bool, u: VertexId, v: VertexId },
+            Vertex { side: Side, id: VertexId },
+        }
+        let (graph, applied) = match update {
+            GraphUpdate::AddEdge(u, v) => (
+                old.graph.with_edge(u, v).map_err(UpdateError::Mutate)?,
+                Applied::Edge { add: true, u, v },
+            ),
+            GraphUpdate::DelEdge(u, v) => (
+                old.graph.without_edge(u, v).map_err(UpdateError::Mutate)?,
+                Applied::Edge { add: false, u, v },
+            ),
+            GraphUpdate::AddVertex(side, attr) => {
+                let (g, id) = old
+                    .graph
+                    .with_vertex(side, attr)
+                    .map_err(UpdateError::Mutate)?;
+                (g, Applied::Vertex { side, id })
+            }
+        };
+        let (mut stale_pairs, mut clean_pairs) = (Vec::new(), Vec::new());
+        for t in &mut trackers {
+            let effect: UpdateEffect = match applied {
+                Applied::Edge { add: true, u, v } => t.add_edge(&graph, u, v),
+                Applied::Edge { add: false, u, v } => t.remove_edge(&graph, u, v),
+                Applied::Vertex { side, id } => t.add_vertex(&graph, side, id),
+            };
+            if effect.is_clean() {
+                clean_pairs.push(t.params());
+            } else {
+                stale_pairs.push(t.params());
+            }
+        }
+        let entry = Arc::new(GraphEntry {
+            name: old.name.clone(),
+            // Same epoch on purpose: plans proven clean must keep
+            // hitting under their existing keys.
+            epoch: old.epoch,
+            version: old.version + 1,
+            graph,
+            source: old.source.clone(),
+            trackers,
+        });
+        map.insert(name.to_string(), Arc::clone(&entry));
+        let new_vertex = match applied {
+            Applied::Vertex { id, .. } => Some(id),
+            Applied::Edge { .. } => None,
+        };
+        Ok(UpdateOutcome {
+            entry,
+            stale_pairs,
+            clean_pairs,
+            new_vertex,
+        })
     }
 
     /// Look up `name`.
@@ -141,6 +280,67 @@ mod tests {
         let s = c.summaries();
         assert_eq!(s.len(), 1);
         assert!(s[0].starts_with("b upper=5"));
+    }
+
+    #[test]
+    fn update_publishes_new_version_same_epoch() {
+        let c = GraphCatalog::new();
+        let e0 = c.insert("g", random_uniform(8, 8, 20, 2, 2, 1), "test".into());
+        let old_edges = e0.graph.n_edges();
+        // Find a non-edge.
+        let (u, v) = (0..8u32)
+            .flat_map(|u| (0..8u32).map(move |v| (u, v)))
+            .find(|&(u, v)| !e0.graph.has_edge(u, v))
+            .expect("graph is not complete");
+        let out = c
+            .update("g", GraphUpdate::AddEdge(u, v), &[(1, 1)])
+            .expect("update applies");
+        assert_eq!(out.entry.epoch, e0.epoch, "epoch survives updates");
+        assert_eq!(out.entry.version, 1);
+        assert_eq!(out.entry.graph.n_edges(), old_edges + 1);
+        assert_eq!(out.stale_pairs.len() + out.clean_pairs.len(), 1);
+        // The old entry is untouched for readers that still hold it.
+        assert_eq!(e0.graph.n_edges(), old_edges);
+        assert_eq!(e0.version, 0);
+        // The tracker persists into the next update without re-listing.
+        let out2 = c
+            .update("g", GraphUpdate::DelEdge(u, v), &[])
+            .expect("delete applies");
+        assert_eq!(out2.entry.version, 2);
+        assert_eq!(out2.stale_pairs.len() + out2.clean_pairs.len(), 1);
+        assert_eq!(out2.entry.graph.n_edges(), old_edges);
+        // Vertex append reports the new id.
+        let out3 = c
+            .update("g", GraphUpdate::AddVertex(bigraph::Side::Lower, 1), &[])
+            .expect("vertex applies");
+        assert_eq!(out3.new_vertex, Some(8));
+        assert!(out3.entry.summary().contains("version=3"));
+        // Errors pass through.
+        assert_eq!(
+            c.update("nope", GraphUpdate::AddEdge(0, 0), &[])
+                .unwrap_err(),
+            UpdateError::NoSuchGraph("nope".into())
+        );
+        assert!(matches!(
+            c.update("g", GraphUpdate::DelEdge(u, v), &[]).unwrap_err(),
+            UpdateError::Mutate(MutateError::EdgeMissing(_, _))
+        ));
+    }
+
+    #[test]
+    fn update_classifies_stale_and_clean_pairs() {
+        let c = GraphCatalog::new();
+        // Single attribute per side: at (1,1) every non-isolated
+        // vertex is in the core, so any existing edge is a core edge.
+        c.insert("g", random_uniform(10, 10, 40, 1, 1, 3), "test".into());
+        let e = c.get("g").expect("inserted");
+        let (u, v) = e.graph.edges().next().expect("has edges");
+        // (50,50) core is empty, so the same deletion is clean there.
+        let out = c
+            .update("g", GraphUpdate::DelEdge(u, v), &[(1, 1), (50, 50)])
+            .expect("delete applies");
+        assert!(out.stale_pairs.contains(&(1, 1)), "{out:?}");
+        assert!(out.clean_pairs.contains(&(50, 50)), "{out:?}");
     }
 
     #[test]

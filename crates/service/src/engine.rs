@@ -1,7 +1,7 @@
 //! The query engine: command dispatch, admission control, and query
 //! execution over the catalog + plan cache.
 
-use crate::catalog::{generate, GraphCatalog, GraphEntry};
+use crate::catalog::{generate, GraphCatalog, GraphEntry, GraphUpdate, UpdateError};
 use crate::metrics::{bump, Metrics};
 use crate::plan_cache::{PlanCache, PlanKey};
 use crate::protocol::{EnumMode, EnumOpts, Reply, Request};
@@ -92,6 +92,15 @@ impl Admission {
                         let remaining = d.saturating_duration_since(Instant::now());
                         if remaining.is_zero() {
                             st.waiting -= 1;
+                            // This waiter may be exiting on the very
+                            // notification that announced a free slot
+                            // (the futex wake landed just as the
+                            // deadline ran out). Swallowing it could
+                            // strand another waiter forever, so pass
+                            // it on; a spurious extra notify is
+                            // harmless — the wait loop re-checks.
+                            drop(st);
+                            self.cv.notify_one();
                             return Err(AdmitRefused::DeadlineExpired);
                         }
                         st = wait_timeout_unpoisoned(&self.cv, st, remaining).0;
@@ -239,10 +248,56 @@ impl Engine {
                 r.payload
                     .push(format!("plan_cache_evictions {}", plans.evictions));
                 r.payload
+                    .push(format!("plan_cache_invalidated {}", plans.invalidated));
+                r.payload
                     .push(format!("plan_cache_bytes {}", plans.heap_bytes()));
                 Outcome::Reply(r)
             }
+            Request::AddEdge { graph, u, v } => {
+                Outcome::Reply(self.apply_update(&graph, GraphUpdate::AddEdge(u, v)))
+            }
+            Request::DelEdge { graph, u, v } => {
+                Outcome::Reply(self.apply_update(&graph, GraphUpdate::DelEdge(u, v)))
+            }
+            Request::AddVertex { graph, side, attr } => {
+                Outcome::Reply(self.apply_update(&graph, GraphUpdate::AddVertex(side, attr)))
+            }
             Request::Enum { graph, model, opts } => Outcome::Reply(self.query(&graph, model, opts)),
+        }
+    }
+
+    /// Apply one dynamic-graph update: splice the graph, repair the
+    /// fair-core trackers, and surgically drop exactly the cached
+    /// plans whose `(α, β)` core was touched. Plans at untouched pairs
+    /// keep serving byte-identical results, so they stay resident.
+    fn apply_update(&self, name: &str, update: GraphUpdate) -> Reply {
+        let tracked = lock_unpoisoned(&self.plans).tracked_pairs(name);
+        match self.catalog.update(name, update, &tracked) {
+            Ok(out) => {
+                let (dropped, kept) = {
+                    let mut plans = lock_unpoisoned(&self.plans);
+                    let dropped = plans.invalidate_where(|k| {
+                        k.graph == name && out.stale_pairs.contains(&(k.alpha, k.beta))
+                    });
+                    (dropped, plans.count_graph(name))
+                };
+                bump(&self.metrics.updates_applied);
+                let mut status = format!(
+                    "graph={name} version={} edges={} cores_stale={} cores_clean={} plans_invalidated={dropped} plans_kept={kept}",
+                    out.entry.version,
+                    out.entry.graph.n_edges(),
+                    out.stale_pairs.len(),
+                    out.clean_pairs.len(),
+                );
+                if let Some(id) = out.new_vertex {
+                    status.push_str(&format!(" vertex={id}"));
+                }
+                Reply::ok(status)
+            }
+            Err(UpdateError::NoSuchGraph(n)) => {
+                Reply::err("NOGRAPH", format!("no graph named {n:?}"))
+            }
+            Err(UpdateError::Mutate(e)) => Reply::err("BADARG", e.to_string()),
         }
     }
 
@@ -270,7 +325,7 @@ impl Engine {
     /// substrate)`. Returns the plan and whether it was a cache hit.
     fn plan_for(
         &self,
-        entry: &GraphEntry,
+        entry: &Arc<GraphEntry>,
         model: QueryModel,
         opts: &EnumOpts,
     ) -> (Arc<PreparedQuery>, bool) {
@@ -290,7 +345,17 @@ impl Engine {
             Default::default(),
             opts.substrate,
         ));
-        lock_unpoisoned(&self.plans).insert(key, Arc::clone(&plan));
+        // Cache only if the entry we prepared against is still the
+        // cataloged one. A graph update keeps the epoch (so the key
+        // alone cannot tell update generations apart) and runs its
+        // surgical invalidation once — a plan of the pre-update
+        // snapshot inserted after that sweep would serve stale results
+        // forever. The query itself still uses the plan: it answers
+        // over the snapshot it admitted against.
+        let current = self.catalog.get(&entry.name);
+        if current.is_some_and(|c| Arc::ptr_eq(&c, entry)) {
+            lock_unpoisoned(&self.plans).insert(key, Arc::clone(&plan));
+        }
         (plan, false)
     }
 
@@ -584,6 +649,149 @@ mod tests {
         assert!(t0.elapsed() >= Duration::from_millis(25));
         drop(slot);
         let _ = adm.admit(Some(Instant::now() + Duration::from_secs(5)));
+    }
+
+    /// Lost-wakeup harness: `AdmissionGuard::drop` wakes exactly one
+    /// waiter, so a notification consumed by a waiter that exits with
+    /// `DeadlineExpired` (instead of taking the slot) would strand a
+    /// deadline-less waiter behind it; `admit` therefore re-notifies
+    /// on the expired-exit path. Each round races three parties —
+    /// slot holder A releasing at waiter B's exact expiry instant,
+    /// deadline-less waiter C queued behind B — and asserts C always
+    /// admits. This pins the liveness contract against any future
+    /// reshuffle of the wait loop (e.g. checking the deadline before
+    /// re-checking `active`, or dropping a notify on either exit
+    /// path).
+    #[test]
+    fn expired_waiter_passes_the_wakeup_on() {
+        use std::sync::mpsc;
+        use std::thread;
+        let adm = Arc::new(Admission::new(1, 4));
+        for round in 0..400u64 {
+            let a = adm.admit(None).expect("worker slot");
+            let b_deadline = Instant::now() + Duration::from_millis(2);
+            // B waits with a deadline that expires mid-round; its
+            // guard (if the race admits it) is dropped immediately,
+            // which re-notifies, so only the expired path is probed.
+            let adm_b = Arc::clone(&adm);
+            let b = thread::spawn(move || {
+                let _ = adm_b.admit(Some(b_deadline));
+            });
+            // C waits with no deadline at all.
+            let (tx, rx) = mpsc::channel();
+            let adm_c = Arc::clone(&adm);
+            let c = thread::spawn(move || {
+                let guard = adm_c.admit(None);
+                let _ = tx.send(());
+                drop(guard);
+            });
+            // Let both reach the wait queue, then release the worker
+            // slot at B's expiry instant so the notification sometimes
+            // lands on the expiring B.
+            thread::sleep(Duration::from_millis(1));
+            while Instant::now() < b_deadline {
+                std::hint::spin_loop();
+            }
+            drop(a);
+            assert!(
+                rx.recv_timeout(Duration::from_secs(2)).is_ok(),
+                "deadline-less waiter stranded by an expired waiter (round {round})"
+            );
+            b.join().unwrap();
+            c.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn updates_invalidate_surgically_and_keep_clean_plans() {
+        let e = engine();
+        e.handle_line("GEN g uniform:20,20,120,7");
+        // Two plans: one at (2,1) whose core is the bulk of the graph,
+        // one at (50,50) whose core is empty.
+        let hot = "ENUM g ssfbc alpha=2 beta=1 delta=1";
+        let cold = "ENUM g ssfbc alpha=50 beta=50 delta=1";
+        e.handle_line(hot);
+        e.handle_line(cold);
+        // Delete an edge inside the (2,1) core: only the hot plan
+        // must drop.
+        let entry = e.catalog.get("g").unwrap();
+        let (u, v) = entry.graph.edges().next().unwrap();
+        drop(entry);
+        let o = e.handle_line(&format!("DELEDGE g {u} {v}"));
+        let s = ok_status(&o).to_string();
+        assert_eq!(field(&s, "version"), Some("1"), "{s}");
+        assert_eq!(field(&s, "edges"), Some("119"), "{s}");
+        assert_eq!(field(&s, "plans_invalidated"), Some("1"), "{s}");
+        assert_eq!(field(&s, "plans_kept"), Some("1"), "{s}");
+        assert_eq!(field(&s, "cores_stale"), Some("1"), "{s}");
+        assert_eq!(field(&s, "cores_clean"), Some("1"), "{s}");
+        // The clean plan still hits; the stale one re-prepares.
+        assert_eq!(
+            field(ok_status(&e.handle_line(cold)), "cached"),
+            Some("true")
+        );
+        let o = e.handle_line(hot);
+        assert_eq!(field(ok_status(&o), "cached"), Some("false"));
+        // Putting the edge back invalidates the re-prepared hot plan
+        // again and bumps the version.
+        let o = e.handle_line(&format!("ADDEDGE g {u} {v}"));
+        let s = ok_status(&o).to_string();
+        assert_eq!(field(&s, "version"), Some("2"));
+        assert_eq!(field(&s, "edges"), Some("120"));
+        assert_eq!(field(&s, "plans_invalidated"), Some("1"));
+        // Update results match a from-scratch query on the same graph:
+        // re-generate the identical graph under another name and diff.
+        e.handle_line("GEN h uniform:20,20,120,7");
+        let a = e.handle_line(hot);
+        let b = e.handle_line("ENUM h ssfbc alpha=2 beta=1 delta=1");
+        assert_eq!(a.reply().payload, b.reply().payload);
+        // STATS surfaces the churn.
+        let stats = e.handle_line("STATS");
+        let line = |k: &str| {
+            stats
+                .reply()
+                .payload
+                .iter()
+                .find(|l| l.starts_with(&format!("{k} ") as &str))
+                .unwrap_or_else(|| panic!("missing {k}"))
+                .clone()
+        };
+        assert_eq!(line("updates_applied"), "updates_applied 2");
+        assert_eq!(line("plan_cache_invalidated"), "plan_cache_invalidated 2");
+    }
+
+    #[test]
+    fn vertex_and_edge_growth_through_the_protocol() {
+        let e = engine();
+        e.handle_line("GEN g uniform:10,10,50,3");
+        let o = e.handle_line("ADDVERTEX g lower attr=1");
+        let s = ok_status(&o).to_string();
+        assert_eq!(field(&s, "vertex"), Some("10"), "{s}");
+        // Wire the fresh vertex in.
+        let o = e.handle_line("ADDEDGE g 0 10");
+        assert_eq!(field(ok_status(&o), "edges"), Some("51"));
+        let o = e.handle_line("ENUM g ssfbc alpha=1 beta=1 delta=1");
+        assert!(ok_status(&o).contains("count="));
+        // Errors keep machine-readable codes.
+        assert!(
+            e.handle_line("ADDEDGE g 0 10")
+                .reply()
+                .status
+                .starts_with("ERR BADARG"),
+            "duplicate edge"
+        );
+        assert!(
+            e.handle_line("DELEDGE g 9999 0")
+                .reply()
+                .status
+                .starts_with("ERR BADARG"),
+            "endpoint out of range"
+        );
+        assert!(e
+            .handle_line("ADDEDGE nope 0 0")
+            .reply()
+            .status
+            .starts_with("ERR NOGRAPH"));
     }
 
     #[test]

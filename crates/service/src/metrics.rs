@@ -34,6 +34,8 @@ pub struct Metrics {
     pub plan_cache_misses: AtomicU64,
     /// Graphs loaded or generated into the catalog.
     pub graphs_loaded: AtomicU64,
+    /// Graph updates applied (`ADDEDGE` / `DELEDGE` / `ADDVERTEX`).
+    pub updates_applied: AtomicU64,
     latency_buckets: [AtomicU64; 6],
     latency_count: AtomicU64,
     latency_sum_us: AtomicU64,
@@ -53,6 +55,7 @@ impl Default for Metrics {
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
             graphs_loaded: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
             latency_buckets: Default::default(),
             latency_count: AtomicU64::new(0),
             latency_sum_us: AtomicU64::new(0),
@@ -108,6 +111,7 @@ impl Metrics {
             format!("plan_cache_hits {}", g(&self.plan_cache_hits)),
             format!("plan_cache_misses {}", g(&self.plan_cache_misses)),
             format!("graphs_loaded {}", g(&self.graphs_loaded)),
+            format!("updates_applied {}", g(&self.updates_applied)),
             format!("latency_count {}", g(&self.latency_count)),
             format!("latency_sum_us {}", g(&self.latency_sum_us)),
         ];

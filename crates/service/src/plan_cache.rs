@@ -68,6 +68,10 @@ pub struct PlanCache {
     pub misses: u64,
     /// Plans displaced by capacity.
     pub evictions: u64,
+    /// Plans dropped by explicit invalidation (graph replacement,
+    /// `DROP`, graph updates, `clear`) — distinct from capacity
+    /// `evictions` so `STATS` reports real churn.
+    pub invalidated: u64,
 }
 
 impl PlanCache {
@@ -81,6 +85,7 @@ impl PlanCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            invalidated: 0,
         }
     }
 
@@ -128,12 +133,48 @@ impl PlanCache {
     }
 
     /// Drop every plan of `graph` (any epoch), e.g. on `DROP`.
-    pub fn invalidate_graph(&mut self, graph: &str) {
-        self.slots.retain(|k, _| k.graph != graph);
+    /// Returns how many plans were dropped (also added to
+    /// `invalidated`).
+    pub fn invalidate_graph(&mut self, graph: &str) -> u64 {
+        self.invalidate_where(|k| k.graph == graph)
+    }
+
+    /// Surgical invalidation: drop exactly the plans whose key matches
+    /// `stale`, keeping everything else resident. The graph-update
+    /// path uses this to drop only the plans whose pruned core was
+    /// touched by an update. Returns how many plans were dropped (also
+    /// added to `invalidated`).
+    pub fn invalidate_where(&mut self, mut stale: impl FnMut(&PlanKey) -> bool) -> u64 {
+        let before = self.slots.len();
+        self.slots.retain(|k, _| !stale(k));
+        let dropped = (before - self.slots.len()) as u64;
+        self.invalidated += dropped;
+        dropped
+    }
+
+    /// The distinct `(α, β)` pairs with a cached plan for `graph`
+    /// (sorted, deduplicated) — the pairs whose fair cores the
+    /// graph-update path must track.
+    pub fn tracked_pairs(&self, graph: &str) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self
+            .slots
+            .keys()
+            .filter(|k| k.graph == graph)
+            .map(|k| (k.alpha, k.beta))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Number of cached plans for `graph`.
+    pub fn count_graph(&self, graph: &str) -> usize {
+        self.slots.keys().filter(|k| k.graph == graph).count()
     }
 
     /// Drop everything (benchmark cold-path support).
     pub fn clear(&mut self) {
+        self.invalidated += self.slots.len() as u64;
         self.slots.clear();
     }
 
@@ -205,11 +246,33 @@ mod tests {
         // Same params, new epoch → different key.
         assert!(c.get(&key("g", 1, 1)).is_none());
         c.insert(key("h", 5, 1), plan_for(2));
-        c.invalidate_graph("g");
+        assert_eq!(c.invalidate_graph("g"), 1);
         assert!(c.get(&key("g", 0, 1)).is_none());
         assert!(c.get(&key("h", 5, 1)).is_some());
+        assert_eq!(c.invalidated, 1, "invalidate_graph counts drops");
         c.clear();
         assert!(c.is_empty());
+        assert_eq!(c.invalidated, 2, "clear counts drops too");
+        // Invalidation is not eviction: capacity accounting untouched.
+        assert_eq!(c.evictions, 0);
+    }
+
+    #[test]
+    fn surgical_invalidation_drops_only_matching_keys() {
+        let mut c = PlanCache::new(8);
+        c.insert(key("g", 0, 1), plan_for(1));
+        c.insert(key("g", 0, 2), plan_for(2));
+        c.insert(key("h", 0, 1), plan_for(3));
+        assert_eq!(c.tracked_pairs("g"), vec![(1, 1), (2, 1)]);
+        assert_eq!(c.tracked_pairs("zzz"), vec![]);
+        assert_eq!(c.count_graph("g"), 2);
+        // Only alpha=1 plans of g are stale.
+        let dropped = c.invalidate_where(|k| k.graph == "g" && k.alpha == 1);
+        assert_eq!(dropped, 1);
+        assert_eq!(c.invalidated, 1);
+        assert!(c.get(&key("g", 0, 1)).is_none());
+        assert!(c.get(&key("g", 0, 2)).is_some(), "untouched plan survives");
+        assert!(c.get(&key("h", 0, 1)).is_some(), "other graph survives");
     }
 
     #[test]

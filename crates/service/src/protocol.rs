@@ -11,6 +11,9 @@
 //! GEN <name> uniform:NU,NV,M[,SEED[,AU,AV]]
 //! GRAPHS
 //! DROP <name>
+//! ADDEDGE <graph> <u> <v>
+//! DELEDGE <graph> <u> <v>
+//! ADDVERTEX <graph> <upper|lower> [attr=A]
 //! ENUM <graph> <ssfbc|bsfbc|pssfbc|pbsfbc> alpha=A beta=B delta=D
 //!      [theta=T] [threads=N] [limit=K] [deadline-ms=MS]
 //!      [substrate=auto|sorted-vec|bitset] [count-only]
@@ -18,6 +21,11 @@
 //! STATS
 //! SHUTDOWN
 //! ```
+//!
+//! `ADDEDGE`/`DELEDGE`/`ADDVERTEX` mutate a cataloged graph in place
+//! (same catalog epoch, bumped per-update version): the service
+//! repairs its incremental core state and surgically invalidates only
+//! the cached plans whose pruned core the update touched.
 //!
 //! Command verbs are case-insensitive. Every reply is a block: one
 //! status line — `OK <k>=<v>...` or `ERR <CODE> <message>` — followed
@@ -142,6 +150,33 @@ pub enum Request {
         /// Catalog name.
         name: String,
     },
+    /// Insert one edge into a cataloged graph.
+    AddEdge {
+        /// Catalog name.
+        graph: String,
+        /// Upper endpoint.
+        u: bigraph::VertexId,
+        /// Lower endpoint.
+        v: bigraph::VertexId,
+    },
+    /// Remove one edge from a cataloged graph.
+    DelEdge {
+        /// Catalog name.
+        graph: String,
+        /// Upper endpoint.
+        u: bigraph::VertexId,
+        /// Lower endpoint.
+        v: bigraph::VertexId,
+    },
+    /// Append one isolated vertex to a cataloged graph.
+    AddVertex {
+        /// Catalog name.
+        graph: String,
+        /// Which side gains the vertex.
+        side: bigraph::Side,
+        /// Attribute value of the new vertex.
+        attr: bigraph::AttrValueId,
+    },
     /// Run a fair-biclique query.
     Enum {
         /// Catalog name of the graph.
@@ -244,13 +279,23 @@ fn parse_gen_spec(s: &str) -> Result<GenSpec, String> {
                 .parse::<u64>()
                 .map_err(|e| format!("uniform spec: {e}"))
         };
-        let (nu, nv, m) = (p(0)? as usize, p(1)? as usize, p(2)? as usize);
+        // Checked narrowing: a plain `as` cast would silently wrap
+        // (e.g. an attr domain of 70000 became 4464), turning a typo
+        // into a quietly different graph.
+        let to_size = |i: usize| -> Result<usize, String> {
+            usize::try_from(p(i)?).map_err(|_| format!("uniform spec: {} out of range", nums[i]))
+        };
+        let to_attr = |i: usize| -> Result<u16, String> {
+            u16::try_from(p(i)?)
+                .map_err(|_| format!("uniform spec: attr domain {} exceeds {}", nums[i], u16::MAX))
+        };
+        let (nu, nv, m) = (to_size(0)?, to_size(1)?, to_size(2)?);
         if nu == 0 || nv == 0 {
             return Err("uniform spec: sides must be non-empty".into());
         }
         let seed = if nums.len() >= 4 { p(3)? } else { 42 };
         let attrs = if nums.len() == 6 {
-            (p(4)? as u16, p(5)? as u16)
+            (to_attr(4)?, to_attr(5)?)
         } else {
             (2, 2)
         };
@@ -264,6 +309,26 @@ fn parse_gen_spec(s: &str) -> Result<GenSpec, String> {
     } else {
         parse_dataset(s).map(GenSpec::Dataset)
     }
+}
+
+/// Parse the shared `<graph> <u> <v>` tail of `ADDEDGE`/`DELEDGE`.
+fn parse_edge_op(rest: &[&str], add: bool) -> Result<Request, String> {
+    let verb = if add { "ADDEDGE" } else { "DELEDGE" };
+    let [graph, u, v] = rest else {
+        return Err(format!("{verb} wants <graph> <u> <v>"));
+    };
+    let u = u
+        .parse::<bigraph::VertexId>()
+        .map_err(|e| format!("u: {e}"))?;
+    let v = v
+        .parse::<bigraph::VertexId>()
+        .map_err(|e| format!("v: {e}"))?;
+    let graph = graph.to_string();
+    Ok(if add {
+        Request::AddEdge { graph, u, v }
+    } else {
+        Request::DelEdge { graph, u, v }
+    })
 }
 
 /// Split `token` at `=`, failing with a uniform message otherwise.
@@ -366,6 +431,33 @@ pub fn parse_request(line: &str) -> Result<Request, Reply> {
             }),
             _ => Err(badarg("DROP wants exactly one graph name".into())),
         },
+        "ADDEDGE" => parse_edge_op(rest, true).map_err(badarg),
+        "DELEDGE" => parse_edge_op(rest, false).map_err(badarg),
+        "ADDVERTEX" => {
+            let [graph, side, extra @ ..] = rest else {
+                return Err(badarg(
+                    "ADDVERTEX wants <graph> <upper|lower> [attr=A]".into(),
+                ));
+            };
+            let side = match side.to_ascii_lowercase().as_str() {
+                "upper" | "u" => bigraph::Side::Upper,
+                "lower" | "v" => bigraph::Side::Lower,
+                other => return Err(badarg(format!("unknown side {other:?}"))),
+            };
+            let mut attr = 0u16;
+            for tok in extra {
+                let (k, v) = kv(tok).map_err(badarg)?;
+                match k.to_ascii_lowercase().as_str() {
+                    "attr" => attr = v.parse::<u16>().map_err(|e| badarg(format!("attr: {e}")))?,
+                    other => return Err(badarg(format!("unknown option {other:?}"))),
+                }
+            }
+            Ok(Request::AddVertex {
+                graph: graph.to_string(),
+                side,
+                attr,
+            })
+        }
         "LOAD" => {
             let [name, path, extra @ ..] = rest else {
                 return Err(badarg("LOAD wants <name> <path> [attrs=AU,AV]".into()));
@@ -465,6 +557,82 @@ mod tests {
         assert!(parse_request("GEN u uniform:10,20").is_err());
         assert!(parse_request("GEN u nope").is_err());
         assert!(parse_request("LOAD onlyname").is_err());
+    }
+
+    #[test]
+    fn gen_spec_rejects_out_of_range_values_instead_of_wrapping() {
+        // Regression: attr domains were narrowed with `as u16`, so
+        // 70000 silently wrapped to 4464 and generated a different
+        // graph than asked for. Now it is a parse error.
+        let err = parse_request("GEN u uniform:10,20,30,7,70000,2").unwrap_err();
+        assert!(err.status.starts_with("ERR BADARG"), "{}", err.status);
+        assert!(err.status.contains("70000"), "{}", err.status);
+        assert!(parse_request("GEN u uniform:10,20,30,7,2,70000").is_err());
+        // u16::MAX itself is still a legal domain size.
+        assert_eq!(
+            parse_request("GEN u uniform:10,20,30,7,65535,2").unwrap(),
+            Request::Gen {
+                name: "u".into(),
+                spec: GenSpec::Uniform {
+                    n_upper: 10,
+                    n_lower: 20,
+                    m: 30,
+                    seed: 7,
+                    attrs: (65535, 2)
+                }
+            }
+        );
+        // Counts beyond the native pointer width are rejected, not
+        // wrapped (only observable on 32-bit targets; on 64-bit every
+        // u64 fits, so just assert the parse still succeeds there).
+        let huge = format!("GEN u uniform:{},20,30", 1u64 << 40);
+        if usize::try_from(1u64 << 40).is_ok() {
+            assert!(parse_request(&huge).is_ok());
+        } else {
+            assert!(parse_request(&huge).is_err());
+        }
+    }
+
+    #[test]
+    fn parses_mutation_verbs() {
+        assert_eq!(
+            parse_request("ADDEDGE g 3 7").unwrap(),
+            Request::AddEdge {
+                graph: "g".into(),
+                u: 3,
+                v: 7
+            }
+        );
+        assert_eq!(
+            parse_request("deledge g 0 1").unwrap(),
+            Request::DelEdge {
+                graph: "g".into(),
+                u: 0,
+                v: 1
+            }
+        );
+        assert_eq!(
+            parse_request("ADDVERTEX g upper").unwrap(),
+            Request::AddVertex {
+                graph: "g".into(),
+                side: bigraph::Side::Upper,
+                attr: 0
+            }
+        );
+        assert_eq!(
+            parse_request("ADDVERTEX g lower attr=1").unwrap(),
+            Request::AddVertex {
+                graph: "g".into(),
+                side: bigraph::Side::Lower,
+                attr: 1
+            }
+        );
+        assert!(parse_request("ADDEDGE g 3").is_err());
+        assert!(parse_request("ADDEDGE g x 7").is_err());
+        assert!(parse_request("DELEDGE g 3 7 9").is_err());
+        assert!(parse_request("ADDVERTEX g sideways").is_err());
+        assert!(parse_request("ADDVERTEX g upper attr=oops").is_err());
+        assert!(parse_request("ADDVERTEX g upper bogus=1").is_err());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 #
 #   ./scripts/bench_snapshot.sh 6        # writes BENCH_6.json
 #
-# Runs the four trajectory bench targets (micro, substrate_compare,
-# parallel_scaling, service_throughput) in release mode with the
+# Runs the five trajectory bench targets (micro, substrate_compare,
+# parallel_scaling, service_throughput, update_throughput) in release
+# mode with the
 # vendored criterion stand-in's FBE_BENCH_JSON export enabled, then
 # assembles one JSON document with machine/thread metadata. Medians
 # are the headline statistic; mean/min ride along for context.
@@ -22,7 +23,7 @@ out="BENCH_${n}.json"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-targets=(micro substrate_compare parallel_scaling service_throughput)
+targets=(micro substrate_compare parallel_scaling service_throughput update_throughput)
 for t in "${targets[@]}"; do
     echo "== bench $t =="
     FBE_BENCH_JSON="$tmp/$t.ndjson" cargo bench --bench "$t"
@@ -49,7 +50,8 @@ doc = {
                   "table rows: the harness's native columns (seconds / q/s)"),
     "benches": {},
 }
-for t in ["micro", "substrate_compare", "parallel_scaling", "service_throughput"]:
+for t in ["micro", "substrate_compare", "parallel_scaling", "service_throughput",
+          "update_throughput"]:
     path = os.path.join(tmp, f"{t}.ndjson")
     rows = []
     with open(path) as f:
