@@ -6,6 +6,9 @@
 #   ./ci.sh --sanitize # additionally run the service tests under TSan
 #                      # (best-effort: skipped unless a nightly
 #                      # toolchain with -Zsanitizer=thread is available)
+#   ./ci.sh --bench N  # additionally run the full trajectory bench
+#                      # suite via scripts/bench_snapshot.sh and write
+#                      # BENCH_N.json (slow; not part of the plain gate)
 #
 # Tier-1 verify (must stay green; see ROADMAP.md):
 #   cargo build --release && cargo test -q
@@ -15,13 +18,29 @@ cd "$(dirname "$0")"
 
 quick=0
 sanitize=0
+bench_n=""
+expect_bench_n=0
 for arg in "$@"; do
+    if [[ $expect_bench_n -eq 1 ]]; then
+        bench_n="$arg"
+        expect_bench_n=0
+        continue
+    fi
     case "$arg" in
         --quick) quick=1 ;;
         --sanitize) sanitize=1 ;;
+        --bench) expect_bench_n=1 ;;
         *) echo "ci.sh: unknown argument $arg" >&2; exit 2 ;;
     esac
 done
+if [[ $expect_bench_n -eq 1 ]]; then
+    echo "ci.sh: --bench needs a snapshot number (writes BENCH_<n>.json)" >&2
+    exit 2
+fi
+if [[ -n "$bench_n" && $quick -eq 1 ]]; then
+    echo "ci.sh: --bench runs release benches; drop --quick" >&2
+    exit 2
+fi
 
 step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
 
@@ -165,5 +184,10 @@ if kill -0 "$serve_pid" 2>/dev/null; then
 fi
 wait "$serve_pid"
 serve_pid=""
+
+if [[ -n "$bench_n" ]]; then
+    step "bench snapshot: scripts/bench_snapshot.sh $bench_n (writes BENCH_${bench_n}.json)"
+    ./scripts/bench_snapshot.sh "$bench_n"
+fi
 
 printf '\n\033[1;32mCI green.\033[0m\n'

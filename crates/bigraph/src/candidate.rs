@@ -182,29 +182,70 @@ impl BitRows {
     }
 }
 
-/// `|a ∩ b|` by word-wise `AND` + popcount.
+/// `|a ∩ b|` by word-wise `AND` + popcount, unrolled into 4-wide word
+/// chunks with independent accumulators so the popcounts pipeline
+/// instead of serializing on one add chain (the enumeration hot loop
+/// calls this once per candidate per branch). Rows of exactly 4 words
+/// get a branch-free fixed-width path: the `Auto` policy's "side ≤
+/// 256" bitset regime is precisely the ≤ 4-word case, so most bitset
+/// plans live here and the chunk iterator's setup is pure overhead.
 #[inline]
 pub fn and_count(a: &[u64], b: &[u64]) -> usize {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b.iter())
+    if let ([x0, x1, x2, x3], [y0, y1, y2, y3]) = (a, b) {
+        return ((x0 & y0).count_ones()
+            + (x1 & y1).count_ones()
+            + (x2 & y2).count_ones()
+            + (x3 & y3).count_ones()) as usize;
+    }
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0usize, 0usize, 0usize, 0usize);
+    for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+        s0 += (wa[0] & wb[0]).count_ones() as usize;
+        s1 += (wa[1] & wb[1]).count_ones() as usize;
+        s2 += (wa[2] & wb[2]).count_ones() as usize;
+        s3 += (wa[3] & wb[3]).count_ones() as usize;
+    }
+    let tail: usize = ca
+        .remainder()
+        .iter()
+        .zip(cb.remainder())
         .map(|(&x, &y)| (x & y).count_ones() as usize)
-        .sum()
+        .sum();
+    s0 + s1 + s2 + s3 + tail
 }
 
-/// `acc &= b`, in place.
+/// `acc &= b`, in place, 4 words per iteration.
 #[inline]
 pub fn and_assign(acc: &mut [u64], b: &[u64]) {
     debug_assert_eq!(acc.len(), b.len());
-    for (x, &y) in acc.iter_mut().zip(b.iter()) {
+    let mut ca = acc.chunks_exact_mut(4);
+    let mut cb = b.chunks_exact(4);
+    for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+        wa[0] &= wb[0];
+        wa[1] &= wb[1];
+        wa[2] &= wb[2];
+        wa[3] &= wb[3];
+    }
+    for (x, &y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
         *x &= y;
     }
 }
 
-/// Total set bits.
+/// Total set bits, 4-wide accumulators like [`and_count`].
 #[inline]
 pub fn count_ones(words: &[u64]) -> usize {
-    words.iter().map(|w| w.count_ones() as usize).sum()
+    let mut cw = words.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0usize, 0usize, 0usize, 0usize);
+    for w in cw.by_ref() {
+        s0 += w[0].count_ones() as usize;
+        s1 += w[1].count_ones() as usize;
+        s2 += w[2].count_ones() as usize;
+        s3 += w[3].count_ones() as usize;
+    }
+    let tail: usize = cw.remainder().iter().map(|w| w.count_ones() as usize).sum();
+    s0 + s1 + s2 + s3 + tail
 }
 
 /// Append the set columns of `words` to `out` in ascending order

@@ -38,6 +38,60 @@ impl InducedSubgraph {
         out.sort_unstable();
         out
     }
+
+    /// Relabel both sides in non-increasing degree order (ties by
+    /// current id), composing the parent maps so results still
+    /// translate to original ids.
+    ///
+    /// Pruned-core enumeration touches high-degree vertices far more
+    /// often than fringe ones; giving them the smallest ids packs
+    /// their CSR adjacency (and bitset rows, which are indexed by
+    /// vertex id) into the same few cache lines. Results are
+    /// label-invariant once mapped back to parent ids — only the
+    /// discovery order of the walk changes.
+    pub fn relabel_degree_desc(&self) -> InducedSubgraph {
+        let g = &self.graph;
+        // perm[new_id] = old_id, sorted by (degree desc, old id asc).
+        let perm = |side: Side, n: usize| -> Vec<VertexId> {
+            let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+            ids.sort_by_key(|&v| (std::cmp::Reverse(g.degree(side, v)), v));
+            ids
+        };
+        let perm_u = perm(Side::Upper, g.n_upper());
+        let perm_v = perm(Side::Lower, g.n_lower());
+        let invert = |perm: &[VertexId]| -> Vec<VertexId> {
+            let mut inv = vec![0 as VertexId; perm.len()];
+            for (new, &old) in perm.iter().enumerate() {
+                inv[old as usize] = new as VertexId;
+            }
+            inv
+        };
+        let inv_u = invert(&perm_u);
+        let inv_v = invert(&perm_v);
+
+        let mut b = GraphBuilder::new(g.n_attr_values(Side::Upper), g.n_attr_values(Side::Lower))
+            .with_edge_capacity(g.n_edges());
+        b.ensure_vertices(g.n_upper(), g.n_lower());
+        for (u, v) in g.edges() {
+            b.add_edge(inv_u[u as usize], inv_v[v as usize]);
+        }
+        let ua: Vec<_> = perm_u.iter().map(|&o| g.attr(Side::Upper, o)).collect();
+        let la: Vec<_> = perm_v.iter().map(|&o| g.attr(Side::Lower, o)).collect();
+        b.set_attrs_upper(&ua);
+        b.set_attrs_lower(&la);
+
+        InducedSubgraph {
+            graph: b.build().expect("relabeled graphs are valid"),
+            upper_to_parent: perm_u
+                .iter()
+                .map(|&o| self.upper_to_parent[o as usize])
+                .collect(),
+            lower_to_parent: perm_v
+                .iter()
+                .map(|&o| self.lower_to_parent[o as usize])
+                .collect(),
+        }
+    }
 }
 
 /// Induce the subgraph of `g` on the vertices where `keep_*` is true,
@@ -157,6 +211,43 @@ mod tests {
             all.set_to_parent(Side::Upper, &[0, 1, 2, 3]),
             vec![0, 1, 2, 3]
         );
+    }
+
+    #[test]
+    fn relabel_degree_desc_preserves_structure() {
+        let g = random_uniform(9, 11, 40, 3, 2, 17);
+        let sub = induce(&g, &[true; 9], &[true; 11]);
+        let rel = sub.relabel_degree_desc();
+        rel.graph.validate().unwrap();
+        assert_eq!(rel.graph.n_upper(), 9);
+        assert_eq!(rel.graph.n_lower(), 11);
+        assert_eq!(rel.graph.n_edges(), g.n_edges());
+        // Degrees are non-increasing in the new ids on both sides.
+        for side in [Side::Upper, Side::Lower] {
+            let n = match side {
+                Side::Upper => rel.graph.n_upper(),
+                Side::Lower => rel.graph.n_lower(),
+            };
+            for v in 1..n as VertexId {
+                assert!(rel.graph.degree(side, v - 1) >= rel.graph.degree(side, v));
+            }
+        }
+        // Every relabeled edge maps back to a parent edge, with the
+        // vertex attributes carried along.
+        for (u, v) in rel.graph.edges() {
+            let (pu, pv) = (rel.to_parent(Side::Upper, u), rel.to_parent(Side::Lower, v));
+            assert!(g.has_edge(pu, pv));
+            assert_eq!(rel.graph.attr(Side::Upper, u), g.attr(Side::Upper, pu));
+            assert_eq!(rel.graph.attr(Side::Lower, v), g.attr(Side::Lower, pv));
+        }
+        // Parent-id sets are unchanged (it is a permutation).
+        let mut ups: Vec<_> = rel.upper_to_parent.clone();
+        ups.sort_unstable();
+        assert_eq!(ups, (0..9).collect::<Vec<_>>());
+        // Ties break by old id, so relabeling is deterministic.
+        let again = sub.relabel_degree_desc();
+        assert_eq!(again.upper_to_parent, rel.upper_to_parent);
+        assert_eq!(again.lower_to_parent, rel.lower_to_parent);
     }
 
     #[test]

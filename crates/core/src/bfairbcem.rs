@@ -34,7 +34,6 @@ use bigraph::{BipartiteGraph, Side, VertexId};
 pub(crate) struct BiSideExpander<'a> {
     g: &'a BipartiteGraph,
     params: FairParams,
-    n_attrs_l: usize,
     /// Upper-side candidate ops (`N(l')` intersects upper adjacency).
     ops: AdjOps<'a>,
     /// Budget over upper-side expansion steps (one `Combination` can
@@ -43,6 +42,11 @@ pub(crate) struct BiSideExpander<'a> {
     /// BSFBCs emitted so far.
     pub emitted: u64,
     groups: Vec<Vec<VertexId>>,
+    /// Long-lived scratch for the per-subset MFSCheck: `N(l')`, the
+    /// lower counts of `R'`, and the candidate counts of `N(l') − R'`.
+    nl: Vec<VertexId>,
+    base: AttrCounts,
+    cand: AttrCounts,
 }
 
 impl<'a> BiSideExpander<'a> {
@@ -60,11 +64,13 @@ impl<'a> BiSideExpander<'a> {
         BiSideExpander {
             g,
             params,
-            n_attrs_l,
             ops,
             clock,
             emitted: 0,
             groups: vec![Vec::new(); n_attrs_u],
+            nl: Vec::new(),
+            base: AttrCounts::zeros(n_attrs_l),
+            cand: AttrCounts::zeros(n_attrs_l),
         }
     }
 
@@ -91,22 +97,22 @@ impl<'a> BiSideExpander<'a> {
         for &u in l {
             self.groups[attrs_u[u as usize] as usize].push(u);
         }
-        let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
 
-        let base = AttrCounts::of(r, attrs_l, self.n_attrs_l);
+        self.base.recount(r, attrs_l);
         let params = self.params;
-        let n_attrs_l = self.n_attrs_l;
         let ops = &mut self.ops;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
-        let mut nl: Vec<VertexId> = Vec::new();
-        for_each_max_fair_subset(&group_refs, params.alpha, params.delta, &mut |l_sub| {
+        let nl = &mut self.nl;
+        let base = &self.base;
+        let cand = &mut self.cand;
+        for_each_max_fair_subset(&self.groups, params.alpha, params.delta, &mut |l_sub| {
             // Candidates for extending R': N(l_sub) \ R'.
-            ops.common_neighbors_into(l_sub, &mut nl);
-            debug_assert!(bigraph::is_sorted_subset(r, &nl), "R' ⊆ N(l')");
-            let mut cand = AttrCounts::zeros(n_attrs_l);
+            ops.common_neighbors_into(l_sub, nl);
+            debug_assert!(bigraph::is_sorted_subset(r, nl), "R' ⊆ N(l')");
+            cand.clear();
             let mut i = 0usize;
-            for &v in &nl {
+            for &v in nl.iter() {
                 while i < r.len() && r[i] < v {
                     i += 1;
                 }

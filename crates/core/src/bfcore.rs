@@ -14,8 +14,8 @@
 //! pruned symmetrically with parameters `(β, α)` swapped.
 
 use crate::cfcore::ego_colorful_core;
-use crate::config::FairParams;
-use crate::fcore::{compose, stats_of, PruneOutcome};
+use crate::config::{FairParams, PrepareCtl, StopReason};
+use crate::fcore::{compose, stats_of, PruneOutcome, CTL_PROBE_INTERVAL};
 use bigraph::subgraph::induce;
 use bigraph::twohop::construct_2hop_biside;
 use bigraph::{BipartiteGraph, Side, VertexId};
@@ -24,6 +24,23 @@ use bigraph::{BipartiteGraph, Side, VertexId};
 ///
 /// Returns `(keep_upper, keep_lower)`.
 pub fn bfcore_masks(g: &BipartiteGraph, alpha: u32, beta: u32) -> (Vec<bool>, Vec<bool>) {
+    bfcore_masks_ctl(g, alpha, beta, &PrepareCtl::UNBOUNDED)
+        .expect("unbounded prepare is never interrupted")
+}
+
+/// [`bfcore_masks`] with cooperative interruption (probed every
+/// [`CTL_PROBE_INTERVAL`] peel steps, as in
+/// [`crate::fcore::fcore_masks_ctl`]).
+pub fn bfcore_masks_ctl(
+    g: &BipartiteGraph,
+    alpha: u32,
+    beta: u32,
+    ctl: &PrepareCtl,
+) -> Result<(Vec<bool>, Vec<bool>), StopReason> {
+    if let Some(r) = ctl.interrupted() {
+        return Err(r);
+    }
+    let probe = !ctl.is_unbounded();
     let n_u = g.n_upper();
     let n_v = g.n_lower();
     let na_upper = (g.n_attr_values(Side::Upper) as usize).max(1);
@@ -68,7 +85,14 @@ pub fn bfcore_masks(g: &BipartiteGraph, alpha: u32, beta: u32) -> (Vec<bool>, Ve
         }
     }
 
+    let mut steps: u32 = 0;
     while let Some((side, x)) = stack.pop() {
+        steps = steps.wrapping_add(1);
+        if probe && steps % CTL_PROBE_INTERVAL == 0 {
+            if let Some(r) = ctl.interrupted() {
+                return Err(r);
+            }
+        }
         match side {
             Side::Upper => {
                 let a = upper_attrs[x as usize] as usize;
@@ -98,15 +122,24 @@ pub fn bfcore_masks(g: &BipartiteGraph, alpha: u32, beta: u32) -> (Vec<bool>, Ve
             }
         }
     }
-    (alive_u, alive_v)
+    Ok((alive_u, alive_v))
 }
 
 /// `BFCore`: peel to the bi-fair α-β core and compact.
 pub fn bfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
-    let (ku, kv) = bfcore_masks(g, params.alpha, params.beta);
+    bfcore_ctl(g, params, &PrepareCtl::UNBOUNDED).expect("unbounded prepare is never interrupted")
+}
+
+/// [`bfcore`] with cooperative interruption.
+pub fn bfcore_ctl(
+    g: &BipartiteGraph,
+    params: FairParams,
+    ctl: &PrepareCtl,
+) -> Result<PruneOutcome, StopReason> {
+    let (ku, kv) = bfcore_masks_ctl(g, params.alpha, params.beta, ctl)?;
     let sub = induce(g, &ku, &kv);
     let stats = stats_of(g, &sub);
-    PruneOutcome { sub, stats }
+    Ok(PruneOutcome { sub, stats })
 }
 
 /// `BCFCore`: bi-colorful fair α-β core pruning.
@@ -116,14 +149,31 @@ pub fn bfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
 /// colorful pruning of the upper side (flipped graph, threshold β, ego
 /// colorful α-core) → final `BFCore`.
 pub fn bcfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
+    bcfcore_ctl(g, params, &PrepareCtl::UNBOUNDED).expect("unbounded prepare is never interrupted")
+}
+
+/// [`bcfcore`] with cooperative interruption: `ctl` is threaded into
+/// the `BFCore` peels and probed before each colorful stage (each
+/// builds a 2-hop projection, the dominant cost of the cascade).
+pub fn bcfcore_ctl(
+    g: &BipartiteGraph,
+    params: FairParams,
+    ctl: &PrepareCtl,
+) -> Result<PruneOutcome, StopReason> {
     // Stage 1: bi-fair core.
-    let s1 = bfcore(g, params);
+    let s1 = bfcore_ctl(g, params, ctl)?;
     let g1 = &s1.sub.graph;
+    if let Some(r) = ctl.interrupted() {
+        return Err(r);
+    }
 
     // Stage 2: colorful pruning of the lower (fair-β) side.
     let keep_lower = biside_colorful_mask(g1, Side::Lower, params.alpha, params.beta);
     let s2 = induce(g1, &vec![true; g1.n_upper()], &keep_lower);
     let g2 = &s2.graph;
+    if let Some(r) = ctl.interrupted() {
+        return Err(r);
+    }
 
     // Stage 3: colorful pruning of the upper side: thresholds swap
     // (two upper vertices must share >= beta common neighbors of every
@@ -132,11 +182,11 @@ pub fn bcfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
     let s3 = induce(g2, &keep_upper, &vec![true; g2.n_lower()]);
 
     // Stage 4: final bi-fair core.
-    let s4 = bfcore(&s3.graph, params);
+    let s4 = bfcore_ctl(&s3.graph, params, ctl)?;
 
     let total = compose(&s1.sub, compose(&s2, compose(&s3, s4.sub)));
     let stats = stats_of(g, &total);
-    PruneOutcome { sub: total, stats }
+    Ok(PruneOutcome { sub: total, stats })
 }
 
 /// Colorful mask of one side: bi-side 2-hop projection with common-

@@ -23,8 +23,8 @@
 //! maximality checked on the pruned graph equals maximality on the
 //! original.
 
-use crate::config::FairParams;
-use crate::fcore::{compose, fcore, stats_of, PruneOutcome};
+use crate::config::{FairParams, PrepareCtl, StopReason};
+use crate::fcore::{compose, fcore_ctl, stats_of, PruneOutcome};
 use bigraph::coloring::greedy_color_by_degree;
 use bigraph::subgraph::induce;
 use bigraph::twohop::construct_2hop;
@@ -106,10 +106,25 @@ pub fn ego_colorful_core(h: &UniGraph, k: u32) -> Vec<bool> {
 /// `CFCore` (Algorithm 2): colorful fair α-β core pruning for the
 /// single-side model.
 pub fn cfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
+    cfcore_ctl(g, params, &PrepareCtl::UNBOUNDED).expect("unbounded prepare is never interrupted")
+}
+
+/// [`cfcore`] with cooperative interruption: `ctl` is threaded into the
+/// `FCore` peels and probed between the cascade's stages (the 2-hop
+/// projection and the coloring are the expensive phases, so each stage
+/// boundary is a natural abort point).
+pub fn cfcore_ctl(
+    g: &BipartiteGraph,
+    params: FairParams,
+    ctl: &PrepareCtl,
+) -> Result<PruneOutcome, StopReason> {
     // Stage 1: fair α-β core.
-    let s1 = fcore(g, params);
+    let s1 = fcore_ctl(g, params, ctl)?;
     let g1 = &s1.sub.graph;
     let n_attrs = g1.n_attr_values(Side::Lower) as i64;
+    if let Some(r) = ctl.interrupted() {
+        return Err(r);
+    }
 
     // Stage 2: 2-hop projection of the fair side (threaded when the
     // post-FCore graph is still large).
@@ -119,6 +134,9 @@ pub fn cfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
     } else {
         construct_2hop(g1, Side::Lower, params.alpha as usize)
     };
+    if let Some(r) = ctl.interrupted() {
+        return Err(r);
+    }
 
     // Stage 3: fair cliques have >= A_n * beta vertices, so each member
     // needs >= A_n * beta - 1 neighbors in H.
@@ -130,6 +148,9 @@ pub fn cfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
 
     // Stage 4: ego colorful beta-core of the reduced 2-hop graph.
     let ego_alive = ego_colorful_core(&h2, params.beta);
+    if let Some(r) = ctl.interrupted() {
+        return Err(r);
+    }
 
     // Stage 5: project survivors back to the bipartite graph and
     // re-run FCore.
@@ -140,16 +161,17 @@ pub fn cfcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
         }
     }
     let s2 = induce(g1, &vec![true; g1.n_upper()], &keep_lower);
-    let s3 = fcore(&s2.graph, params);
+    let s3 = fcore_ctl(&s2.graph, params, ctl)?;
 
     let total = compose(&s1.sub, compose(&s2, s3.sub));
     let stats = stats_of(g, &total);
-    PruneOutcome { sub: total, stats }
+    Ok(PruneOutcome { sub: total, stats })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fcore::fcore;
     use bigraph::generate::{plant_bicliques, random_uniform};
     use bigraph::GraphBuilder;
 

@@ -37,6 +37,57 @@ impl CancelToken {
     }
 }
 
+/// Cooperative interruption for the *preparation* phases: pruning
+/// (including the colorful-core cascade) and candidate-plan
+/// construction.
+///
+/// Enumeration honors its [`Budget`] at branch granularity, but
+/// preparation used to run to completion unconditionally — a cold
+/// query could overshoot its deadline by one full un-cancellable
+/// `prepare`. Passing a `PrepareCtl` lets the prune cascade re-check
+/// the deadline and cancel token at stage boundaries (and
+/// periodically inside the peel loops), so an expired query stops in
+/// bounded time and reports [`StopReason::Deadline`] /
+/// [`StopReason::Cancelled`] instead of silently running long.
+#[derive(Debug, Clone, Default)]
+pub struct PrepareCtl {
+    /// Abort preparation once this instant passes.
+    pub deadline_at: Option<Instant>,
+    /// Abort preparation when this token is cancelled.
+    pub cancel: Option<CancelToken>,
+}
+
+impl PrepareCtl {
+    /// No interruption: preparation always runs to completion.
+    pub const UNBOUNDED: PrepareCtl = PrepareCtl {
+        deadline_at: None,
+        cancel: None,
+    };
+
+    /// True when no limit is attached (the probe can never fire).
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline_at.is_none() && self.cancel.is_none()
+    }
+
+    /// Interruption probe. Reads the cancel flag and the clock, so
+    /// hot loops should gate calls on a step counter (the prune
+    /// cascade probes every few thousand peel steps and at every
+    /// stage boundary).
+    pub fn interrupted(&self) -> Option<StopReason> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline_at {
+            if Instant::now() >= d {
+                return Some(StopReason::Deadline);
+            }
+        }
+        None
+    }
+}
+
 /// Why a run stopped before exhausting the search space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StopReason {

@@ -110,8 +110,10 @@ pub(crate) fn fairbcem_pp_shared(
 pub(crate) struct SsExpander<'a> {
     params: FairParams,
     attrs: &'a [bigraph::AttrValueId],
-    n_attrs: usize,
     groups: Vec<Vec<VertexId>>,
+    /// Attribute-count scratch, recounted per expansion (no per-call
+    /// allocation on the hot path).
+    counts: AttrCounts,
     /// Lower-side candidate ops (closure checks intersect the fair
     /// side's adjacency).
     ops: AdjOps<'a>,
@@ -137,8 +139,8 @@ impl<'a> SsExpander<'a> {
         SsExpander {
             params,
             attrs: g.attrs(Side::Lower),
-            n_attrs,
             groups: vec![Vec::new(); n_attrs],
+            counts: AttrCounts::zeros(n_attrs),
             ops,
             clock,
             emitted: 0,
@@ -160,8 +162,8 @@ impl<'a> SsExpander<'a> {
         if self.clock.exhausted {
             return;
         }
-        let counts = AttrCounts::of(r, self.attrs, self.n_attrs);
-        if is_fair(counts.as_slice(), self.params.beta, self.params.delta) {
+        self.counts.recount(r, self.attrs);
+        if is_fair(self.counts.as_slice(), self.params.beta, self.params.delta) {
             if self.clock.try_result() {
                 sink.emit(l, r);
                 self.emitted += 1;
@@ -169,19 +171,20 @@ impl<'a> SsExpander<'a> {
             self.clock.tick();
             return;
         }
-        // Expand into maximal fair subsets (Algorithm 7).
+        // Expand into maximal fair subsets (Algorithm 7). The
+        // per-attribute groups are long-lived scratch, passed to the
+        // combination driver directly (no slice-of-slices rebuild).
         for g_attr in self.groups.iter_mut() {
             g_attr.clear();
         }
         for &v in r {
             self.groups[self.attrs[v as usize] as usize].push(v);
         }
-        let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
         let ops = &mut self.ops;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
         for_each_max_fair_subset(
-            &group_refs,
+            &self.groups,
             self.params.beta,
             self.params.delta,
             &mut |r_sub| {

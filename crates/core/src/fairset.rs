@@ -75,6 +75,20 @@ impl AttrCounts {
         c
     }
 
+    /// Zero every count in place (no reallocation).
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Reset to the counts of `vertices` in place (no reallocation) —
+    /// the hot-loop form of [`AttrCounts::of`].
+    pub fn recount(&mut self, vertices: &[VertexId], attrs: &[bigraph::AttrValueId]) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        for &v in vertices {
+            self.inc(attrs[v as usize]);
+        }
+    }
+
     /// Increment attribute `a`.
     #[inline]
     pub fn inc(&mut self, a: bigraph::AttrValueId) {
@@ -427,9 +441,13 @@ pub fn for_each_ksubset(
 /// Emit the cartesian product of per-group `sizes[i]`-subsets, merged
 /// and sorted (the set expansion step of Algorithm 7, lines 6–9).
 ///
-/// Early-terminates (returning `false`) when the callback does.
-pub fn for_each_sized_product(
-    groups: &[&[VertexId]],
+/// Generic over the group storage (`&[&[VertexId]]` or
+/// `&[Vec<VertexId>]`) so hot callers can pass their long-lived
+/// per-attribute scratch buffers without building a slice-of-slices
+/// view per call. Early-terminates (returning `false`) when the
+/// callback does.
+pub fn for_each_sized_product<G: AsRef<[VertexId]>>(
+    groups: &[G],
     sizes: &[u32],
     f: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
@@ -440,7 +458,7 @@ pub fn for_each_sized_product(
         scratch: Vec<VertexId>,
     }
     impl Emitter<'_> {
-        fn rec(&mut self, groups: &[&[VertexId]], sizes: &[u32]) -> bool {
+        fn rec<G: AsRef<[VertexId]>>(&mut self, groups: &[G], sizes: &[u32]) -> bool {
             match groups.split_first() {
                 None => {
                     self.scratch.clear();
@@ -451,7 +469,7 @@ pub fn for_each_sized_product(
                 Some((g0, rest)) => {
                     let (s0, sr) = sizes.split_first().expect("sizes match groups");
                     let this = self;
-                    for_each_ksubset(g0, *s0 as usize, &mut |sub| {
+                    for_each_ksubset(g0.as_ref(), *s0 as usize, &mut |sub| {
                         let base = this.buf.len();
                         this.buf.extend_from_slice(sub);
                         let go_on = this.rec(rest, sr);
@@ -473,13 +491,13 @@ pub fn for_each_sized_product(
 /// `Combination` (Algorithm 7): all maximal fair subsets of the set
 /// whose members are given per attribute in `groups`. Results sorted.
 /// Early-terminates (returning `false`) when the callback does.
-pub fn for_each_max_fair_subset(
-    groups: &[&[VertexId]],
+pub fn for_each_max_fair_subset<G: AsRef<[VertexId]>>(
+    groups: &[G],
     k: u32,
     delta: u32,
     f: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
-    let counts: Vec<u32> = groups.iter().map(|g| g.len() as u32).collect();
+    let counts: Vec<u32> = groups.iter().map(|g| g.as_ref().len() as u32).collect();
     match combination_sizes(&counts, k, delta) {
         Some(sizes) => for_each_sized_product(groups, &sizes, f),
         None => true,
@@ -489,14 +507,14 @@ pub fn for_each_max_fair_subset(
 /// Exact `CombinationPro`: all maximal proportion-fair subsets of the
 /// per-attribute `groups`. Early-terminates (returning `false`) when
 /// the callback does.
-pub fn for_each_max_pro_fair_subset(
-    groups: &[&[VertexId]],
+pub fn for_each_max_pro_fair_subset<G: AsRef<[VertexId]>>(
+    groups: &[G],
     k: u32,
     delta: u32,
     theta: f64,
     f: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
-    let counts: Vec<u32> = groups.iter().map(|g| g.len() as u32).collect();
+    let counts: Vec<u32> = groups.iter().map(|g| g.as_ref().len() as u32).collect();
     for sizes in max_pro_fair_size_vectors(&counts, k, delta, theta) {
         if !for_each_sized_product(groups, &sizes, f) {
             return false;

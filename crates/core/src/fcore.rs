@@ -10,10 +10,15 @@
 //! to attribute degrees: initialize degrees, queue violators, cascade.
 //! `O(|E| + |V|)` time, `O(|U|·A_n^V + |V|)` space.
 
-use crate::config::FairParams;
+use crate::config::{FairParams, PrepareCtl, StopReason};
 use bigraph::subgraph::{induce, InducedSubgraph};
 use bigraph::{BipartiteGraph, Side, VertexId};
 use serde::{Deserialize, Serialize};
+
+/// How many peel steps run between two [`PrepareCtl::interrupted`]
+/// probes inside the cascades. Each step touches one adjacency list, so
+/// this keeps probe overhead well under 1% while bounding overshoot.
+pub(crate) const CTL_PROBE_INTERVAL: u32 = 4096;
 
 /// Before/after sizes of a pruning stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,6 +101,23 @@ pub fn no_prune(g: &BipartiteGraph) -> PruneOutcome {
 ///
 /// Returns `(keep_upper, keep_lower)`.
 pub fn fcore_masks(g: &BipartiteGraph, alpha: u32, beta: u32) -> (Vec<bool>, Vec<bool>) {
+    fcore_masks_ctl(g, alpha, beta, &PrepareCtl::UNBOUNDED)
+        .expect("unbounded prepare is never interrupted")
+}
+
+/// [`fcore_masks`] with cooperative interruption: probes `ctl` every
+/// [`CTL_PROBE_INTERVAL`] peel steps and aborts with the interrupting
+/// [`StopReason`]. A default (unbounded) `ctl` adds no per-step work.
+pub fn fcore_masks_ctl(
+    g: &BipartiteGraph,
+    alpha: u32,
+    beta: u32,
+    ctl: &PrepareCtl,
+) -> Result<(Vec<bool>, Vec<bool>), StopReason> {
+    if let Some(r) = ctl.interrupted() {
+        return Err(r);
+    }
+    let probe = !ctl.is_unbounded();
     let n_u = g.n_upper();
     let n_v = g.n_lower();
     let n_attrs = (g.n_attr_values(Side::Lower) as usize).max(1);
@@ -138,7 +160,14 @@ pub fn fcore_masks(g: &BipartiteGraph, alpha: u32, beta: u32) -> (Vec<bool>, Vec
         }
     }
 
+    let mut steps: u32 = 0;
     while let Some((side, x)) = stack.pop() {
+        steps = steps.wrapping_add(1);
+        if probe && steps % CTL_PROBE_INTERVAL == 0 {
+            if let Some(r) = ctl.interrupted() {
+                return Err(r);
+            }
+        }
         match side {
             Side::Upper => {
                 // Removing upper x lowers the degree of its lower neighbors.
@@ -170,15 +199,24 @@ pub fn fcore_masks(g: &BipartiteGraph, alpha: u32, beta: u32) -> (Vec<bool>, Vec
         }
     }
 
-    (alive_u, alive_v)
+    Ok((alive_u, alive_v))
 }
 
 /// `FCore` (Algorithm 1): peel to the fair α-β core and compact.
 pub fn fcore(g: &BipartiteGraph, params: FairParams) -> PruneOutcome {
-    let (ku, kv) = fcore_masks(g, params.alpha, params.beta);
+    fcore_ctl(g, params, &PrepareCtl::UNBOUNDED).expect("unbounded prepare is never interrupted")
+}
+
+/// [`fcore`] with cooperative interruption (see [`fcore_masks_ctl`]).
+pub fn fcore_ctl(
+    g: &BipartiteGraph,
+    params: FairParams,
+    ctl: &PrepareCtl,
+) -> Result<PruneOutcome, StopReason> {
+    let (ku, kv) = fcore_masks_ctl(g, params.alpha, params.beta, ctl)?;
     let sub = induce(g, &ku, &kv);
     let stats = stats_of(g, &sub);
-    PruneOutcome { sub, stats }
+    Ok(PruneOutcome { sub, stats })
 }
 
 /// Check that `(keep_upper, keep_lower)` induce a subgraph satisfying

@@ -99,6 +99,58 @@ pub(crate) struct BranchTask {
     pub(crate) substrate: Substrate,
 }
 
+impl BranchTask {
+    /// Copy-on-steal snapshot of a live branch frame — the **only**
+    /// place branch state is cloned. The serial walker mutates pooled
+    /// frames in place and restores on backtrack; only at a task-split
+    /// point does the engine need an owned `(L, R, P, Q)`, and the
+    /// snapshot is byte-identical to the state the serial recursion
+    /// would have passed down, so the Q-seeding correctness argument
+    /// of [`crate::parallel`] is untouched.
+    pub(crate) fn snapshot(
+        l: &[VertexId],
+        r: &[VertexId],
+        p: &[VertexId],
+        q: &[VertexId],
+        depth: u32,
+        substrate: Substrate,
+    ) -> BranchTask {
+        BranchTask {
+            l: l.to_vec(),
+            r: r.to_vec(),
+            p: p.to_vec(),
+            q: q.to_vec(),
+            depth,
+            substrate,
+        }
+    }
+}
+
+/// The in-place branch state of one enumeration-tree level: the
+/// `(L, P, Q)` vectors the walker mutates and restores, plus the
+/// per-level scratch (`consumed`, sorted-`R` view). Frames are pooled
+/// on the [`Walker`] and recycled across siblings and levels, so the
+/// steady-state walk allocates nothing — capacity grown on the deepest
+/// path so far is reused by every later branch.
+#[derive(Debug, Default)]
+struct BranchFrame {
+    /// `L` of this level (sorted).
+    l: Vec<VertexId>,
+    /// Remaining candidates in processing order. Consumed vertices are
+    /// compacted out of the *unprocessed suffix* only; the processed
+    /// prefix is never read again, so it is left in place instead of
+    /// shifting the whole vector per branch.
+    p: Vec<VertexId>,
+    /// Duplicate-suppression set `Q`, extended in place as candidates
+    /// are expanded or consumed (the undo is structural: the frame is
+    /// dropped back into the pool when the level returns).
+    q: Vec<VertexId>,
+    /// Per-branch consumed set `C` (scratch, survives the recursion).
+    consumed: Vec<VertexId>,
+    /// Sorted view of `R` for the visit callback (scratch).
+    r_sorted: Vec<VertexId>,
+}
+
 /// The whole-graph root task under `order`, on a resolved `substrate`.
 pub(crate) fn root_task(
     g: &BipartiteGraph,
@@ -133,6 +185,10 @@ pub(crate) struct Walker<'a> {
     visited: u64,
     cur_bytes: usize,
     peak_bytes: usize,
+    /// Recycled [`BranchFrame`]s: one live frame per recursion level,
+    /// at most max-depth-so-far frames pooled. Makes the steady-state
+    /// walk allocation-free.
+    pool: Vec<BranchFrame>,
 }
 
 impl<'a> Walker<'a> {
@@ -154,6 +210,7 @@ impl<'a> Walker<'a> {
             visited: 0,
             cur_bytes: 0,
             peak_bytes: 0,
+            pool: Vec::new(),
         }
     }
 
@@ -210,130 +267,127 @@ impl<'a> Walker<'a> {
             * std::mem::size_of::<VertexId>();
         let seed = if task.depth > 0 { frame } else { 0 };
         self.cur_bytes += seed;
-        let l = task.l;
-        self.level(
-            &l,
-            &mut r,
-            &mut r_counts,
-            task.p,
-            &task.q,
-            task.depth,
-            visit,
-            spawn,
-        );
+        // Move the task's owned state into a frame; the pooled scratch
+        // vectors ride along.
+        let fr = BranchFrame {
+            l: task.l,
+            p: task.p,
+            q: task.q,
+            ..self.pool.pop().unwrap_or_default()
+        };
+        let fr = self.level(fr, &mut r, &mut r_counts, task.depth, visit, spawn);
+        self.pool.push(fr);
         self.cur_bytes -= seed;
     }
 
     /// `BackTrackFBCEM++` skeleton: one level of the enumeration tree.
-    /// `p` is consumed in order; `q` holds expanded/consumed vertices.
-    /// Children either recurse (serial) or become [`BranchTask`]s
-    /// (`spawn` mode) — the spawned state is bit-identical to the
-    /// recursive call's arguments.
-    #[allow(clippy::too_many_arguments)]
+    ///
+    /// The frame `fr` owns this level's `(L, P, Q)` and is mutated in
+    /// place: `P` is consumed via a cursor (consumed vertices are
+    /// merged out of the unprocessed suffix), `Q` grows in place, and
+    /// the per-branch child state is built into a single recycled
+    /// child frame instead of fresh vectors. `R` stays the classic
+    /// push/restore undo stack. Children either recurse (serial) or
+    /// become [`BranchTask`] snapshots (`spawn` mode) — the spawned
+    /// state is bit-identical to the recursive call's arguments.
+    ///
+    /// Returns `fr` (contents spent) so the caller can recycle it.
     fn level(
         &mut self,
-        l: &[VertexId],
+        mut fr: BranchFrame,
         r: &mut Vec<VertexId>,
         r_counts: &mut AttrCounts,
-        mut p: Vec<VertexId>,
-        q: &[VertexId],
         depth: u32,
         visit: &mut dyn FnMut(&[VertexId], &[VertexId]),
         mut spawn: Option<&mut dyn FnMut(BranchTask)>,
-    ) {
-        let mut q_local: Vec<VertexId> = q.to_vec();
-        let mut l_new: Vec<VertexId> = Vec::new();
-        let mut r_sorted: Vec<VertexId> = Vec::new();
+    ) -> BranchFrame {
+        // The sibling-shared child frame: filled per branch, moved into
+        // the recursion, and recycled back through the return value.
+        let mut child = self.pool.pop().unwrap_or_default();
+        let mut pi = 0;
 
-        while !p.is_empty() {
+        while pi < fr.p.len() {
             if !self.clock.tick() {
-                return;
+                break;
             }
-            let x = p[0];
-            self.ops.intersect_into(l, x, &mut l_new);
+            let x = fr.p[pi];
+            self.ops.intersect_into(&fr.l, x, &mut child.l);
 
-            if l_new.len() < self.min_l {
-                // Cannot lead to a qualifying biclique; retire x.
-                p.remove(0);
-                q_local.push(x);
+            if child.l.len() < self.min_l {
+                // Cannot lead to a qualifying biclique; retire x. The
+                // cursor skips it — the processed prefix is dead.
+                fr.q.push(x);
+                pi += 1;
                 continue;
             }
 
             // Stage L' once: the Q-maximality and absorption loops
             // below count many rows against it.
-            self.ops.load(&l_new);
+            self.ops.load(&child.l);
 
             // Maximality against Q: a fully-connected Q vertex means
             // this closed biclique was already enumerated elsewhere.
             let mut flag = true;
-            let mut q_new: Vec<VertexId> = Vec::new();
-            for &u in &q_local {
+            child.q.clear();
+            for &u in &fr.q {
                 let c = self.ops.loaded_count(u);
-                if c == l_new.len() {
+                if c == child.l.len() {
                     flag = false;
                     break;
                 }
                 if c > 0 {
-                    q_new.push(u);
+                    child.q.push(u);
                 }
             }
 
             // Consumed set C: x plus absorbed vertices with no
-            // neighbors outside L'.
-            let mut consumed: Vec<VertexId> = vec![x];
+            // neighbors outside L'. Lives on `fr` so it survives the
+            // recursion (which consumes `child`).
+            fr.consumed.clear();
+            fr.consumed.push(x);
             if flag {
                 let pushed_base = r.len();
                 r.push(x);
                 r_counts.inc(self.attrs[x as usize]);
 
-                let mut p_new: Vec<VertexId> = Vec::new();
-                for &v in &p[1..] {
+                child.p.clear();
+                for &v in &fr.p[pi + 1..] {
                     let c = self.ops.loaded_count(v);
-                    if c == l_new.len() {
+                    if c == child.l.len() {
                         // Absorb: fully connected to L'.
                         r.push(v);
                         r_counts.inc(self.attrs[v as usize]);
                         if self.ops.degree(v) == c {
-                            consumed.push(v);
+                            fr.consumed.push(v);
                         }
                     } else if c >= self.min_l {
-                        p_new.push(v);
+                        child.p.push(v);
                     }
                 }
 
                 // (L', R') is a maximal biclique with |L'| >= min_l.
-                r_sorted.clear();
-                r_sorted.extend_from_slice(r);
-                r_sorted.sort_unstable();
+                fr.r_sorted.clear();
+                fr.r_sorted.extend_from_slice(r);
+                fr.r_sorted.sort_unstable();
                 self.visited += 1;
-                visit(&l_new, &r_sorted);
+                visit(&child.l, &fr.r_sorted);
 
-                if !p_new.is_empty() && self.rbound.admits(r, r_counts, &p_new) {
+                if !child.p.is_empty() && self.rbound.admits(r, r_counts, &child.p) {
                     match spawn.as_deref_mut() {
-                        Some(sp) => sp(BranchTask {
-                            l: l_new.clone(),
-                            r: r.clone(),
-                            p: p_new,
-                            q: q_new,
-                            depth: depth + 1,
-                            substrate: self.ops.substrate(),
-                        }),
+                        Some(sp) => sp(BranchTask::snapshot(
+                            &child.l,
+                            r,
+                            &child.p,
+                            &child.q,
+                            depth + 1,
+                            self.ops.substrate(),
+                        )),
                         None => {
-                            let frame = (l_new.len() + p_new.len() + q_new.len())
+                            let frame = (child.l.len() + child.p.len() + child.q.len())
                                 * std::mem::size_of::<VertexId>();
                             self.cur_bytes += frame;
                             self.peak_bytes = self.peak_bytes.max(self.cur_bytes);
-                            let l_child = l_new.clone();
-                            self.level(
-                                &l_child,
-                                r,
-                                r_counts,
-                                p_new,
-                                &q_new,
-                                depth + 1,
-                                visit,
-                                None,
-                            );
+                            child = self.level(child, r, r_counts, depth + 1, visit, None);
                             self.cur_bytes -= frame;
                         }
                     }
@@ -345,17 +399,39 @@ impl<'a> Walker<'a> {
                     r_counts.dec(self.attrs[v as usize]);
                 }
                 if self.clock.exhausted {
-                    return;
+                    break;
                 }
             }
 
-            // P <- P - C; Q <- Q ∪ C.
-            p.retain(|v| !consumed.contains(v));
-            q_local.extend_from_slice(&consumed);
+            // P <- P - C; Q <- Q ∪ C. x itself sits at the cursor, so
+            // only the absorbed-consumed tail needs compacting out of
+            // the unprocessed suffix; `consumed[1..]` is a subsequence
+            // of `p[pi + 1..]` in identical order, so one merge pass
+            // suffices (the old retain scanned C per element).
+            fr.q.push(x);
+            if fr.consumed.len() > 1 {
+                let mut w = pi + 1;
+                let mut ci = 1;
+                for ri in pi + 1..fr.p.len() {
+                    let v = fr.p[ri];
+                    if ci < fr.consumed.len() && fr.consumed[ci] == v {
+                        ci += 1;
+                        fr.q.push(v);
+                    } else {
+                        fr.p[w] = v;
+                        w += 1;
+                    }
+                }
+                fr.p.truncate(w);
+            }
+            pi += 1;
             if self.clock.exhausted {
-                return;
+                break;
             }
         }
+
+        self.pool.push(child);
+        fr
     }
 }
 

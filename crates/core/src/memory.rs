@@ -31,7 +31,16 @@ pub struct MemoryReport {
     /// the sorted-vec substrate; see
     /// [`crate::config::RunConfig::substrate`]).
     pub bitset_rows_bytes: usize,
-    /// Peak depth-first search state.
+    /// Peak depth-first search state: the per-level `(L, P, Q)`
+    /// branch sets live at the deepest point of the walk. The walkers
+    /// keep this state in pooled, undo-restored frames (recycled
+    /// across siblings, so the steady-state walk allocates nothing),
+    /// but the *accounted* bytes are the logical per-level set sizes —
+    /// the same formula as the previous clone-per-branch walkers, so
+    /// Exp-6 numbers stay comparable across versions. Parallel runs
+    /// additionally snapshot branch state at task-split points
+    /// (copy-on-steal); those snapshots are transient task payloads
+    /// and are not part of this peak.
     pub search_bytes: usize,
 }
 

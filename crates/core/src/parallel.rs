@@ -183,6 +183,23 @@ impl TaskQueue {
     }
 }
 
+/// Unwind guard for one stolen task: `finish()` must run even when the
+/// task's sink or expander panics. Without it, `active` stays positive
+/// forever, peer workers block on the queue condvar, and
+/// `thread::scope` waits on those peers — so the panicked worker's
+/// `join` (which would surface the panic) is never reached. Dropping
+/// the guard during unwind releases the task slot and wakes every
+/// waiter; the panic itself is re-raised after all workers joined.
+struct TaskGuard<'q> {
+    queue: &'q TaskQueue,
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        self.queue.finish();
+    }
+}
+
 /// Run the maximal-biclique walk across `opts.threads` workers, each
 /// owning a visitor built by `make` (which receives a clock drawing
 /// from the run's shared expansion countdown).
@@ -231,6 +248,9 @@ pub(crate) fn parallel_walk<V: WalkVisitor>(
                     shared.clock(BudgetLane::Walk),
                 );
                 while let Some(task) = queue.steal() {
+                    // Release the task slot even if the visitor panics
+                    // (a stuck `active` count would deadlock peers).
+                    let _guard = TaskGuard { queue };
                     // Drain without work once any global limit trips.
                     if !shared.is_exhausted() {
                         if task.depth < split_depth {
@@ -241,13 +261,23 @@ pub(crate) fn parallel_walk<V: WalkVisitor>(
                             walker.run(task, &mut |l, r| visitor.visit(l, r));
                         }
                     }
-                    queue.finish();
                 }
                 (visitor, walker.stats())
             }));
         }
+        // Join every worker before re-raising a panic: peers keep
+        // draining the queue (the panicked task's subtree is simply
+        // lost, which is fine — the run aborts anyway), so joins
+        // complete promptly instead of deadlocking the scope.
+        let mut panic_payload = None;
         for h in handles {
-            per_worker.push(h.join().expect("enumeration worker panicked"));
+            match h.join() {
+                Ok(res) => per_worker.push(res),
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
         }
     });
 
@@ -973,6 +1003,55 @@ mod tests {
             crate::biclique::BicliqueSink::emit(&mut serial_top, &bc.upper, &bc.lower);
         }
         assert_eq!(merged.into_sorted(), serial_top.into_sorted());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_instead_of_deadlocking() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        /// Panics on the Nth emission across all workers (shared
+        /// counter), exercising an unwind mid-task at 4 threads.
+        struct PanicSink {
+            emitted: Arc<AtomicU64>,
+            nth: u64,
+        }
+        impl BicliqueSink for PanicSink {
+            fn emit(&mut self, _l: &[VertexId], _r: &[VertexId]) {
+                // lint: ordering: test-only shared counter; exact
+                // interleaving is irrelevant, any emission may trip it.
+                if self.emitted.fetch_add(1, Ordering::Relaxed) + 1 == self.nth {
+                    panic!("injected sink panic");
+                }
+            }
+        }
+
+        let g = random_uniform(14, 16, 95, 2, 2, 21);
+        let params = FairParams::unchecked(1, 1, 2);
+        let total = enumerate_ssfbc(&g, params, &RunConfig::default())
+            .bicliques
+            .len() as u64;
+        assert!(total > 4, "need enough results to panic mid-run");
+
+        let cfg = RunConfig::with_threads(4);
+        let emitted = Arc::new(AtomicU64::new(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_run_ssfbc(&g, params, &cfg, &|| PanicSink {
+                emitted: emitted.clone(),
+                nth: 3,
+            })
+        }));
+        // The injected panic must come back to the caller (pre-fix this
+        // deadlocked: the panicked worker never released its task slot,
+        // peers blocked on the condvar, and thread::scope waited
+        // forever). Peer workers drain the queue and join first.
+        assert!(result.is_err(), "sink panic must propagate to the caller");
+        assert!(emitted.load(Ordering::Relaxed) >= 3);
+
+        // The engine stays usable after a panicked run.
+        let again = par_enumerate_ssfbc(&g, params, &RunConfig::default(), 4);
+        assert_eq!(again.bicliques.len() as u64, total);
     }
 
     #[test]

@@ -5,13 +5,13 @@
 //! translate results back to the caller's vertex ids.
 
 use crate::bfairbcem::{bfairbcem_on_pruned_with, bfairbcem_pp_on_pruned_with};
-use crate::bfcore::{bcfcore, bfcore};
+use crate::bfcore::{bcfcore_ctl, bfcore_ctl};
 use crate::biclique::{Biclique, BicliqueSink, EnumStats, MappingSink};
-use crate::cfcore::cfcore;
-use crate::config::{FairParams, ProParams, PruneKind, RunConfig};
+use crate::cfcore::cfcore_ctl;
+use crate::config::{FairParams, PrepareCtl, ProParams, PruneKind, RunConfig, StopReason};
 use crate::fairbcem::fairbcem_on_pruned;
 use crate::fairbcem_pp::fairbcem_pp_on_pruned_with;
-use crate::fcore::{fcore, no_prune, PruneOutcome, PruneStats};
+use crate::fcore::{fcore_ctl, no_prune, PruneOutcome, PruneStats};
 use crate::naive::{bnsf_on_pruned, nsf_on_pruned};
 use crate::proportion::{bfairbcem_pro_pp_on_pruned_with, fairbcem_pro_pp_on_pruned_with};
 use bigraph::BipartiteGraph;
@@ -75,20 +75,45 @@ pub struct RunReport {
 
 /// Run the pruning stage configured for a single-side problem.
 pub fn prune_single_side(g: &BipartiteGraph, params: FairParams, kind: PruneKind) -> PruneOutcome {
+    prune_single_side_ctl(g, params, kind, &PrepareCtl::UNBOUNDED)
+        .expect("unbounded prepare is never interrupted")
+}
+
+/// [`prune_single_side`] with cooperative interruption: the prune
+/// cascade probes `ctl` at stage boundaries and (counter-gated) inside
+/// the peel loops, aborting with the interrupting [`StopReason`].
+pub fn prune_single_side_ctl(
+    g: &BipartiteGraph,
+    params: FairParams,
+    kind: PruneKind,
+    ctl: &PrepareCtl,
+) -> Result<PruneOutcome, StopReason> {
     match kind {
-        PruneKind::None => no_prune(g),
-        PruneKind::FCore => fcore(g, params),
-        PruneKind::Colorful => cfcore(g, params),
+        PruneKind::None => Ok(no_prune(g)),
+        PruneKind::FCore => fcore_ctl(g, params, ctl),
+        PruneKind::Colorful => cfcore_ctl(g, params, ctl),
     }
 }
 
 /// Run the pruning stage configured for a bi-side problem
 /// (`FCore` maps to `BFCore`, `Colorful` to `BCFCore`).
 pub fn prune_bi_side(g: &BipartiteGraph, params: FairParams, kind: PruneKind) -> PruneOutcome {
+    prune_bi_side_ctl(g, params, kind, &PrepareCtl::UNBOUNDED)
+        .expect("unbounded prepare is never interrupted")
+}
+
+/// [`prune_bi_side`] with cooperative interruption (see
+/// [`prune_single_side_ctl`]).
+pub fn prune_bi_side_ctl(
+    g: &BipartiteGraph,
+    params: FairParams,
+    kind: PruneKind,
+    ctl: &PrepareCtl,
+) -> Result<PruneOutcome, StopReason> {
     match kind {
-        PruneKind::None => no_prune(g),
-        PruneKind::FCore => bfcore(g, params),
-        PruneKind::Colorful => bcfcore(g, params),
+        PruneKind::None => Ok(no_prune(g)),
+        PruneKind::FCore => bfcore_ctl(g, params, ctl),
+        PruneKind::Colorful => bcfcore_ctl(g, params, ctl),
     }
 }
 

@@ -20,7 +20,9 @@
 
 use crate::bfairbcem::bfairbcem_pp_planned;
 use crate::biclique::{Biclique, BicliqueSink, CollectSink, CountSink, EnumStats, MappingSink};
-use crate::config::{FairParams, ProParams, PruneKind, RunConfig, SharedBudget, Substrate};
+use crate::config::{
+    FairParams, PrepareCtl, ProParams, PruneKind, RunConfig, SharedBudget, StopReason, Substrate,
+};
 use crate::fairbcem_pp::fairbcem_pp_shared;
 use crate::fcore::{PruneOutcome, PruneStats};
 use crate::maximum::{MaxSink, SizeMetric};
@@ -28,7 +30,7 @@ use crate::parallel::{
     merge_max, par_bsfbc_workers, par_pbsfbc_workers, par_pssfbc_workers, par_ssfbc_workers,
     EngineOpts, MappedGraph,
 };
-use crate::pipeline::{prune_bi_side, prune_single_side, RunReport};
+use crate::pipeline::{prune_bi_side_ctl, prune_single_side_ctl, RunReport};
 use crate::proportion::{bfairbcem_pro_pp_planned, fairbcem_pro_pp_shared};
 use bigraph::candidate::CandidatePlan;
 use bigraph::BipartiteGraph;
@@ -108,20 +110,52 @@ impl PreparedQuery {
         prune: PruneKind,
         substrate: Substrate,
     ) -> PreparedQuery {
+        Self::prepare_bounded(g, model, prune, substrate, &PrepareCtl::UNBOUNDED)
+            .expect("unbounded prepare is never interrupted")
+    }
+
+    /// [`PreparedQuery::prepare`] under a deadline/cancellation bound:
+    /// the prune cascade probes `ctl` at its stage boundaries (and,
+    /// counter-gated, inside the peel loops) and aborts with the
+    /// interrupting [`StopReason`] instead of running to completion.
+    /// No partial plan is produced on `Err` — the caller retries the
+    /// prepare later (or reports the truncation) rather than caching
+    /// a half-pruned core.
+    pub fn prepare_bounded(
+        g: &BipartiteGraph,
+        model: QueryModel,
+        prune: PruneKind,
+        substrate: Substrate,
+        ctl: &PrepareCtl,
+    ) -> Result<PreparedQuery, StopReason> {
         let t0 = Instant::now();
         let params = model.base();
-        let pruned = if model.is_bi_side() {
-            prune_bi_side(g, params, prune)
+        let mut pruned = if model.is_bi_side() {
+            prune_bi_side_ctl(g, params, prune, ctl)?
         } else {
-            prune_single_side(g, params, prune)
+            prune_single_side_ctl(g, params, prune, ctl)?
         };
+        if let Some(r) = ctl.interrupted() {
+            return Err(r);
+        }
+        // Relabel the pruned core in degree order so the hottest
+        // bitset rows land on adjacent cache lines. Results are mapped
+        // back through the composed parent maps, so this is invisible
+        // outside the walk itself. Gated on the resolved substrate:
+        // sorted-vec merges iterate CSR ranges wholesale and gain
+        // nothing from the permutation (it measurably perturbs their
+        // merge patterns), and `resolve_for` reads only side sizes and
+        // density, which relabeling preserves.
+        if substrate.resolve_for(&pruned.sub.graph) == Substrate::Bitset {
+            pruned.sub = pruned.sub.relabel_degree_desc();
+        }
         let plan = CandidatePlan::build(&pruned.sub.graph, substrate, model.is_bi_side());
-        PreparedQuery {
+        Ok(PreparedQuery {
             model,
             pruned,
             plan,
             prune_elapsed: t0.elapsed(),
-        }
+        })
     }
 
     /// The model this plan was prepared for.
@@ -386,6 +420,53 @@ mod tests {
         }
         let after = prepared.execute(&RunConfig::default());
         assert_eq!(after.bicliques.len(), full.bicliques.len());
+    }
+
+    #[test]
+    fn prepare_bounded_aborts_on_expired_ctl() {
+        let g = random_uniform(16, 18, 120, 2, 2, 4);
+        for model in models() {
+            // Expired deadline: the first probe trips before any stage
+            // runs, for every prune kind including None (probed in the
+            // prepare wrapper itself).
+            for prune in [PruneKind::None, PruneKind::FCore, PruneKind::Colorful] {
+                let ctl = PrepareCtl {
+                    deadline_at: Some(Instant::now()),
+                    cancel: None,
+                };
+                let got = PreparedQuery::prepare_bounded(&g, model, prune, Substrate::Auto, &ctl);
+                assert!(
+                    matches!(got, Err(StopReason::Deadline)),
+                    "{model} {prune:?} should abort on expired deadline"
+                );
+            }
+            // Pre-cancelled token wins over a live deadline.
+            let token = CancelToken::new();
+            token.cancel();
+            let ctl = PrepareCtl {
+                deadline_at: None,
+                cancel: Some(token),
+            };
+            let got = PreparedQuery::prepare_bounded(
+                &g,
+                model,
+                PruneKind::Colorful,
+                Substrate::Auto,
+                &ctl,
+            );
+            assert!(matches!(got, Err(StopReason::Cancelled)), "{model}");
+            // An unbounded ctl prepares normally and matches `prepare`.
+            let bounded = PreparedQuery::prepare_bounded(
+                &g,
+                model,
+                PruneKind::Colorful,
+                Substrate::Auto,
+                &PrepareCtl::UNBOUNDED,
+            )
+            .unwrap();
+            let plain = PreparedQuery::prepare(&g, model, PruneKind::Colorful, Substrate::Auto);
+            assert_eq!(bounded.prune_stats(), plain.prune_stats(), "{model}");
+        }
     }
 
     #[test]

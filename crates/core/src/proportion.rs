@@ -105,8 +105,10 @@ pub(crate) fn fairbcem_pro_pp_shared(
 pub(crate) struct ProSsExpander<'a> {
     pro: ProParams,
     attrs: &'a [bigraph::AttrValueId],
-    n_attrs: usize,
     groups: Vec<Vec<VertexId>>,
+    /// Attribute-count scratch, recounted per expansion (no per-call
+    /// allocation on the hot path).
+    counts: AttrCounts,
     /// Lower-side candidate ops (closure checks intersect the fair
     /// side's adjacency).
     ops: AdjOps<'a>,
@@ -131,8 +133,8 @@ impl<'a> ProSsExpander<'a> {
         ProSsExpander {
             pro,
             attrs: g.attrs(Side::Lower),
-            n_attrs,
             groups: vec![Vec::new(); n_attrs],
+            counts: AttrCounts::zeros(n_attrs),
             ops,
             clock,
             emitted: 0,
@@ -155,8 +157,13 @@ impl<'a> ProSsExpander<'a> {
             return;
         }
         let params = self.pro.base;
-        let counts = AttrCounts::of(r, self.attrs, self.n_attrs);
-        if is_fair_pro(counts.as_slice(), params.beta, params.delta, self.pro.theta) {
+        self.counts.recount(r, self.attrs);
+        if is_fair_pro(
+            self.counts.as_slice(),
+            params.beta,
+            params.delta,
+            self.pro.theta,
+        ) {
             if self.clock.try_result() {
                 sink.emit(l, r);
                 self.emitted += 1;
@@ -170,12 +177,11 @@ impl<'a> ProSsExpander<'a> {
         for &v in r {
             self.groups[self.attrs[v as usize] as usize].push(v);
         }
-        let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
         let ops = &mut self.ops;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
         for_each_max_pro_fair_subset(
-            &group_refs,
+            &self.groups,
             params.beta,
             params.delta,
             self.pro.theta,
@@ -254,12 +260,16 @@ pub(crate) fn bfairbcem_pro_pp_planned(
 pub(crate) struct ProBiSideExpander<'a> {
     g: &'a BipartiteGraph,
     pro: ProParams,
-    n_attrs_l: usize,
     /// Upper-side candidate ops (`N(l')` intersects upper adjacency).
     ops: AdjOps<'a>,
     clock: BudgetClock,
     pub(crate) emitted: u64,
     groups: Vec<Vec<VertexId>>,
+    /// Long-lived scratch for the per-subset MFSCheck: `N(l')`, the
+    /// lower counts of `R'`, and the candidate counts of `N(l') − R'`.
+    nl: Vec<VertexId>,
+    base: AttrCounts,
+    cand: AttrCounts,
 }
 
 impl<'a> ProBiSideExpander<'a> {
@@ -277,11 +287,13 @@ impl<'a> ProBiSideExpander<'a> {
         ProBiSideExpander {
             g,
             pro,
-            n_attrs_l,
             ops,
             clock,
             emitted: 0,
             groups: vec![Vec::new(); n_attrs_u],
+            nl: Vec::new(),
+            base: AttrCounts::zeros(n_attrs_l),
+            cand: AttrCounts::zeros(n_attrs_l),
         }
     }
 
@@ -307,24 +319,24 @@ impl<'a> ProBiSideExpander<'a> {
         for &u in l {
             self.groups[attrs_u[u as usize] as usize].push(u);
         }
-        let group_refs: Vec<&[VertexId]> = self.groups.iter().map(|g| g.as_slice()).collect();
-        let base = AttrCounts::of(r, attrs_l, self.n_attrs_l);
+        self.base.recount(r, attrs_l);
         let pro = self.pro;
-        let n_attrs_l = self.n_attrs_l;
         let ops = &mut self.ops;
         let emitted = &mut self.emitted;
         let clock = &mut self.clock;
-        let mut nl: Vec<VertexId> = Vec::new();
+        let nl = &mut self.nl;
+        let base = &self.base;
+        let cand = &mut self.cand;
         for_each_max_pro_fair_subset(
-            &group_refs,
+            &self.groups,
             pro.base.alpha,
             pro.base.delta,
             pro.theta,
             &mut |l_sub| {
-                ops.common_neighbors_into(l_sub, &mut nl);
-                let mut cand = AttrCounts::zeros(n_attrs_l);
+                ops.common_neighbors_into(l_sub, nl);
+                cand.clear();
                 let mut i = 0usize;
-                for &v in &nl {
+                for &v in nl.iter() {
                     while i < r.len() && r[i] < v {
                         i += 1;
                     }

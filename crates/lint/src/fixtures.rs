@@ -313,3 +313,64 @@ fn forbid_unsafe_fixture_negative() {
     assert!(fired(&a, "forbid-unsafe", "crates/foo/src/lib.rs").is_empty());
     assert!(fired(&a, "forbid-unsafe", "crates/bar/src/lib.rs").is_empty());
 }
+
+// --------------------------------------------------------- branch-state clone
+
+const BRANCH_STATE_POSITIVE: &str = r#"
+pub fn branch(l: &[u32], q: &mut Vec<u32>) -> Vec<u32> {
+    let ql = q.to_vec();
+    let copy = l.clone();
+    drop(ql);
+    copy
+}
+"#;
+
+const BRANCH_STATE_NEGATIVE: &str = r#"
+pub struct Task { l: Vec<u32> }
+pub fn split(l: &[u32], nl: &[u32], r_counts: &[u32], budget: &[u32]) -> Task {
+    // Scratch state with its own name is fine.
+    let _counts = r_counts.to_vec();
+    let _budget = budget.clone();
+    snapshot(l, nl)
+}
+fn snapshot(
+    l: &[u32],
+    nl: &[u32],
+) -> Task {
+    // The blessed copy-on-steal site: owned copies are the point.
+    let mut owned = l.to_vec();
+    owned.extend_from_slice(&nl.to_vec());
+    Task { l: owned }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_clone() {
+        let q = vec![1u32];
+        assert_eq!(q.to_vec(), q.clone());
+    }
+}
+"#;
+
+#[test]
+fn branch_state_fixture_positive() {
+    let a = analysis(&[("crates/core/src/mbea.rs", BRANCH_STATE_POSITIVE)], "");
+    let lines = fired(&a, "branch-state-clone", "crates/core/src/mbea.rs");
+    // q.to_vec() and l.clone() inside a branch body.
+    assert_eq!(lines, vec![3, 4]);
+}
+
+#[test]
+fn branch_state_fixture_negative() {
+    let a = analysis(
+        &[
+            ("crates/core/src/mbea.rs", BRANCH_STATE_NEGATIVE),
+            // The same clones outside the walker files: not this rule's business.
+            ("crates/core/src/fix.rs", BRANCH_STATE_POSITIVE),
+        ],
+        "",
+    );
+    assert!(fired(&a, "branch-state-clone", "crates/core/src/mbea.rs").is_empty());
+    assert!(fired(&a, "branch-state-clone", "crates/core/src/fix.rs").is_empty());
+}

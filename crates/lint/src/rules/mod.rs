@@ -8,6 +8,7 @@ use crate::findings::Finding;
 use crate::walk::{Analysis, SourceFile};
 
 pub mod atomics;
+pub mod branch_state;
 pub mod determinism;
 pub mod locks;
 pub mod panic_paths;
@@ -60,6 +61,11 @@ pub const RULES: &[Rule] = &[
         name: unsafe_code::NAME,
         summary: "crates with zero unsafe tokens must #![forbid(unsafe_code)]",
         check: unsafe_code::check,
+    },
+    Rule {
+        name: branch_state::NAME,
+        summary: "walker branch state is cloned only in the blessed split-point snapshot helper",
+        check: branch_state::check,
     },
 ];
 

@@ -7,7 +7,7 @@ use crate::plan_cache::{PlanCache, PlanKey};
 use crate::protocol::{EnumMode, EnumOpts, Reply, Request};
 use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 use crate::ServiceConfig;
-use fair_biclique::config::{Budget, CancelToken, RunConfig, StopReason};
+use fair_biclique::config::{Budget, CancelToken, PrepareCtl, RunConfig, StopReason};
 use fair_biclique::prepared::{PreparedQuery, QueryModel};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -271,7 +271,13 @@ impl Engine {
     /// plans whose `(α, β)` core was touched. Plans at untouched pairs
     /// keep serving byte-identical results, so they stay resident.
     fn apply_update(&self, name: &str, update: GraphUpdate) -> Reply {
-        let tracked = lock_unpoisoned(&self.plans).tracked_pairs(name);
+        // Track only the (α, β) pairs of plans at the graph's current
+        // epoch: older-epoch leftovers in the LRU are unreachable and
+        // must not widen the update's core-maintenance work.
+        let tracked = match self.catalog.get(name) {
+            Some(entry) => lock_unpoisoned(&self.plans).tracked_pairs(name, entry.epoch),
+            None => Vec::new(),
+        };
         match self.catalog.update(name, update, &tracked) {
             Ok(out) => {
                 let (dropped, kept) = {
@@ -323,28 +329,41 @@ impl Engine {
 
     /// Fetch (or prepare and cache) the plan for `(entry, model,
     /// substrate)`. Returns the plan and whether it was a cache hit.
+    ///
+    /// Cold preparations run under the query's deadline and the
+    /// server's shutdown token: the prune cascade probes cooperatively
+    /// and aborts with the interrupting [`StopReason`] instead of
+    /// overshooting the deadline by one un-cancellable prepare.
+    /// Nothing is cached on abort — a retry with a fresh deadline
+    /// prepares from scratch.
     fn plan_for(
         &self,
         entry: &Arc<GraphEntry>,
         model: QueryModel,
         opts: &EnumOpts,
-    ) -> (Arc<PreparedQuery>, bool) {
+        deadline_at: Option<Instant>,
+    ) -> Result<(Arc<PreparedQuery>, bool), StopReason> {
         let key = PlanKey::new(&entry.name, entry.epoch, model, opts.substrate);
         if let Some(plan) = lock_unpoisoned(&self.plans).get(&key) {
             bump(&self.metrics.plan_cache_hits);
-            return (plan, true);
+            return Ok((plan, true));
         }
         bump(&self.metrics.plan_cache_misses);
         // Prepare outside the lock: cold preparations of different
         // keys proceed in parallel. Two racing queries for the same
         // key both prepare; last insert wins (harmless duplicate
         // work, never a stale plan).
-        let plan = Arc::new(PreparedQuery::prepare(
+        let ctl = PrepareCtl {
+            deadline_at,
+            cancel: Some(self.shutdown.clone()),
+        };
+        let plan = Arc::new(PreparedQuery::prepare_bounded(
             &entry.graph,
             model,
             Default::default(),
             opts.substrate,
-        ));
+            &ctl,
+        )?);
         // Cache only if the entry we prepared against is still the
         // cataloged one. A graph update keeps the epoch (so the key
         // alone cannot tell update generations apart) and runs its
@@ -356,24 +375,16 @@ impl Engine {
         if current.is_some_and(|c| Arc::ptr_eq(&c, entry)) {
             lock_unpoisoned(&self.plans).insert(key, Arc::clone(&plan));
         }
-        (plan, false)
+        Ok((plan, false))
     }
 
     fn query(&self, graph: &str, model: QueryModel, opts: EnumOpts) -> Reply {
         bump(&self.metrics.queries_total);
         let t0 = Instant::now();
         let deadline_at = opts.deadline.map(|d| t0 + d);
-        let deadline_reply = |cached| {
-            let status = self.status_line(
-                graph,
-                model,
-                &opts,
-                0,
-                cached,
-                Some(StopReason::Deadline),
-                t0,
-            );
-            self.finish(Reply::ok(status), Some(StopReason::Deadline), t0)
+        let truncated_reply = |cached, stop: StopReason| {
+            let status = self.status_line(graph, model, &opts, 0, cached, Some(stop), t0);
+            self.finish(Reply::ok(status), Some(stop), t0)
         };
         let Some(entry) = self.catalog.get(graph) else {
             bump(&self.metrics.queries_err);
@@ -388,21 +399,27 @@ impl Engine {
             }
             // The deadline expired while queued: the slot was released
             // at expiry and the reply is empty-but-well-formed.
-            Err(AdmitRefused::DeadlineExpired) => return deadline_reply(false),
+            Err(AdmitRefused::DeadlineExpired) => {
+                return truncated_reply(false, StopReason::Deadline)
+            }
         };
 
-        let (plan, cached) = self.plan_for(&entry, model, &opts);
+        // The deadline is one wall clock covering queue wait, (for
+        // cold plans) preparation, and enumeration. A cold prepare
+        // that outlives the deadline aborts cooperatively inside the
+        // prune cascade and reports `truncated=deadline` here — it no
+        // longer overshoots by a full un-cancellable prepare.
+        let (plan, cached) = match self.plan_for(&entry, model, &opts, deadline_at) {
+            Ok(got) => got,
+            Err(stop) => return truncated_reply(false, stop),
+        };
 
-        // The deadline is one wall clock covering queue wait and (for
-        // cold plans) preparation: whatever they consumed is gone from
-        // the enumeration budget. Preparation itself is not
-        // interruptible mid-pass (pruning carries no budget clock), so
-        // a cold query can overshoot its deadline by one prepare —
-        // but it then gets a zero enumeration budget rather than a
-        // fresh one, and the plan stays cached for the retry.
+        // A prepare that finished between two probes may still have
+        // exhausted the clock: re-check before enumerating so the run
+        // gets a zero budget rather than a fresh one.
         let remaining = deadline_at.map(|d| d.saturating_duration_since(Instant::now()));
         if remaining == Some(Duration::ZERO) {
-            return deadline_reply(cached);
+            return truncated_reply(cached, StopReason::Deadline);
         }
 
         let limit = match opts.mode {
@@ -588,9 +605,15 @@ mod tests {
         let s = ok_status(&o);
         assert!(s.contains("truncated=deadline"), "{s}");
         assert_eq!(field(s, "count"), Some("0"));
-        // The server still answers normal queries afterwards.
+        // The cold prepare aborted, so nothing was cached for it.
+        assert_eq!(field(s, "cached"), Some("false"));
+        assert_eq!(lock_unpoisoned(&e.plans).len(), 0);
+        // The server still answers normal queries afterwards; the
+        // first one re-prepares from scratch.
         let o = e.handle_line("ENUM g ssfbc alpha=2 beta=1 delta=1");
-        assert!(!ok_status(&o).contains("truncated"));
+        let s = ok_status(&o);
+        assert!(!s.contains("truncated"));
+        assert_eq!(field(s, "cached"), Some("false"));
     }
 
     #[test]

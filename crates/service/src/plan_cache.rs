@@ -107,6 +107,17 @@ impl PlanCache {
 
     /// Insert a freshly prepared plan, evicting the least recently
     /// used slot when full.
+    ///
+    /// Eviction is a linear `min_by_key` scan over the resident slots,
+    /// deliberately so: the cache holds at most `capacity` plans (a
+    /// few dozen in any realistic deployment — each slot pins a pruned
+    /// core plus bitset rows, so capacity is bounded by heap long
+    /// before scan cost matters), and the scan only runs on an insert
+    /// that is already paying for a full prepare. An intrusive LRU
+    /// list would save O(capacity) key clones per *miss-insert* at the
+    /// price of order bookkeeping on every *hit*; with hits outnumbering
+    /// miss-inserts by orders of magnitude, the scan is the cheaper
+    /// regime. Revisit only if capacity grows into the thousands.
     pub fn insert(&mut self, key: PlanKey, plan: Arc<PreparedQuery>) {
         if self.capacity == 0 {
             return;
@@ -152,14 +163,17 @@ impl PlanCache {
         dropped
     }
 
-    /// The distinct `(α, β)` pairs with a cached plan for `graph`
-    /// (sorted, deduplicated) — the pairs whose fair cores the
-    /// graph-update path must track.
-    pub fn tracked_pairs(&self, graph: &str) -> Vec<(u32, u32)> {
+    /// The distinct `(α, β)` pairs with a cached plan for `graph` at
+    /// its current catalog `epoch` (sorted, deduplicated) — the pairs
+    /// whose fair cores the graph-update path must track. Plans of
+    /// older epochs are unreachable leftovers aging out of the LRU;
+    /// including their pairs would make updates track (and invalidate
+    /// against) cores no live plan serves.
+    pub fn tracked_pairs(&self, graph: &str, epoch: u64) -> Vec<(u32, u32)> {
         let mut pairs: Vec<(u32, u32)> = self
             .slots
             .keys()
-            .filter(|k| k.graph == graph)
+            .filter(|k| k.graph == graph && k.epoch == epoch)
             .map(|k| (k.alpha, k.beta))
             .collect();
         pairs.sort_unstable();
@@ -263,8 +277,8 @@ mod tests {
         c.insert(key("g", 0, 1), plan_for(1));
         c.insert(key("g", 0, 2), plan_for(2));
         c.insert(key("h", 0, 1), plan_for(3));
-        assert_eq!(c.tracked_pairs("g"), vec![(1, 1), (2, 1)]);
-        assert_eq!(c.tracked_pairs("zzz"), vec![]);
+        assert_eq!(c.tracked_pairs("g", 0), vec![(1, 1), (2, 1)]);
+        assert_eq!(c.tracked_pairs("zzz", 0), vec![]);
         assert_eq!(c.count_graph("g"), 2);
         // Only alpha=1 plans of g are stale.
         let dropped = c.invalidate_where(|k| k.graph == "g" && k.alpha == 1);
@@ -273,6 +287,41 @@ mod tests {
         assert!(c.get(&key("g", 0, 1)).is_none());
         assert!(c.get(&key("g", 0, 2)).is_some(), "untouched plan survives");
         assert!(c.get(&key("h", 0, 1)).is_some(), "other graph survives");
+    }
+
+    #[test]
+    fn tracked_pairs_ignores_stale_epochs() {
+        let mut c = PlanCache::new(8);
+        // Old-generation leftovers at epoch 0 (not yet aged out), plus
+        // live plans at epoch 1.
+        c.insert(key("g", 0, 1), plan_for(1));
+        c.insert(key("g", 0, 7), plan_for(2));
+        c.insert(key("g", 1, 2), plan_for(3));
+        c.insert(key("g", 1, 3), plan_for(4));
+        // Another graph at the queried epoch never leaks in.
+        c.insert(key("h", 1, 9), plan_for(5));
+        assert_eq!(c.tracked_pairs("g", 1), vec![(2, 1), (3, 1)]);
+        assert_eq!(c.tracked_pairs("g", 0), vec![(1, 1), (7, 1)]);
+        assert_eq!(c.tracked_pairs("g", 2), vec![]);
+    }
+
+    #[test]
+    fn lru_keeps_pinned_plan_resident_across_churn() {
+        // A plan that is touched between inserts survives arbitrary
+        // churn: each insert's eviction scan removes the true LRU, not
+        // the hot slot.
+        let mut c = PlanCache::new(3);
+        c.insert(key("g", 0, 1), plan_for(1));
+        for alpha in 2..20u32 {
+            assert!(c.get(&key("g", 0, 1)).is_some(), "alpha={alpha}");
+            c.insert(key("g", 0, alpha), plan_for(alpha as u64));
+            assert!(c.len() <= 3);
+        }
+        assert!(c.get(&key("g", 0, 1)).is_some(), "pinned plan survived");
+        // 18 inserts into 3 slots with one pinned → 16 evictions.
+        assert_eq!(c.evictions, 16);
+        // And the evicted ones are really gone.
+        assert!(c.get(&key("g", 0, 2)).is_none());
     }
 
     #[test]

@@ -196,6 +196,28 @@ fn scripted_session_matches_cli_caches_plans_and_survives_deadlines() {
     let (_, stats) = c.ok("STATS");
     assert!(stat_value(&stats, "truncated_deadline") >= 1);
 
+    // --- deadline on the *cold-plan* path: an already-expired
+    // deadline on an uncached (graph, params) key is admitted (workers
+    // are free), reaches the prepare phase, and the prune cascade
+    // aborts cooperatively — the reply reports the deadline instead of
+    // overshooting by one un-cancellable prepare.
+    // (α, β) = (40, 40) keeps the prepare non-trivial — the full
+    // prune cascade runs — while the pruned core, and hence the
+    // enumeration, is empty.
+    let cold = "ENUM big ssfbc alpha=40 beta=40 delta=1";
+    let (status, payload) = c.ok(&format!("{cold} deadline-ms=0"));
+    assert!(status.contains("truncated=deadline"), "{status}");
+    assert_eq!(field(&status, "cached"), Some("false"), "{status}");
+    assert_eq!(field(&status, "count"), Some("0"), "{status}");
+    assert!(payload.is_empty());
+    // Nothing was cached by the aborted prepare: the retry without a
+    // deadline prepares from scratch (miss), and only then caches.
+    let (status, _) = c.ok(cold);
+    assert!(!status.contains("truncated"), "{status}");
+    assert_eq!(field(&status, "cached"), Some("false"), "{status}");
+    let (status, _) = c.ok(cold);
+    assert_eq!(field(&status, "cached"), Some("true"), "{status}");
+
     // --- multi-client: concurrent sessions on their own connections.
     let addr2 = addr.clone();
     let workers: Vec<_> = (0..3)
