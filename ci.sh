@@ -83,7 +83,7 @@ cargo test -q
 # the smoke steps against the debug profile and skip the bench build
 # so no release compilation happens at all.
 if [[ $quick -eq 0 ]]; then
-    step "cargo bench --no-run (all 15 bench targets must compile)"
+    step "cargo bench --no-run (all 16 bench targets must compile)"
     cargo bench --no-run
     step "cargo bench --bench parallel_scaling --no-run (engine scaling target)"
     cargo bench --bench parallel_scaling --no-run
@@ -91,6 +91,8 @@ if [[ $quick -eq 0 ]]; then
     cargo bench --bench substrate_compare --no-run
     step "cargo bench --bench service_throughput --no-run (service QPS target)"
     cargo bench --bench service_throughput --no-run
+    step "cargo bench --bench shard_scaling --no-run (coordinator scaling target)"
+    cargo bench --bench shard_scaling --no-run
     profile_flag=(--release)
     bindir=target/release
 else
@@ -107,7 +109,12 @@ cargo run "${profile_flag[@]}" --bin fbe -- --help >/dev/null
 step "smoke: parallel engine — sorted output identical at 1 vs 4 threads"
 smokedir=$(mktemp -d)
 serve_pid=""
-trap '[[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null; rm -rf "$smokedir"' EXIT
+shard1_pid=""
+shard2_pid=""
+coord_pid=""
+trap 'for p in "$serve_pid" "$shard1_pid" "$shard2_pid" "$coord_pid"; do
+          [[ -n "$p" ]] && kill "$p" 2>/dev/null || true
+      done; rm -rf "$smokedir"' EXIT
 cargo run "${profile_flag[@]}" --bin fbe -- \
     generate --uniform 40,40,300 --seed 11 --out "$smokedir/g" >/dev/null
 cargo run "${profile_flag[@]}" --bin fbe -- \
@@ -184,6 +191,62 @@ if kill -0 "$serve_pid" 2>/dev/null; then
 fi
 wait "$serve_pid"
 serve_pid=""
+
+step "smoke: fbe serve --shards — 2-shard coordinator matches single-process"
+# Two shard servers plus a coordinator, all on ephemeral ports. The
+# same session runs once against the in-process engine and once
+# against the coordinator; the sorted ENUM payload lines must be
+# byte-identical (status lines carry elapsed_us and are excluded).
+# The coordinator's listen line carries a " (coordinator)" role
+# suffix, so the address capture takes only the first token.
+get_addr() { sed -n 's/^fbe-service listening on \([^ ]*\).*/\1/p' "$1" | head -n1; }
+"$bindir/fbe" serve --port 0 > "$smokedir/shard1.log" &
+shard1_pid=$!
+"$bindir/fbe" serve --port 0 > "$smokedir/shard2.log" &
+shard2_pid=$!
+s1=""; s2=""
+for _ in $(seq 1 100); do
+    s1=$(get_addr "$smokedir/shard1.log")
+    s2=$(get_addr "$smokedir/shard2.log")
+    [[ -n "$s1" && -n "$s2" ]] && break
+    sleep 0.1
+done
+[[ -n "$s1" && -n "$s2" ]] || { echo "shard servers did not report addresses"; exit 1; }
+"$bindir/fbe" serve --port 0 --shards "$s1,$s2" > "$smokedir/coord.log" &
+coord_pid=$!
+coord_addr=""
+for _ in $(seq 1 100); do
+    coord_addr=$(get_addr "$smokedir/coord.log")
+    [[ -n "$coord_addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$coord_addr" ]] || { echo "coordinator did not report its address"; exit 1; }
+grep -q "(coordinator)" "$smokedir/coord.log"
+cat > "$smokedir/shard_session.fbe" <<EOF
+LOAD g $smokedir/g
+ENUM g ssfbc alpha=2 beta=1 delta=1
+SHUTDOWN
+EOF
+"$bindir/fbe" batch "$smokedir/shard_session.fbe" > "$smokedir/solo.out"
+"$bindir/fbe" batch --connect "$coord_addr" "$smokedir/shard_session.fbe" > "$smokedir/coord.out"
+grep '^L=\[' "$smokedir/solo.out" > "$smokedir/solo.lines"
+grep '^L=\[' "$smokedir/coord.out" > "$smokedir/coord.lines"
+[[ -s "$smokedir/solo.lines" ]] || { echo "smoke query returned no results"; exit 1; }
+diff "$smokedir/solo.lines" "$smokedir/coord.lines"
+grep -q "^OK bye$" "$smokedir/coord.out"
+# SHUTDOWN fans to the shards; all three processes must exit.
+for pid in "$coord_pid" "$shard1_pid" "$shard2_pid"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "sharded serve smoke: pid $pid did not exit after SHUTDOWN"
+        exit 1
+    fi
+    wait "$pid"
+done
+coord_pid=""; shard1_pid=""; shard2_pid=""
 
 if [[ -n "$bench_n" ]]; then
     step "bench snapshot: scripts/bench_snapshot.sh $bench_n (writes BENCH_${bench_n}.json)"

@@ -1,0 +1,159 @@
+//! Scatter-gather shard scaling: partition planning cost, and
+//! coordinator ENUM latency across shard counts versus a
+//! single-process server, over real loopback TCP.
+//!
+//! Run: `cargo bench --bench shard_scaling` (`-- --quick` for a
+//! reduced iteration count).
+
+use fbe_service::engine::Engine;
+use fbe_service::ServiceConfig;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut c = Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: BufWriter::new(stream),
+        };
+        c.read_block(); // greeting
+        c
+    }
+
+    /// Send one command, drain the reply block, return (status, lines).
+    fn cmd(&mut self, line: &str) -> (String, u64) {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        self.read_block()
+    }
+
+    fn read_block(&mut self) -> (String, u64) {
+        let mut status = String::new();
+        self.reader.read_line(&mut status).expect("status");
+        let status = status.trim_end().to_string();
+        let mut lines = 0;
+        loop {
+            let mut l = String::new();
+            self.reader.read_line(&mut l).expect("payload");
+            if l.trim_end() == "." {
+                break;
+            }
+            lines += 1;
+        }
+        (status, lines)
+    }
+}
+
+fn start_server(cfg: ServiceConfig) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let engine = Engine::new(cfg);
+    let server = fbe_service::server::Server::bind("127.0.0.1:0", Arc::clone(&engine))
+        .expect("bind ephemeral");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters: u32 = if quick { 5 } else { 40 };
+    // Sparse enough that the 2-hop structure splits into many
+    // components — otherwise every shard but one is empty and the
+    // fan-out measures only coordination overhead.
+    let gen = "GEN g uniform:600,600,1400,11";
+    let query = "ENUM g ssfbc alpha=1 beta=1 delta=1 count-only";
+
+    // Partition planning alone (no sockets): components + LPT packing.
+    let g = bigraph::generate::random_uniform(600, 600, 1400, 2, 2, 11);
+    let t0 = Instant::now();
+    let plan = bigraph::partition::plan_shards(&g, bigraph::Side::Lower, 1, 4);
+    let plan_us = t0.elapsed().as_micros() as f64;
+    println!("=== Shard scaling (2-hop-component scatter-gather) ===");
+    println!(
+        "partition plan: {} components -> 4 shards in {plan_us:.0}us",
+        plan.n_components
+    );
+    fbe_bench::export_json_record(
+        "shard_scaling/partition_plan",
+        &[
+            ("components", plan.n_components as f64),
+            ("plan_us", plan_us),
+        ],
+    );
+
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}",
+        "topology", "results", "mean ms/q", "q/s"
+    );
+    for shards in [0usize, 1, 2, 4] {
+        // 0 = single process (no coordinator hop).
+        let mut handles = Vec::new();
+        let coord_addr = if shards == 0 {
+            let (addr, h) = start_server(ServiceConfig::default());
+            handles.push(h);
+            addr
+        } else {
+            let mut shard_addrs = Vec::new();
+            for _ in 0..shards {
+                let (addr, h) = start_server(ServiceConfig::default());
+                shard_addrs.push(addr);
+                handles.push(h);
+            }
+            let (addr, h) = start_server(ServiceConfig {
+                shards: shard_addrs,
+                ..ServiceConfig::default()
+            });
+            handles.push(h);
+            addr
+        };
+        let count_of = |status: &str| -> u64 {
+            status
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix("count="))
+                .and_then(|v| v.parse().ok())
+                .expect("count field")
+        };
+        let mut c = Client::connect(&coord_addr);
+        let (status, _) = c.cmd(gen);
+        assert!(status.starts_with("OK"), "{status}");
+        // Warm every shard's plan cache, then measure.
+        let (status, _) = c.cmd(query);
+        assert!(status.starts_with("OK"), "{status}");
+        let warm_results = count_of(&status);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let (status, _) = c.cmd(query);
+            assert!(status.starts_with("OK"), "{status}");
+            assert_eq!(count_of(&status), warm_results, "result count drifted");
+        }
+        let total = t0.elapsed();
+        let mean_ms = total.as_secs_f64() * 1e3 / iters as f64;
+        let qps = iters as f64 / total.as_secs_f64().max(1e-9);
+        let label = if shards == 0 {
+            "single-process".to_string()
+        } else {
+            format!("coordinator+{shards}")
+        };
+        println!("{label:<24} {warm_results:>10} {mean_ms:>12.2} {qps:>10.1}");
+        fbe_bench::export_json_record(
+            &format!("shard_scaling/{label}"),
+            &[
+                ("results", warm_results as f64),
+                ("mean_ms", mean_ms),
+                ("qps", qps),
+            ],
+        );
+        let (status, _) = c.cmd("SHUTDOWN");
+        assert!(status.starts_with("OK"), "{status}");
+        for h in handles {
+            h.join().expect("join").expect("server");
+        }
+    }
+}

@@ -28,6 +28,8 @@
 //!   graph verbs.
 //! * [`subgraph`] — induced subgraphs and edge sampling (scalability
 //!   experiments).
+//! * [`partition`] — sharding over connected components of the 2-hop
+//!   structure (scatter-gather enumeration across processes).
 //! * [`stats`] — degree and density statistics (Table I of the paper).
 //!
 //! ## Conventions
@@ -50,6 +52,7 @@ pub mod generate;
 pub mod graph;
 pub mod io;
 pub mod mutate;
+pub mod partition;
 pub mod stats;
 pub mod subgraph;
 pub mod twohop;

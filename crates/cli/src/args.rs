@@ -114,6 +114,12 @@ pub enum Command {
         plan_cache: usize,
         /// Default result cap for collecting queries.
         default_limit: u64,
+        /// Confine `LOAD` stems under this directory (`ERR PARSE` for
+        /// absolute stems and `..`). Absent = trusted-client mode.
+        data_root: Option<String>,
+        /// Shard server addresses; non-empty turns this instance into
+        /// a scatter-gather coordinator.
+        shards: Vec<String>,
     },
     /// `fbe batch` — run protocol lines from a file/stdin, either
     /// against an in-process engine or a live server (`--connect`).
@@ -503,6 +509,8 @@ fn parse_serve(c: &mut Cursor<'_>) -> Result<Command, String> {
     let mut queue = 16usize;
     let mut plan_cache = 32usize;
     let mut default_limit = 1000u64;
+    let mut data_root = None;
+    let mut shards = Vec::new();
     while let Some(a) = c.next() {
         match a {
             "--host" => host = c.value("--host")?.to_string(),
@@ -536,6 +544,18 @@ fn parse_serve(c: &mut Cursor<'_>) -> Result<Command, String> {
                     .parse()
                     .map_err(|e| format!("--default-limit: {e}"))?
             }
+            "--data-root" => data_root = Some(c.value("--data-root")?.to_string()),
+            "--shards" => {
+                shards = c
+                    .value("--shards")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if shards.is_empty() {
+                    return Err("--shards: expected host:port[,host:port...]".into());
+                }
+            }
             other => return Err(format!("serve: unknown argument {other:?}")),
         }
     }
@@ -546,6 +566,8 @@ fn parse_serve(c: &mut Cursor<'_>) -> Result<Command, String> {
         queue,
         plan_cache,
         default_limit,
+        data_root,
+        shards,
     })
 }
 
@@ -780,6 +802,8 @@ mod tests {
                 queue: 16,
                 plan_cache: 32,
                 default_limit: 1000,
+                data_root: None,
+                shards: Vec::new(),
             }
         );
         let cmd = parse(&sv(&[
@@ -812,6 +836,27 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&sv(&["serve", "--port", "x"])).is_err());
+
+        // Coordinator / confinement flags.
+        let cmd = parse(&sv(&[
+            "serve",
+            "--shards",
+            "127.0.0.1:7001, 127.0.0.1:7002",
+            "--data-root",
+            "/srv/graphs",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                shards, data_root, ..
+            } => {
+                assert_eq!(shards, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+                assert_eq!(data_root.as_deref(), Some("/srv/graphs"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&sv(&["serve", "--shards", " , "])).is_err());
+        assert!(parse(&sv(&["serve", "--shards"])).is_err());
 
         assert_eq!(
             parse(&sv(&["batch"])).unwrap(),

@@ -106,7 +106,19 @@ pub fn execute_to(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             queue,
             plan_cache,
             default_limit,
-        } => serve(out, &host, port, workers, queue, plan_cache, default_limit),
+            data_root,
+            shards,
+        } => serve(
+            out,
+            &host,
+            port,
+            workers,
+            queue,
+            plan_cache,
+            default_limit,
+            data_root,
+            shards,
+        ),
         Command::Batch { connect, path } => batch(out, connect.as_deref(), path.as_deref()),
     }
 }
@@ -442,6 +454,7 @@ fn maximum(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve(
     out: &mut dyn Write,
     host: &str,
@@ -450,18 +463,24 @@ fn serve(
     queue: usize,
     plan_cache: usize,
     default_limit: u64,
+    data_root: Option<String>,
+    shards: Vec<String>,
 ) -> Result<(), CliError> {
+    let coordinator = !shards.is_empty();
     let engine = fbe_service::engine::Engine::new(fbe_service::ServiceConfig {
         workers,
         queue_depth: queue,
         plan_cache_capacity: plan_cache,
         default_result_limit: default_limit,
+        data_root: data_root.map(std::path::PathBuf::from),
+        shards,
         ..fbe_service::ServiceConfig::default()
     });
     let server = fbe_service::server::Server::bind(&format!("{host}:{port}"), engine)
         .map_err(|e| CliError::Usage(format!("serve: binding {host}:{port}: {e}")))?;
     let addr = server.local_addr()?;
-    writeln!(out, "fbe-service listening on {addr}")?;
+    let role = if coordinator { " (coordinator)" } else { "" };
+    writeln!(out, "fbe-service listening on {addr}{role}")?;
     out.flush()?;
     server.run()?;
     writeln!(out, "fbe-service stopped")?;

@@ -49,7 +49,8 @@ USAGE:
         [--budget-secs <N>] [--threads <N>]
         [--substrate <auto|sorted-vec|bitset>]
   fbe serve [--host <H>] [--port <P>] [--workers <N>] [--queue <N>]
-        [--plan-cache <N>] [--default-limit <N>]
+        [--plan-cache <N>] [--default-limit <N>] [--data-root <DIR>]
+        [--shards <HOST:PORT,...>]
   fbe batch [--connect <HOST:PORT>] [<script-file>|-]
 
 A <stem> refers to the three files written by `fbe generate`:
@@ -77,6 +78,15 @@ queries (ADDEDGE/DELEDGE/ADDVERTEX): the service repairs its fair
 cores incrementally and keeps every cached plan whose core the update
 did not touch. See the README's Service section for the protocol
 grammar.
+
+--data-root confines LOAD stems under a directory (absolute paths and
+.. are refused with ERR PARSE). --shards turns the instance into a
+scatter-gather coordinator: LOAD/GEN fan out with a per-shard SHARD
+command that restricts each shard server to its slice of the
+deterministic 2-hop-component partition, ENUM merges the shards'
+sorted result streams (byte-identical to a single-process run) under
+one global result budget, and a failed shard answers ERR SHARD
+instead of hanging.
 
 EXAMPLES:
   fbe generate --dataset youtube --out /tmp/yt

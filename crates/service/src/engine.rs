@@ -126,7 +126,7 @@ enum AdmitRefused {
 /// A resident query engine. Shared across connection threads via
 /// `Arc`; all interior mutability is behind locks/atomics.
 pub struct Engine {
-    cfg: ServiceConfig,
+    pub(crate) cfg: ServiceConfig,
     catalog: GraphCatalog,
     plans: Mutex<PlanCache>,
     admission: Admission,
@@ -207,6 +207,11 @@ impl Engine {
 
     /// Execute a parsed request.
     pub fn handle(&self, req: Request) -> Outcome {
+        if !self.cfg.shards.is_empty() {
+            // Coordinator mode: fan out to the shard servers instead
+            // of executing locally (the local catalog stays empty).
+            return crate::coordinator::handle(self, req);
+        }
         match req {
             Request::Ping => Outcome::Reply(Reply::ok("pong")),
             Request::Shutdown => {
@@ -224,12 +229,13 @@ impl Engine {
             } else {
                 Reply::err("NOGRAPH", format!("no graph named {name:?}"))
             }),
-            Request::Load { name, path, attrs } => Outcome::Reply(
-                match bigraph::io::load_stem(Path::new(&path), attrs.0, attrs.1) {
+            Request::Load { name, path, attrs } => Outcome::Reply(match self.resolve_stem(&path) {
+                Ok(stem) => match bigraph::io::load_stem(&stem, attrs.0, attrs.1) {
                     Ok(g) => Reply::ok(self.catalog_insert(&name, g, path).summary()),
                     Err(e) => Reply::err("IO", e),
                 },
-            ),
+                Err(msg) => Reply::err("PARSE", msg),
+            }),
             Request::Gen { name, spec } => {
                 let (g, source) = generate(spec);
                 Outcome::Reply(Reply::ok(self.catalog_insert(&name, g, source).summary()))
@@ -262,8 +268,61 @@ impl Engine {
             Request::AddVertex { graph, side, attr } => {
                 Outcome::Reply(self.apply_update(&graph, GraphUpdate::AddVertex(side, attr)))
             }
+            Request::Shard {
+                graph,
+                index,
+                of,
+                alpha,
+            } => Outcome::Reply(self.shard(&graph, index, of, alpha)),
             Request::Enum { graph, model, opts } => Outcome::Reply(self.query(&graph, model, opts)),
         }
+    }
+
+    /// Resolve a `LOAD` stem against the configured data root. With no
+    /// root configured the stem is trusted verbatim; with one, absolute
+    /// stems and stems containing `..` are refused so network clients
+    /// cannot point the loader at arbitrary filesystem paths.
+    pub(crate) fn resolve_stem(&self, stem: &str) -> Result<std::path::PathBuf, String> {
+        let p = Path::new(stem);
+        match &self.cfg.data_root {
+            None => Ok(p.to_path_buf()),
+            Some(root) => {
+                let escapes = p.is_absolute()
+                    || p.components()
+                        .any(|c| matches!(c, std::path::Component::ParentDir));
+                if escapes {
+                    Err(format!(
+                        "stem {stem:?} escapes the data root (absolute paths and .. are refused)"
+                    ))
+                } else {
+                    Ok(root.join(p))
+                }
+            }
+        }
+    }
+
+    /// `SHARD <graph> index=I of=K [alpha=A]`: replace the cataloged
+    /// graph with shard `I` of its deterministic `K`-way partition
+    /// along the α-threshold 2-hop components of the fair (lower)
+    /// side. The shard keeps the parent vertex-id space, so query
+    /// results remain in parent ids and every shard server computes
+    /// the identical partition independently.
+    fn shard(&self, name: &str, index: usize, of: usize, alpha: usize) -> Reply {
+        let Some(entry) = self.catalog.get(name) else {
+            return Reply::err("NOGRAPH", format!("no graph named {name:?}"));
+        };
+        let plan = bigraph::partition::plan_shards(&entry.graph, bigraph::Side::Lower, alpha, of);
+        let g = bigraph::partition::shard_edges(&entry.graph, &plan, index);
+        let weight = plan.shard_weights.get(index).copied().unwrap_or(0);
+        let source = format!("{} [shard {index}/{of} alpha={alpha}]", entry.source);
+        let edges = g.n_edges();
+        let components = plan.n_components;
+        drop(entry);
+        self.catalog_insert(name, g, source);
+        Reply::ok(format!(
+            "graph={name} shard={index} of={of} alpha={alpha} components={components} \
+             edges={edges} weight={weight}"
+        ))
     }
 
     /// Apply one dynamic-graph update: splice the graph, repair the

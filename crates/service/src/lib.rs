@@ -31,6 +31,7 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod coordinator;
 pub mod engine;
 pub mod metrics;
 pub mod plan_cache;
@@ -56,6 +57,16 @@ pub struct ServiceConfig {
     /// server answers `ERR INTERNAL` and keeps serving). Off by
     /// default; not part of the public protocol.
     pub debug_commands: bool,
+    /// Confine `LOAD` stems under this directory. When set, absolute
+    /// stems and stems containing `..` are refused with `ERR PARSE`
+    /// and relative stems resolve against this root; when unset (the
+    /// default), stems are used verbatim (trusted-client mode).
+    pub data_root: Option<std::path::PathBuf>,
+    /// Shard server addresses (`host:port`). Non-empty turns this
+    /// instance into a scatter-gather coordinator ([`coordinator`]):
+    /// `LOAD`/`GEN`/`ENUM`/`DROP`/`STATS`/`SHUTDOWN` fan out to the
+    /// shard servers instead of executing locally.
+    pub shards: Vec<String>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +77,8 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 32,
             default_result_limit: 1000,
             debug_commands: false,
+            data_root: None,
+            shards: Vec::new(),
         }
     }
 }

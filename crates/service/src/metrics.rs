@@ -36,6 +36,14 @@ pub struct Metrics {
     pub graphs_loaded: AtomicU64,
     /// Graph updates applied (`ADDEDGE` / `DELEDGE` / `ADDVERTEX`).
     pub updates_applied: AtomicU64,
+    /// Coordinator requests fanned out to shard servers.
+    pub shard_fanouts: AtomicU64,
+    /// Shard calls that failed (connect/timeout/protocol error).
+    pub shard_errors: AtomicU64,
+    /// Results received from healthy shards but discarded because a
+    /// sibling shard failed mid-fanout (partial-result accounting for
+    /// `ERR SHARD` replies).
+    pub shard_partial_results: AtomicU64,
     latency_buckets: [AtomicU64; 6],
     latency_count: AtomicU64,
     latency_sum_us: AtomicU64,
@@ -56,6 +64,9 @@ impl Default for Metrics {
             plan_cache_misses: AtomicU64::new(0),
             graphs_loaded: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
+            shard_fanouts: AtomicU64::new(0),
+            shard_errors: AtomicU64::new(0),
+            shard_partial_results: AtomicU64::new(0),
             latency_buckets: Default::default(),
             latency_count: AtomicU64::new(0),
             latency_sum_us: AtomicU64::new(0),
@@ -112,6 +123,9 @@ impl Metrics {
             format!("plan_cache_misses {}", g(&self.plan_cache_misses)),
             format!("graphs_loaded {}", g(&self.graphs_loaded)),
             format!("updates_applied {}", g(&self.updates_applied)),
+            format!("shard_fanouts {}", g(&self.shard_fanouts)),
+            format!("shard_errors {}", g(&self.shard_errors)),
+            format!("shard_partial_results {}", g(&self.shard_partial_results)),
             format!("latency_count {}", g(&self.latency_count)),
             format!("latency_sum_us {}", g(&self.latency_sum_us)),
         ];

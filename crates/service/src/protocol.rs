@@ -14,6 +14,7 @@
 //! ADDEDGE <graph> <u> <v>
 //! DELEDGE <graph> <u> <v>
 //! ADDVERTEX <graph> <upper|lower> [attr=A]
+//! SHARD <graph> index=I of=K [alpha=A]
 //! ENUM <graph> <ssfbc|bsfbc|pssfbc|pbsfbc> alpha=A beta=B delta=D
 //!      [theta=T] [threads=N] [limit=K] [deadline-ms=MS]
 //!      [substrate=auto|sorted-vec|bitset] [count-only]
@@ -21,6 +22,12 @@
 //! STATS
 //! SHUTDOWN
 //! ```
+//!
+//! `SHARD` replaces a cataloged graph with shard `I` of its
+//! deterministic `K`-way 2-hop-component partition
+//! ([`bigraph::partition`]), in the parent id space. A scatter-gather
+//! coordinator ([`crate::coordinator`]) fans `LOAD`/`GEN` + `SHARD`
+//! out to `K` shard servers and merges their `ENUM` streams.
 //!
 //! `ADDEDGE`/`DELEDGE`/`ADDVERTEX` mutate a cataloged graph in place
 //! (same catalog epoch, bumped per-update version): the service
@@ -39,9 +46,12 @@
 //! |------------|-------------------------------------------------|
 //! | `BADCMD`   | unknown command verb                            |
 //! | `BADARG`   | malformed or missing argument                   |
+//! | `PARSE`    | unreadable request line (oversized, not UTF-8)  |
+//! |            | or a `LOAD` stem escaping the data root         |
 //! | `NOGRAPH`  | `ENUM`/`DROP` names a graph not in the catalog  |
 //! | `BUSY`     | admission refused: workers and queue are full   |
 //! | `IO`       | loading a graph from disk failed                |
+//! | `SHARD`    | a shard server failed mid-fanout (coordinator)  |
 //! | `SHUTDOWN` | server is stopping; command not accepted        |
 //! | `INTERNAL` | the request handler panicked; the query failed  |
 //!
@@ -176,6 +186,22 @@ pub enum Request {
         side: bigraph::Side,
         /// Attribute value of the new vertex.
         attr: bigraph::AttrValueId,
+    },
+    /// Restrict a cataloged graph to one shard of its deterministic
+    /// 2-hop-component partition (same vertex-id space; only the
+    /// shard's edges survive).
+    Shard {
+        /// Catalog name.
+        graph: String,
+        /// Shard index in `0..of`.
+        index: usize,
+        /// Total number of shards.
+        of: usize,
+        /// Common-neighbor threshold of the partition's 2-hop
+        /// projection. `1` (the default) is exact for every model and
+        /// parameter choice; a larger value is exact only for queries
+        /// whose `alpha` is at least this.
+        alpha: usize,
     },
     /// Run a fair-biclique query.
     Enum {
@@ -485,6 +511,47 @@ pub fn parse_request(line: &str) -> Result<Request, Reply> {
                 "GEN wants <name> <dataset|uniform:NU,NV,M,...>".into(),
             )),
         },
+        "SHARD" => {
+            let [graph, kvs @ ..] = rest else {
+                return Err(badarg("SHARD wants <graph> index=I of=K [alpha=A]".into()));
+            };
+            let (mut index, mut of, mut alpha) = (None, None, 1usize);
+            for tok in kvs {
+                let (k, v) = kv(tok).map_err(badarg)?;
+                match k.to_ascii_lowercase().as_str() {
+                    "index" => {
+                        index = Some(
+                            v.parse::<usize>()
+                                .map_err(|e| badarg(format!("index: {e}")))?,
+                        )
+                    }
+                    "of" => of = Some(v.parse::<usize>().map_err(|e| badarg(format!("of: {e}")))?),
+                    "alpha" => {
+                        alpha = v
+                            .parse::<usize>()
+                            .map_err(|e| badarg(format!("alpha: {e}")))?
+                    }
+                    other => return Err(badarg(format!("unknown option {other:?}"))),
+                }
+            }
+            let index = index.ok_or_else(|| badarg("index= is required".into()))?;
+            let of = of.ok_or_else(|| badarg("of= is required".into()))?;
+            if of == 0 {
+                return Err(badarg("of= must be at least 1".into()));
+            }
+            if index >= of {
+                return Err(badarg(format!("index={index} out of range for of={of}")));
+            }
+            if alpha == 0 {
+                return Err(badarg("alpha= must be at least 1".into()));
+            }
+            Ok(Request::Shard {
+                graph: graph.to_string(),
+                index,
+                of,
+                alpha,
+            })
+        }
         "ENUM" => {
             let [graph, model, opts @ ..] = rest else {
                 return Err(badarg("ENUM wants <graph> <model> <params...>".into()));
@@ -633,6 +700,35 @@ mod tests {
         assert!(parse_request("ADDVERTEX g sideways").is_err());
         assert!(parse_request("ADDVERTEX g upper attr=oops").is_err());
         assert!(parse_request("ADDVERTEX g upper bogus=1").is_err());
+    }
+
+    #[test]
+    fn parses_shard() {
+        assert_eq!(
+            parse_request("SHARD g index=1 of=4").unwrap(),
+            Request::Shard {
+                graph: "g".into(),
+                index: 1,
+                of: 4,
+                alpha: 1
+            }
+        );
+        assert_eq!(
+            parse_request("shard g of=2 index=0 alpha=3").unwrap(),
+            Request::Shard {
+                graph: "g".into(),
+                index: 0,
+                of: 2,
+                alpha: 3
+            }
+        );
+        assert!(parse_request("SHARD g index=0").is_err());
+        assert!(parse_request("SHARD g of=2").is_err());
+        assert!(parse_request("SHARD g index=2 of=2").is_err());
+        assert!(parse_request("SHARD g index=0 of=0").is_err());
+        assert!(parse_request("SHARD g index=0 of=2 alpha=0").is_err());
+        assert!(parse_request("SHARD g index=0 of=2 bogus=1").is_err());
+        assert!(parse_request("SHARD").is_err());
     }
 
     #[test]

@@ -3,9 +3,9 @@
 #
 #   ./scripts/bench_snapshot.sh 6        # writes BENCH_6.json
 #
-# Runs the five trajectory bench targets (micro, substrate_compare,
-# parallel_scaling, service_throughput, update_throughput) in release
-# mode with the
+# Runs the six trajectory bench targets (micro, substrate_compare,
+# parallel_scaling, service_throughput, update_throughput,
+# shard_scaling) in release mode with the
 # vendored criterion stand-in's FBE_BENCH_JSON export enabled, then
 # assembles one JSON document with machine/thread metadata. Medians
 # are the headline statistic; mean/min ride along for context.
@@ -29,7 +29,7 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 runs="${FBE_BENCH_RUNS:-3}"
-targets=(micro substrate_compare parallel_scaling service_throughput update_throughput)
+targets=(micro substrate_compare parallel_scaling service_throughput update_throughput shard_scaling)
 for r in $(seq 1 "$runs"); do
     for t in "${targets[@]}"; do
         echo "== bench $t (run $r/$runs) =="
@@ -75,7 +75,7 @@ def load(path):
 
 
 for t in ["micro", "substrate_compare", "parallel_scaling", "service_throughput",
-          "update_throughput"]:
+          "update_throughput", "shard_scaling"]:
     per_run = [load(os.path.join(tmp, f"{t}.{r}.ndjson")) for r in range(1, runs + 1)]
     # Merge by case id: numeric fields take the cross-run median
     # (min_ns keeps the overall min), everything else the first run's
