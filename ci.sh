@@ -166,6 +166,10 @@ ADDEDGE g 0 40
 DELEDGE g 0 40
 ENUM g ssfbc alpha=2 beta=1 delta=1
 STATS
+TRACE on
+ENUM g ssfbc alpha=1 beta=1 delta=1 deadline-ms=0 count-only
+METRICS
+SLOWLOG
 SHUTDOWN
 EOF
 "$bindir/fbe" batch --connect "$addr" "$smokedir/session.fbe" > "$smokedir/session.out"
@@ -180,6 +184,14 @@ grep -q "edges=300" "$smokedir/session.out"
 grep -q "^plan_cache_hits 2$" "$smokedir/session.out"
 grep -q "^plan_cache_invalidated 0$" "$smokedir/session.out"
 grep -q "^updates_applied 3$" "$smokedir/session.out"
+# Observability verbs: the traced zero-deadline query truncates and is
+# recorded; METRICS speaks Prometheus; SLOWLOG replays the span tree.
+grep -q "^OK trace=on$" "$smokedir/session.out"
+grep -q "truncated=deadline" "$smokedir/session.out"
+grep -q "^# span " "$smokedir/session.out"
+grep -q "^# TYPE fbe_query_latency_us histogram$" "$smokedir/session.out"
+grep -q 'le="+Inf"' "$smokedir/session.out"
+grep -q "^query seq=.* truncated=deadline q=ENUM g ssfbc" "$smokedir/session.out"
 grep -q "^OK bye$" "$smokedir/session.out"
 for _ in $(seq 1 100); do
     kill -0 "$serve_pid" 2>/dev/null || break

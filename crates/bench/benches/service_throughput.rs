@@ -4,7 +4,7 @@
 //! Run: `cargo bench --bench service_throughput` (`-- --quick` for a
 //! reduced iteration count).
 
-use fbe_service::engine::Engine;
+use fbe_service::engine::{Engine, Session};
 use fbe_service::ServiceConfig;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -73,6 +73,44 @@ fn main() {
         fbe_bench::export_json_record(
             &format!("service_throughput/{label}"),
             &[("cold_qps", cold_qps), ("cached_qps", cached_qps)],
+        );
+    }
+
+    // Tracing overhead: the identical cached-plan query with the span
+    // recorder disabled vs enabled (tree recorded, rendered, and
+    // appended to every reply). Gates "recording is effectively free
+    // when off" — trace_off_qps must track the plain cached cell.
+    {
+        let query = "ENUM yt ssfbc alpha=8 beta=8 delta=2 count-only";
+        let _ = engine.handle_line(query); // prime the cache
+        let measure = |session: &mut Session| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let outcome = engine.handle_line_in(query, session);
+                assert!(outcome.reply().is_ok());
+            }
+            qps(iters, t0.elapsed())
+        };
+        let mut session = Session::new();
+        let trace_off_qps = measure(&mut session);
+        assert!(engine
+            .handle_line_in("TRACE on", &mut session)
+            .reply()
+            .is_ok());
+        let trace_on_qps = measure(&mut session);
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>7.2}x",
+            "trace off vs on (cached)",
+            trace_off_qps,
+            trace_on_qps,
+            trace_on_qps / trace_off_qps.max(1e-9)
+        );
+        fbe_bench::export_json_record(
+            "service_throughput/trace overhead (cached)",
+            &[
+                ("trace_off_qps", trace_off_qps),
+                ("trace_on_qps", trace_on_qps),
+            ],
         );
     }
 

@@ -99,6 +99,8 @@ pub enum Command {
         sorted: bool,
         /// Candidate-set substrate for the enumeration hot path.
         substrate: Substrate,
+        /// Print a per-stage span tree on stderr after the timing line.
+        trace: bool,
     },
     /// `fbe serve` — run the resident query service over TCP.
     Serve {
@@ -345,6 +347,7 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
     let mut threads = 1usize;
     let mut sorted = false;
     let mut substrate = Substrate::Auto;
+    let mut trace = false;
     while let Some(a) = c.next() {
         match a {
             "--alpha" => alpha = Some(parse_u32(c.value("--alpha")?, "--alpha")?),
@@ -401,6 +404,7 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
                     .parse()
                     .map_err(|e| format!("--substrate: {e}"))?
             }
+            "--trace" => trace = true,
             other => return Err(format!("enumerate: unknown argument {other:?}")),
         }
     }
@@ -428,6 +432,7 @@ fn parse_enumerate(c: &mut Cursor<'_>) -> Result<Command, String> {
         threads: threads.max(1),
         sorted,
         substrate,
+        trace,
     })
 }
 
@@ -677,6 +682,7 @@ mod tests {
             "--sorted",
             "--substrate",
             "bitset",
+            "--trace",
         ]))
         .unwrap();
         match cmd {
@@ -693,6 +699,7 @@ mod tests {
                 threads,
                 sorted,
                 substrate,
+                trace,
                 ..
             } => {
                 assert_eq!((alpha, beta, delta), (3, 2, 1));
@@ -705,7 +712,24 @@ mod tests {
                 assert_eq!(threads, 4);
                 assert!(sorted);
                 assert_eq!(substrate, Substrate::Bitset);
+                assert!(trace);
             }
+            other => panic!("{other:?}"),
+        }
+        // --trace defaults off.
+        let cmd = parse(&sv(&[
+            "enumerate",
+            "g",
+            "--alpha",
+            "1",
+            "--beta",
+            "1",
+            "--delta",
+            "0",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Enumerate { trace, .. } => assert!(!trace),
             other => panic!("{other:?}"),
         }
     }

@@ -9,11 +9,15 @@
 use crate::args::{bi_algo_of, Command, GenerateKind, GraphSource};
 use bigraph::{BipartiteGraph, Side};
 use fair_biclique::biclique::{CollectSink, CountSink, TopKSink};
-use fair_biclique::config::{Budget, FairParams, ProParams, RunConfig, Substrate, VertexOrder};
+use fair_biclique::config::{
+    Budget, FairParams, PrepareCtl, ProParams, RunConfig, Substrate, VertexOrder,
+};
+use fair_biclique::obs::SpanRecorder;
 use fair_biclique::pipeline::{
     prune_bi_side, prune_single_side, run_bsfbc, run_pbsfbc, run_pssfbc, run_ssfbc, RunReport,
     SsAlgorithm,
 };
+use fair_biclique::prepared::{PreparedQuery, QueryModel};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
@@ -81,9 +85,10 @@ pub fn execute_to(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             threads,
             sorted,
             substrate,
+            trace,
         } => enumerate(
             out, &source, alpha, beta, delta, theta, bi, algo, order, count_only, top, budget,
-            threads, sorted, substrate,
+            threads, sorted, substrate, trace,
         ),
         Command::Maximum {
             source,
@@ -258,7 +263,10 @@ fn par_stream<S: fair_biclique::biclique::BicliqueSink + Send>(
 
 /// Report a run's wall-clock phases on stderr (stdout stays
 /// byte-stable for diffing across runs, threads, and substrates).
-fn report_timing(report: &RunReport) {
+/// With `--trace` the recorder holds a span tree and its indented
+/// `span ...` lines follow the summary, so the one-line timing and
+/// the detailed breakdown read as one block.
+fn report_timing(report: &RunReport, rec: &SpanRecorder) {
     eprintln!(
         "timing: total {:.3?} (prune {:.3?}, enumerate {:.3?}){}",
         report.elapsed,
@@ -269,6 +277,9 @@ fn report_timing(report: &RunReport) {
             .map(|r| format!(" truncated by {r}"))
             .unwrap_or_default(),
     );
+    for line in rec.render() {
+        eprintln!("{line}");
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -288,6 +299,7 @@ fn enumerate(
     threads: usize,
     sorted: bool,
     substrate: Substrate,
+    trace: bool,
 ) -> Result<(), CliError> {
     let g = load(source)?;
     let params = FairParams::new(alpha, beta, delta).map_err(|e| e.to_string())?;
@@ -309,16 +321,37 @@ fn enumerate(
         Some(t) => Some(ProParams::new(alpha, beta, delta, t).map_err(|e| e.to_string())?),
         None => None,
     };
+    // Span recording covers the collect paths, which run the same
+    // prepare/execute pipeline the service traces; the streaming
+    // modes (--count-only, --top, non-default --algo) report only the
+    // total. A disabled recorder renders nothing.
+    let mut rec = if trace {
+        SpanRecorder::enabled()
+    } else {
+        SpanRecorder::disabled()
+    };
 
     // The collected path (any thread count) goes through the
-    // prepare/execute pipelines, which report per-phase timings.
-    let collect = |cfg: &RunConfig| -> RunReport {
-        match (bi, pro) {
-            (false, None) => fair_biclique::pipeline::enumerate_ssfbc(&g, params, cfg),
-            (true, None) => fair_biclique::pipeline::enumerate_bsfbc(&g, params, cfg),
-            (false, Some(p)) => fair_biclique::pipeline::enumerate_pssfbc(&g, p, cfg),
-            (true, Some(p)) => fair_biclique::pipeline::enumerate_pbsfbc(&g, p, cfg),
-        }
+    // prepare/execute pipelines, which report per-phase timings (and,
+    // with --trace, a per-stage span tree).
+    let qmodel = match (bi, pro) {
+        (false, None) => QueryModel::Ssfbc(params),
+        (true, None) => QueryModel::Bsfbc(params),
+        (false, Some(p)) => QueryModel::Pssfbc(p),
+        (true, Some(p)) => QueryModel::Pbsfbc(p),
+    };
+    let collect = |cfg: &RunConfig, rec: &mut SpanRecorder| -> RunReport {
+        let prepared = PreparedQuery::prepare_rec(
+            &g,
+            qmodel,
+            cfg.prune,
+            cfg.substrate,
+            &PrepareCtl::UNBOUNDED,
+            rec,
+        )
+        // fbe-lint: allow(no-panic-paths): PrepareCtl::UNBOUNDED never interrupts, so Err is unreachable — same contract PreparedQuery::prepare relies on
+        .expect("unbounded prepare is never interrupted");
+        prepared.execute_rec(cfg, rec)
     };
 
     // Multi-threaded runs go through the parallel engine (it works
@@ -357,8 +390,8 @@ fn enumerate(
                 &merged.into_sorted(),
             );
         }
-        let report = collect(&cfg);
-        report_timing(&report);
+        let report = collect(&cfg, &mut rec);
+        report_timing(&report, &rec);
         let n = report.bicliques.len() as u64;
         let aborted = report.stats.aborted;
         return render(out, model, n, aborted, false, None, &report.bicliques);
@@ -389,8 +422,8 @@ fn enumerate(
     }
     if algo == SsAlgorithm::FairBcemPP {
         // Default algorithm: the prepared pipeline gives phase timings.
-        let report = collect(&cfg);
-        report_timing(&report);
+        let report = collect(&cfg, &mut rec);
+        report_timing(&report, &rec);
         return render(
             out,
             model,

@@ -43,7 +43,7 @@ USAGE:
         [--theta <F>] [--bi] [--algo <nsf|bcem|bcem++>]
         [--order <id|degree>] [--count-only] [--top <K>]
         [--budget-secs <N>] [--threads <N>] [--sorted]
-        [--substrate <auto|sorted-vec|bitset>]
+        [--substrate <auto|sorted-vec|bitset>] [--trace]
   fbe maximum <stem> --alpha <N> --beta <N> --delta <N>
         [--bi] [--metric <vertices|edges>] [--order <id|degree>]
         [--budget-secs <N>] [--threads <N>]
@@ -66,6 +66,14 @@ the output is byte-identical across thread counts.
 sorted-vec merge intersections, u64 bitset rows with popcount, or
 auto (the default: bitsets when the pruned core is small and dense).
 Results are identical across substrates — only speed/memory differ.
+
+--trace extends the stderr timing line with an indented per-stage span
+tree (prepare: core-peel / 2hop / colorful peels, plan-resolve,
+enumerate, sort — the same vocabulary the service's TRACE verb and
+SLOWLOG use; see the README's Observability section). Stdout stays
+byte-identical with and without it. Spans cover the collect paths; the
+streaming modes (--count-only, --top, non-default --algo) keep the
+one-line total.
 
 fbe serve starts the resident query service on a TCP port (0 picks an
 ephemeral port, printed on startup): named graphs are loaded once

@@ -16,6 +16,7 @@
 use crate::cfcore::ego_colorful_core;
 use crate::config::{FairParams, PrepareCtl, StopReason};
 use crate::fcore::{compose, stats_of, PruneOutcome, CTL_PROBE_INTERVAL};
+use crate::obs::SpanRecorder;
 use bigraph::subgraph::induce;
 use bigraph::twohop::construct_2hop_biside;
 use bigraph::{BipartiteGraph, Side, VertexId};
@@ -160,16 +161,31 @@ pub fn bcfcore_ctl(
     params: FairParams,
     ctl: &PrepareCtl,
 ) -> Result<PruneOutcome, StopReason> {
+    bcfcore_rec(g, params, ctl, &mut SpanRecorder::disabled())
+}
+
+/// [`bcfcore_ctl`] with a [`SpanRecorder`] attributing wall time to the
+/// cascade's stages (`core-peel`, `colorful-lower`, `colorful-upper`,
+/// `re-peel`). A disabled recorder makes this identical to
+/// [`bcfcore_ctl`].
+pub fn bcfcore_rec(
+    g: &BipartiteGraph,
+    params: FairParams,
+    ctl: &PrepareCtl,
+    rec: &mut SpanRecorder,
+) -> Result<PruneOutcome, StopReason> {
     // Stage 1: bi-fair core.
-    let s1 = bfcore_ctl(g, params, ctl)?;
+    let s1 = rec.timed("core-peel", || bfcore_ctl(g, params, ctl))?;
     let g1 = &s1.sub.graph;
     if let Some(r) = ctl.interrupted() {
         return Err(r);
     }
 
     // Stage 2: colorful pruning of the lower (fair-β) side.
-    let keep_lower = biside_colorful_mask(g1, Side::Lower, params.alpha, params.beta);
-    let s2 = induce(g1, &vec![true; g1.n_upper()], &keep_lower);
+    let s2 = rec.timed("colorful-lower", || {
+        let keep_lower = biside_colorful_mask(g1, Side::Lower, params.alpha, params.beta);
+        induce(g1, &vec![true; g1.n_upper()], &keep_lower)
+    });
     let g2 = &s2.graph;
     if let Some(r) = ctl.interrupted() {
         return Err(r);
@@ -178,11 +194,13 @@ pub fn bcfcore_ctl(
     // Stage 3: colorful pruning of the upper side: thresholds swap
     // (two upper vertices must share >= beta common neighbors of every
     // lower attribute; the fair clique needs alpha per upper attr).
-    let keep_upper = biside_colorful_mask(g2, Side::Upper, params.beta, params.alpha);
-    let s3 = induce(g2, &keep_upper, &vec![true; g2.n_lower()]);
+    let s3 = rec.timed("colorful-upper", || {
+        let keep_upper = biside_colorful_mask(g2, Side::Upper, params.beta, params.alpha);
+        induce(g2, &keep_upper, &vec![true; g2.n_lower()])
+    });
 
     // Stage 4: final bi-fair core.
-    let s4 = bfcore_ctl(&s3.graph, params, ctl)?;
+    let s4 = rec.timed("re-peel", || bfcore_ctl(&s3.graph, params, ctl))?;
 
     let total = compose(&s1.sub, compose(&s2, compose(&s3, s4.sub)));
     let stats = stats_of(g, &total);

@@ -25,6 +25,7 @@
 
 use crate::config::{FairParams, PrepareCtl, StopReason};
 use crate::fcore::{compose, fcore_ctl, stats_of, PruneOutcome};
+use crate::obs::SpanRecorder;
 use bigraph::coloring::greedy_color_by_degree;
 use bigraph::subgraph::induce;
 use bigraph::twohop::construct_2hop;
@@ -118,8 +119,22 @@ pub fn cfcore_ctl(
     params: FairParams,
     ctl: &PrepareCtl,
 ) -> Result<PruneOutcome, StopReason> {
+    cfcore_rec(g, params, ctl, &mut SpanRecorder::disabled())
+}
+
+/// [`cfcore_ctl`] with per-stage span recording: the initial peel
+/// (`core-peel`), the 2-hop projection (`2hop`), the degree filter +
+/// ego colorful core (`ego-core`), and the final re-peel (`re-peel`)
+/// each become one span. A disabled recorder makes this identical to
+/// [`cfcore_ctl`] (no clock reads, no allocation).
+pub fn cfcore_rec(
+    g: &BipartiteGraph,
+    params: FairParams,
+    ctl: &PrepareCtl,
+    rec: &mut SpanRecorder,
+) -> Result<PruneOutcome, StopReason> {
     // Stage 1: fair α-β core.
-    let s1 = fcore_ctl(g, params, ctl)?;
+    let s1 = rec.timed("core-peel", || fcore_ctl(g, params, ctl))?;
     let g1 = &s1.sub.graph;
     let n_attrs = g1.n_attr_values(Side::Lower) as i64;
     if let Some(r) = ctl.interrupted() {
@@ -128,40 +143,45 @@ pub fn cfcore_ctl(
 
     // Stage 2: 2-hop projection of the fair side (threaded when the
     // post-FCore graph is still large).
-    let h = if g1.n_lower() >= 20_000 {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        bigraph::twohop::construct_2hop_par(g1, Side::Lower, params.alpha as usize, threads)
-    } else {
-        construct_2hop(g1, Side::Lower, params.alpha as usize)
-    };
+    let h = rec.timed("2hop", || {
+        if g1.n_lower() >= 20_000 {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            bigraph::twohop::construct_2hop_par(g1, Side::Lower, params.alpha as usize, threads)
+        } else {
+            construct_2hop(g1, Side::Lower, params.alpha as usize)
+        }
+    });
     if let Some(r) = ctl.interrupted() {
         return Err(r);
     }
 
-    // Stage 3: fair cliques have >= A_n * beta vertices, so each member
-    // needs >= A_n * beta - 1 neighbors in H.
-    let deg_thresh = n_attrs * params.beta as i64 - 1;
-    let keep_deg: Vec<bool> = (0..h.n() as VertexId)
-        .map(|v| h.degree(v) as i64 >= deg_thresh)
-        .collect();
-    let (h2, h2_map) = h.induce(&keep_deg);
-
-    // Stage 4: ego colorful beta-core of the reduced 2-hop graph.
-    let ego_alive = ego_colorful_core(&h2, params.beta);
+    // Stages 3+4: fair cliques have >= A_n * beta vertices, so each
+    // member needs >= A_n * beta - 1 neighbors in H; then peel the
+    // reduced 2-hop graph to its ego colorful beta-core.
+    let (h2_map, ego_alive) = rec.timed("ego-core", || {
+        let deg_thresh = n_attrs * params.beta as i64 - 1;
+        let keep_deg: Vec<bool> = (0..h.n() as VertexId)
+            .map(|v| h.degree(v) as i64 >= deg_thresh)
+            .collect();
+        let (h2, h2_map) = h.induce(&keep_deg);
+        (h2_map, ego_colorful_core(&h2, params.beta))
+    });
     if let Some(r) = ctl.interrupted() {
         return Err(r);
     }
 
     // Stage 5: project survivors back to the bipartite graph and
     // re-run FCore.
-    let mut keep_lower = vec![false; g1.n_lower()];
-    for (i, &old) in h2_map.iter().enumerate() {
-        if ego_alive[i] {
-            keep_lower[old as usize] = true;
+    let (s2, s3) = rec.timed("re-peel", || {
+        let mut keep_lower = vec![false; g1.n_lower()];
+        for (i, &old) in h2_map.iter().enumerate() {
+            if ego_alive[i] {
+                keep_lower[old as usize] = true;
+            }
         }
-    }
-    let s2 = induce(g1, &vec![true; g1.n_upper()], &keep_lower);
-    let s3 = fcore_ctl(&s2.graph, params, ctl)?;
+        let s2 = induce(g1, &vec![true; g1.n_upper()], &keep_lower);
+        fcore_ctl(&s2.graph, params, ctl).map(|s3| (s2, s3))
+    })?;
 
     let total = compose(&s1.sub, compose(&s2, s3.sub));
     let stats = stats_of(g, &total);

@@ -76,6 +76,7 @@ pub mod maximum;
 pub mod mbea;
 pub mod memory;
 pub mod naive;
+pub mod obs;
 pub mod ordering;
 pub mod parallel;
 pub mod pipeline;
@@ -91,6 +92,7 @@ pub mod prelude {
         Budget, CancelToken, FairParams, ProParams, PruneKind, RunConfig, StopReason, Substrate,
         VertexOrder,
     };
+    pub use crate::obs::{Span, SpanRecorder};
     pub use crate::pipeline::{
         enumerate_bsfbc, enumerate_pbsfbc, enumerate_pssfbc, enumerate_ssfbc, BiAlgorithm,
         RunReport, SsAlgorithm,

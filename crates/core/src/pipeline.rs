@@ -5,14 +5,15 @@
 //! translate results back to the caller's vertex ids.
 
 use crate::bfairbcem::{bfairbcem_on_pruned_with, bfairbcem_pp_on_pruned_with};
-use crate::bfcore::{bcfcore_ctl, bfcore_ctl};
+use crate::bfcore::{bcfcore_rec, bfcore_ctl};
 use crate::biclique::{Biclique, BicliqueSink, EnumStats, MappingSink};
-use crate::cfcore::cfcore_ctl;
+use crate::cfcore::cfcore_rec;
 use crate::config::{FairParams, PrepareCtl, ProParams, PruneKind, RunConfig, StopReason};
 use crate::fairbcem::fairbcem_on_pruned;
 use crate::fairbcem_pp::fairbcem_pp_on_pruned_with;
 use crate::fcore::{fcore_ctl, no_prune, PruneOutcome, PruneStats};
 use crate::naive::{bnsf_on_pruned, nsf_on_pruned};
+use crate::obs::SpanRecorder;
 use crate::proportion::{bfairbcem_pro_pp_on_pruned_with, fairbcem_pro_pp_on_pruned_with};
 use bigraph::BipartiteGraph;
 use serde::{Deserialize, Serialize};
@@ -88,10 +89,23 @@ pub fn prune_single_side_ctl(
     kind: PruneKind,
     ctl: &PrepareCtl,
 ) -> Result<PruneOutcome, StopReason> {
+    prune_single_side_rec(g, params, kind, ctl, &mut SpanRecorder::disabled())
+}
+
+/// [`prune_single_side_ctl`] with a [`SpanRecorder`] attributing wall
+/// time to the prune stages. A disabled recorder makes this identical
+/// to [`prune_single_side_ctl`].
+pub fn prune_single_side_rec(
+    g: &BipartiteGraph,
+    params: FairParams,
+    kind: PruneKind,
+    ctl: &PrepareCtl,
+    rec: &mut SpanRecorder,
+) -> Result<PruneOutcome, StopReason> {
     match kind {
         PruneKind::None => Ok(no_prune(g)),
-        PruneKind::FCore => fcore_ctl(g, params, ctl),
-        PruneKind::Colorful => cfcore_ctl(g, params, ctl),
+        PruneKind::FCore => rec.timed("core-peel", || fcore_ctl(g, params, ctl)),
+        PruneKind::Colorful => cfcore_rec(g, params, ctl, rec),
     }
 }
 
@@ -110,10 +124,22 @@ pub fn prune_bi_side_ctl(
     kind: PruneKind,
     ctl: &PrepareCtl,
 ) -> Result<PruneOutcome, StopReason> {
+    prune_bi_side_rec(g, params, kind, ctl, &mut SpanRecorder::disabled())
+}
+
+/// [`prune_bi_side_ctl`] with a [`SpanRecorder`] (see
+/// [`prune_single_side_rec`]).
+pub fn prune_bi_side_rec(
+    g: &BipartiteGraph,
+    params: FairParams,
+    kind: PruneKind,
+    ctl: &PrepareCtl,
+    rec: &mut SpanRecorder,
+) -> Result<PruneOutcome, StopReason> {
     match kind {
         PruneKind::None => Ok(no_prune(g)),
-        PruneKind::FCore => bfcore_ctl(g, params, ctl),
-        PruneKind::Colorful => bcfcore_ctl(g, params, ctl),
+        PruneKind::FCore => rec.timed("core-peel", || bfcore_ctl(g, params, ctl)),
+        PruneKind::Colorful => bcfcore_rec(g, params, ctl, rec),
     }
 }
 

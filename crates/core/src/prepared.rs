@@ -26,11 +26,12 @@ use crate::config::{
 use crate::fairbcem_pp::fairbcem_pp_shared;
 use crate::fcore::{PruneOutcome, PruneStats};
 use crate::maximum::{MaxSink, SizeMetric};
+use crate::obs::SpanRecorder;
 use crate::parallel::{
     merge_max, par_bsfbc_workers, par_pbsfbc_workers, par_pssfbc_workers, par_ssfbc_workers,
     EngineOpts, MappedGraph,
 };
-use crate::pipeline::{prune_bi_side_ctl, prune_single_side_ctl, RunReport};
+use crate::pipeline::{prune_bi_side_rec, prune_single_side_rec, RunReport};
 use crate::proportion::{bfairbcem_pro_pp_planned, fairbcem_pro_pp_shared};
 use bigraph::candidate::CandidatePlan;
 use bigraph::BipartiteGraph;
@@ -128,33 +129,63 @@ impl PreparedQuery {
         substrate: Substrate,
         ctl: &PrepareCtl,
     ) -> Result<PreparedQuery, StopReason> {
-        let t0 = Instant::now();
-        let params = model.base();
-        let mut pruned = if model.is_bi_side() {
-            prune_bi_side_ctl(g, params, prune, ctl)?
-        } else {
-            prune_single_side_ctl(g, params, prune, ctl)?
-        };
-        if let Some(r) = ctl.interrupted() {
-            return Err(r);
-        }
-        // Relabel the pruned core in degree order so the hottest
-        // bitset rows land on adjacent cache lines. Results are mapped
-        // back through the composed parent maps, so this is invisible
-        // outside the walk itself. Gated on the resolved substrate:
-        // sorted-vec merges iterate CSR ranges wholesale and gain
-        // nothing from the permutation (it measurably perturbs their
-        // merge patterns), and `resolve_for` reads only side sizes and
-        // density, which relabeling preserves.
-        if substrate.resolve_for(&pruned.sub.graph) == Substrate::Bitset {
-            pruned.sub = pruned.sub.relabel_degree_desc();
-        }
-        let plan = CandidatePlan::build(&pruned.sub.graph, substrate, model.is_bi_side());
-        Ok(PreparedQuery {
+        Self::prepare_rec(
+            g,
             model,
-            pruned,
-            plan,
-            prune_elapsed: t0.elapsed(),
+            prune,
+            substrate,
+            ctl,
+            &mut SpanRecorder::disabled(),
+        )
+    }
+
+    /// [`PreparedQuery::prepare_bounded`] with a [`SpanRecorder`]: the
+    /// preparation runs under a `prepare` scope span whose children
+    /// attribute wall time to the prune cascade's stages (`core-peel`,
+    /// `2hop`, `ego-core`, `colorful-lower`, `colorful-upper`,
+    /// `re-peel` — whichever the prune kind runs) and to
+    /// `plan-resolve` (degree relabel + candidate-plan construction).
+    /// A disabled recorder makes this identical to `prepare_bounded`.
+    pub fn prepare_rec(
+        g: &BipartiteGraph,
+        model: QueryModel,
+        prune: PruneKind,
+        substrate: Substrate,
+        ctl: &PrepareCtl,
+        rec: &mut SpanRecorder,
+    ) -> Result<PreparedQuery, StopReason> {
+        rec.scope("prepare", |rec| {
+            let t0 = Instant::now();
+            let params = model.base();
+            let mut pruned = if model.is_bi_side() {
+                prune_bi_side_rec(g, params, prune, ctl, rec)?
+            } else {
+                prune_single_side_rec(g, params, prune, ctl, rec)?
+            };
+            if let Some(r) = ctl.interrupted() {
+                return Err(r);
+            }
+            let plan = rec.timed("plan-resolve", || {
+                // Relabel the pruned core in degree order so the hottest
+                // bitset rows land on adjacent cache lines. Results are
+                // mapped back through the composed parent maps, so this
+                // is invisible outside the walk itself. Gated on the
+                // resolved substrate: sorted-vec merges iterate CSR
+                // ranges wholesale and gain nothing from the permutation
+                // (it measurably perturbs their merge patterns), and
+                // `resolve_for` reads only side sizes and density, which
+                // relabeling preserves.
+                if substrate.resolve_for(&pruned.sub.graph) == Substrate::Bitset {
+                    pruned.sub = pruned.sub.relabel_degree_desc();
+                }
+                CandidatePlan::build(&pruned.sub.graph, substrate, model.is_bi_side())
+            });
+            Ok(PreparedQuery {
+                model,
+                pruned,
+                plan,
+                prune_elapsed: t0.elapsed(),
+            })
         })
     }
 
@@ -266,21 +297,37 @@ impl PreparedQuery {
     /// `cfg.budget`). `RunReport::prune_elapsed` reports the (possibly
     /// amortized) preparation cost of this plan.
     pub fn execute(&self, cfg: &RunConfig) -> RunReport {
+        self.execute_rec(cfg, &mut SpanRecorder::disabled())
+    }
+
+    /// [`PreparedQuery::execute`] with a [`SpanRecorder`]: records an
+    /// `enumerate` span (with the run's [`EnumStats`] attached as
+    /// detail) and, when `cfg.sorted`, a `sort` span for the canonical
+    /// reorder/merge. Spans are recorded only at this single-threaded
+    /// orchestration boundary — never inside the parallel workers —
+    /// so the recorder cannot perturb enumeration. A disabled recorder
+    /// makes this identical to `execute`.
+    pub fn execute_rec(&self, cfg: &RunConfig, rec: &mut SpanRecorder) -> RunReport {
         let t0 = Instant::now();
-        let (mut bicliques, stats) = if cfg.threads > 1 {
-            let (sinks, stats) = self.stream_parallel(cfg, &CollectSink::default);
-            let mut all = Vec::new();
-            for s in sinks {
-                all.extend(s.bicliques);
+        let (mut bicliques, stats) = rec.timed("enumerate", || {
+            if cfg.threads > 1 {
+                let (sinks, stats) = self.stream_parallel(cfg, &CollectSink::default);
+                let mut all = Vec::new();
+                for s in sinks {
+                    all.extend(s.bicliques);
+                }
+                (all, stats)
+            } else {
+                let mut sink = CollectSink::default();
+                let stats = self.stream_serial(cfg, &mut sink);
+                (sink.bicliques, stats)
             }
-            (all, stats)
-        } else {
-            let mut sink = CollectSink::default();
-            let stats = self.stream_serial(cfg, &mut sink);
-            (sink.bicliques, stats)
-        };
+        });
+        annotate_enumerate(rec, &stats, cfg.threads.max(1));
         if cfg.sorted {
-            crate::results::canonical_order(&mut bicliques);
+            rec.timed("sort", || {
+                crate::results::canonical_order(&mut bicliques);
+            });
         }
         self.report(bicliques, stats, cfg, t0.elapsed())
     }
@@ -288,14 +335,23 @@ impl PreparedQuery {
     /// Count results without materializing them (`stats.emitted` is
     /// the count; `bicliques` stays empty).
     pub fn count(&self, cfg: &RunConfig) -> RunReport {
+        self.count_rec(cfg, &mut SpanRecorder::disabled())
+    }
+
+    /// [`PreparedQuery::count`] with a [`SpanRecorder`] (see
+    /// [`PreparedQuery::execute_rec`]; counting has no `sort` span).
+    pub fn count_rec(&self, cfg: &RunConfig, rec: &mut SpanRecorder) -> RunReport {
         let t0 = Instant::now();
-        let stats = if cfg.threads > 1 {
-            let (_, stats) = self.stream_parallel(cfg, &CountSink::default);
-            stats
-        } else {
-            let mut sink = CountSink::default();
-            self.stream_serial(cfg, &mut sink)
-        };
+        let stats = rec.timed("enumerate", || {
+            if cfg.threads > 1 {
+                let (_, stats) = self.stream_parallel(cfg, &CountSink::default);
+                stats
+            } else {
+                let mut sink = CountSink::default();
+                self.stream_serial(cfg, &mut sink)
+            }
+        });
+        annotate_enumerate(rec, &stats, cfg.threads.max(1));
         self.report(Vec::new(), stats, cfg, t0.elapsed())
     }
 
@@ -304,15 +360,43 @@ impl PreparedQuery {
     /// four models — the proportion maxima simply rank the proportion
     /// enumeration's output.
     pub fn maximum(&self, metric: SizeMetric, cfg: &RunConfig) -> (Option<Biclique>, EnumStats) {
+        self.maximum_rec(metric, cfg, &mut SpanRecorder::disabled())
+    }
+
+    /// [`PreparedQuery::maximum`] with a [`SpanRecorder`]: records
+    /// `enumerate` for the search and `sort` for the cross-worker
+    /// maximum merge (parallel runs only).
+    pub fn maximum_rec(
+        &self,
+        metric: SizeMetric,
+        cfg: &RunConfig,
+        rec: &mut SpanRecorder,
+    ) -> (Option<Biclique>, EnumStats) {
         if cfg.threads > 1 {
-            let (sinks, stats) = self.stream_parallel(cfg, &|| MaxSink::new(metric));
-            (merge_max(metric, sinks).best, stats)
+            let (sinks, stats) = rec.timed("enumerate", || {
+                self.stream_parallel(cfg, &|| MaxSink::new(metric))
+            });
+            annotate_enumerate(rec, &stats, cfg.threads.max(1));
+            let best = rec.timed("sort", || merge_max(metric, sinks).best);
+            (best, stats)
         } else {
             let mut sink = MaxSink::new(metric);
-            let stats = self.stream_serial(cfg, &mut sink);
+            let stats = rec.timed("enumerate", || self.stream_serial(cfg, &mut sink));
+            annotate_enumerate(rec, &stats, cfg.threads.max(1));
             (sink.best, stats)
         }
     }
+}
+
+/// Attach the run's [`EnumStats`] as detail on the just-recorded
+/// `enumerate` span (no-op when disabled).
+fn annotate_enumerate(rec: &mut SpanRecorder, stats: &EnumStats, threads: usize) {
+    rec.annotate_last(|| {
+        format!(
+            "threads={} nodes={} emitted={} aborted={} peak_bytes={}",
+            threads, stats.nodes, stats.emitted, stats.aborted, stats.peak_search_bytes
+        )
+    });
 }
 
 #[cfg(test)]

@@ -374,3 +374,73 @@ fn branch_state_fixture_negative() {
     assert!(fired(&a, "branch-state-clone", "crates/core/src/mbea.rs").is_empty());
     assert!(fired(&a, "branch-state-clone", "crates/core/src/fix.rs").is_empty());
 }
+
+// ---------------------------------------------------- metrics render symmetry
+
+const METRICS_POSITIVE: &str = r#"
+use std::sync::atomic::AtomicU64;
+pub struct Metrics {
+    pub queries_total: AtomicU64,
+    pub orphan_counter: AtomicU64,
+}
+impl Metrics {
+    fn counters(&self) -> [(&'static str, &AtomicU64); 1] {
+        [("queries_total", &self.queries_total)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn naming_a_counter_in_a_test_does_not_render_it() {
+        let _ = "orphan_counter";
+    }
+}
+"#;
+
+const METRICS_NEGATIVE: &str = r#"
+use std::sync::atomic::AtomicU64;
+pub struct Histogram {
+    count: AtomicU64,
+}
+pub struct Metrics {
+    pub queries_total: AtomicU64,
+    pub latency: Histogram,
+}
+impl Metrics {
+    fn counters(&self) -> [(&'static str, &AtomicU64); 1] {
+        [("queries_total", &self.queries_total)]
+    }
+}
+"#;
+
+#[test]
+fn metrics_fixture_positive() {
+    let a = analysis(&[("crates/service/src/metrics.rs", METRICS_POSITIVE)], "");
+    let lines = fired(
+        &a,
+        "metrics-render-symmetry",
+        "crates/service/src/metrics.rs",
+    );
+    // Only the orphan: the test-module literal does not count.
+    assert_eq!(lines, vec![5]);
+}
+
+#[test]
+fn metrics_fixture_negative() {
+    let a = analysis(
+        &[
+            ("crates/service/src/metrics.rs", METRICS_NEGATIVE),
+            // The same orphan anywhere else is not this rule's business.
+            ("crates/service/src/other.rs", METRICS_POSITIVE),
+        ],
+        "",
+    );
+    assert!(fired(
+        &a,
+        "metrics-render-symmetry",
+        "crates/service/src/metrics.rs"
+    )
+    .is_empty());
+    assert!(fired(&a, "metrics-render-symmetry", "crates/service/src/other.rs").is_empty());
+}

@@ -1,0 +1,112 @@
+//! `metrics-render-symmetry` — every public counter is rendered.
+//!
+//! # Rationale
+//!
+//! The service's [`Metrics`] registry exposes its counters through a
+//! single name → field table (`counters()`) that drives both the
+//! `STATS` flat rendering and the `METRICS` Prometheus exposition. A
+//! `pub` `AtomicU64` field added to the struct but forgotten in that
+//! table still compiles, still increments — and silently never
+//! appears in either output. Dashboards read zero series, not zero
+//! values; nobody notices until an incident.
+//!
+//! The check: every `pub <name>: AtomicU64` field declared in
+//! `crates/service/src/metrics.rs` must also appear as the string
+//! literal `"<name>"` somewhere in the same file's non-test code —
+//! in practice, the `counters()` table. The reverse direction needs
+//! no lint: a table entry referencing a deleted field fails to
+//! compile.
+//!
+//! Suppress with `// fbe-lint: allow(metrics-render-symmetry):
+//! <reason>` on the field declaration — legitimate only for a counter
+//! that is deliberately internal (and then: why is it `pub`?).
+//!
+//! [`Metrics`]: ../../../service/src/metrics.rs
+
+use crate::findings::Finding;
+use crate::rules::is_ident;
+use crate::walk::Analysis;
+
+/// Rule identifier.
+pub const NAME: &str = "metrics-render-symmetry";
+
+/// Where the metrics registry lives.
+const METRICS: &str = "crates/service/src/metrics.rs";
+
+/// Extract the field name declared by `pub NAME: AtomicU64` on
+/// scrubbed `code`, if any. Only plain `pub` counts: a private
+/// atomic (e.g. a histogram's internal buckets) is not part of the
+/// rendered surface.
+fn pub_atomic_field(code: &str) -> Option<&str> {
+    let at = code.find("pub ")?;
+    let rest = code[at + "pub ".len()..].trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !is_ident(c))
+        .map_or(rest.len(), |(i, _)| i);
+    let name = &rest[..end];
+    let after = rest[end..].trim_start();
+    let ty = after.strip_prefix(':')?.trim_start();
+    if !name.is_empty() && ty.starts_with("AtomicU64") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Run the rule.
+pub fn check(analysis: &Analysis, findings: &mut Vec<Finding>) {
+    let Some(file) = analysis.file(METRICS) else {
+        return; // partial tree without the service crate
+    };
+    for (idx, line) in file.scrub.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.in_test(lineno) {
+            continue;
+        }
+        let Some(name) = pub_atomic_field(&line.code) else {
+            continue;
+        };
+        // String contents are scrubbed out of the code channel, so
+        // the literal lookup reads the raw lines — restricted to
+        // non-test regions so a unit test naming the counter cannot
+        // satisfy the table requirement.
+        let needle = format!("\"{name}\"");
+        let rendered = file
+            .scrub
+            .raw
+            .iter()
+            .enumerate()
+            .any(|(j, raw)| !file.in_test(j + 1) && raw.contains(&needle));
+        if !rendered {
+            findings.push(Finding::new(
+                NAME,
+                METRICS,
+                lineno,
+                format!(
+                    "counter field `{name}` never appears as the literal \
+                     \"{name}\" in {METRICS}: add it to the counters() \
+                     name table or it is invisible to STATS and METRICS"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction() {
+        assert_eq!(
+            pub_atomic_field("    pub queries_total: AtomicU64,"),
+            Some("queries_total")
+        );
+        assert_eq!(pub_atomic_field("pub x : AtomicU64,"), Some("x"));
+        assert_eq!(pub_atomic_field("    count: AtomicU64,"), None);
+        assert_eq!(pub_atomic_field("pub(crate) hidden: AtomicU64,"), None);
+        assert_eq!(pub_atomic_field("pub latency: Histogram,"), None);
+        assert_eq!(pub_atomic_field("pub fn observe(&self) {"), None);
+    }
+}

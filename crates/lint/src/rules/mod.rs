@@ -11,6 +11,7 @@ pub mod atomics;
 pub mod branch_state;
 pub mod determinism;
 pub mod locks;
+pub mod metrics;
 pub mod panic_paths;
 pub mod symmetry;
 pub mod unsafe_code;
@@ -66,6 +67,11 @@ pub const RULES: &[Rule] = &[
         name: branch_state::NAME,
         summary: "walker branch state is cloned only in the blessed split-point snapshot helper",
         check: branch_state::check,
+    },
+    Rule {
+        name: metrics::NAME,
+        summary: "every pub AtomicU64 counter on Metrics appears in the counters() render table",
+        check: metrics::check,
     },
 ];
 

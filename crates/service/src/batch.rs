@@ -5,7 +5,7 @@
 //! the same scripts drive `fbe batch` offline and `fbe batch
 //! --connect` against a live server.
 
-use crate::engine::{Engine, Outcome};
+use crate::engine::{Engine, Outcome, Session};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
@@ -17,6 +17,9 @@ pub fn run_batch(
     input: &mut dyn BufRead,
     out: &mut dyn Write,
 ) -> std::io::Result<()> {
+    // One session per script, mirroring one-per-connection on the
+    // TCP path: a TRACE line applies to the rest of the script.
+    let mut session = Session::new();
     let mut line = String::new();
     loop {
         line.clear();
@@ -27,7 +30,7 @@ pub fn run_batch(
         if cmd.is_empty() || cmd.starts_with('#') {
             continue;
         }
-        match engine.handle_line(cmd) {
+        match engine.handle_line_in(cmd, &mut session) {
             Outcome::Reply(reply) => reply.write_to(out)?,
             Outcome::Shutdown(reply) => {
                 reply.write_to(out)?;

@@ -35,10 +35,13 @@
 //! coordinator mode: an edge insertion can merge two 2-hop components
 //! and would invalidate the standing partition.
 
-use crate::engine::{Engine, Outcome};
+use crate::engine::{Engine, Outcome, QueryCtx};
 use crate::metrics::bump;
 use crate::protocol::{EnumMode, EnumOpts, GenSpec, Reply, Request, TERMINATOR};
+use crate::slowlog::SlowEntry;
+use fair_biclique::config::StopReason;
 use fair_biclique::maximum::SizeMetric;
+use fair_biclique::obs::SpanRecorder;
 use fair_biclique::prepared::QueryModel;
 use fair_biclique::Biclique;
 use fbe_datasets::corpus::Dataset;
@@ -59,13 +62,13 @@ const DEFAULT_SHARD_TIMEOUT: Duration = Duration::from_secs(30);
 const FANOUT_GRACE: Duration = Duration::from_secs(1);
 
 /// Execute `req` by fanning out to `engine.cfg.shards`.
-pub fn handle(engine: &Engine, req: Request) -> Outcome {
+pub fn handle(engine: &Engine, req: Request, ctx: QueryCtx<'_>) -> Outcome {
     match req {
         Request::Ping => Outcome::Reply(Reply::ok("pong")),
         Request::Shutdown => {
             // Stop the shard servers best-effort (a dead shard must
             // not keep the coordinator alive), then stop locally.
-            let _ = fan(engine, DEFAULT_SHARD_TIMEOUT, |_, conn| {
+            let _ = fan(engine, DEFAULT_SHARD_TIMEOUT, |_, _, conn| {
                 conn.call("SHUTDOWN")
             });
             engine.shutdown_token().cancel();
@@ -80,7 +83,7 @@ pub fn handle(engine: &Engine, req: Request) -> Outcome {
         }
         Request::Stats => Outcome::Reply(stats(engine)),
         Request::Enum { graph, model, opts } => {
-            Outcome::Reply(enum_scatter_gather(engine, &graph, model, opts))
+            Outcome::Reply(enum_scatter_gather(engine, &graph, model, opts, ctx))
         }
         Request::AddEdge { .. } | Request::DelEdge { .. } | Request::AddVertex { .. } => {
             Outcome::Reply(Reply::err(
@@ -93,6 +96,14 @@ pub fn handle(engine: &Engine, req: Request) -> Outcome {
             "BADARG",
             "SHARD is a shard-server verb; the coordinator shards on LOAD/GEN",
         )),
+        // Answered by the engine before coordinator delegation;
+        // unreachable here, kept only for match exhaustiveness.
+        Request::Metrics | Request::Slowlog { .. } | Request::Trace { .. } => {
+            Outcome::Reply(Reply::err(
+                "INTERNAL",
+                "observability verb reached coordinator dispatch",
+            ))
+        }
     }
 }
 
@@ -211,13 +222,15 @@ fn shard_err(engine: &Engine, index: usize, detail: &str, partial: u64) -> Reply
     )
 }
 
-/// Run `work(i, conn)` against every shard concurrently on a fresh
-/// connection each. Returns per-shard results in shard order; a panic
-/// in a worker degrades to an `Err` for that shard.
+/// Run `work(i, connect_elapsed, conn)` against every shard
+/// concurrently on a fresh connection each, timing the connect (plus
+/// greeting) so the caller can attribute shard latency to connection
+/// setup vs. the request itself. Returns per-shard results in shard
+/// order; a panic in a worker degrades to an `Err` for that shard.
 fn fan<T: Send>(
     engine: &Engine,
     timeout: Duration,
-    work: impl Fn(usize, &mut ShardConn) -> Result<T, String> + Sync,
+    work: impl Fn(usize, Duration, &mut ShardConn) -> Result<T, String> + Sync,
 ) -> Vec<Result<T, String>> {
     bump(&engine.metrics.shard_fanouts);
     let shards = &engine.cfg.shards;
@@ -228,8 +241,9 @@ fn fan<T: Send>(
             .map(|(i, addr)| {
                 let work = &work;
                 s.spawn(move || {
+                    let tc = Instant::now();
                     let mut conn = ShardConn::connect(addr, timeout)?;
-                    work(i, &mut conn)
+                    work(i, tc.elapsed(), &mut conn)
                 })
             })
             .collect();
@@ -246,7 +260,9 @@ fn fan<T: Send>(
 /// Fan one already-serialized request line to every shard; succeed only
 /// if every shard answers `OK`, reporting the first failure otherwise.
 fn fan_simple(engine: &Engine, line: &str) -> Reply {
-    let results = fan(engine, DEFAULT_SHARD_TIMEOUT, |_, conn| conn.call_ok(line));
+    let results = fan(engine, DEFAULT_SHARD_TIMEOUT, |_, _, conn| {
+        conn.call_ok(line)
+    });
     merge_ok(engine, results)
 }
 
@@ -255,7 +271,7 @@ fn fan_simple(engine: &Engine, line: &str) -> Reply {
 /// its slice of the partition.
 fn fan_with_shard(engine: &Engine, name: &str, line: &str) -> Reply {
     let k = engine.cfg.shards.len();
-    let results = fan(engine, DEFAULT_SHARD_TIMEOUT, |i, conn| {
+    let results = fan(engine, DEFAULT_SHARD_TIMEOUT, |i, _, conn| {
         conn.call_ok(line)?;
         conn.call_ok(&format!("SHARD {name} index={i} of={k}"))
     });
@@ -294,7 +310,7 @@ fn load(engine: &Engine, name: &str, path: &str, attrs: (u16, u16)) -> Reply {
 fn graphs(engine: &Engine) -> Reply {
     // Shards hold the same catalog names (fan-out keeps them in
     // lockstep), so the first shard answers for all of them.
-    let results = fan(engine, DEFAULT_SHARD_TIMEOUT, |i, conn| {
+    let results = fan(engine, DEFAULT_SHARD_TIMEOUT, |i, _, conn| {
         if i == 0 {
             conn.call_ok("GRAPHS").map(Some)
         } else {
@@ -312,7 +328,7 @@ fn graphs(engine: &Engine) -> Reply {
 }
 
 fn stats(engine: &Engine) -> Reply {
-    let results = fan(engine, DEFAULT_SHARD_TIMEOUT, |_, conn| {
+    let results = fan(engine, DEFAULT_SHARD_TIMEOUT, |_, _, conn| {
         conn.call_ok("STATS")
     });
     let mut r = Reply::ok(format!("shards={}", engine.cfg.shards.len()));
@@ -429,11 +445,28 @@ struct ShardEnum {
     count: u64,
     /// The reader stopped early because the global budget ran out.
     cancelled: bool,
+    /// Connect + greeting time.
+    connect: Duration,
+    /// Send-to-first-status-byte time (queue wait + shard execution).
+    request: Duration,
+    /// Result-stream drain time.
+    stream: Duration,
 }
 
-fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: EnumOpts) -> Reply {
+fn enum_scatter_gather(
+    engine: &Engine,
+    graph: &str,
+    model: QueryModel,
+    opts: EnumOpts,
+    ctx: QueryCtx<'_>,
+) -> Reply {
     bump(&engine.metrics.queries_total);
     let t0 = Instant::now();
+    let mut rec = if ctx.traced {
+        SpanRecorder::enabled()
+    } else {
+        SpanRecorder::disabled()
+    };
     let limit = match opts.mode {
         EnumMode::Collect => Some(opts.limit.unwrap_or(engine.cfg.default_result_limit)),
         _ => opts.limit,
@@ -451,12 +484,15 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
     // connections drop, early-cancelling the remaining streams).
     let budget = AtomicI64::new(limit.map_or(i64::MAX, |k| k.min(i64::MAX as u64) as i64));
     let exhausted = AtomicBool::new(false);
-    let results = fan(engine, timeout, |_, conn| {
+    let results = fan(engine, timeout, |_, connect, conn| {
+        let tr = Instant::now();
         conn.send(&line)?;
         let status = conn.read_line()?;
+        let request = tr.elapsed();
         if !status.starts_with("OK") {
             return Err(format!("shard replied {status}"));
         }
+        let ts = Instant::now();
         let mut out = ShardEnum {
             count: field(&status, "count")
                 .and_then(|v| v.parse().ok())
@@ -464,6 +500,9 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
             status,
             results: Vec::new(),
             cancelled: false,
+            connect,
+            request,
+            stream: Duration::ZERO,
         };
         loop {
             // Budget checks are pure countdowns: no memory is
@@ -471,22 +510,24 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
             // lint: ordering: relaxed — independent counter/flag, no data ordered after it
             if exhausted.load(Ordering::Relaxed) {
                 out.cancelled = true;
-                return Ok(out);
+                break;
             }
             let l = conn.read_line()?;
             if l == TERMINATOR {
-                return Ok(out);
+                break;
             }
             // lint: ordering: relaxed — pure countdown, no acquire/release pairing needed
             if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
                 // lint: ordering: relaxed — advisory flag, racy reads only stop siblings late
                 exhausted.store(true, Ordering::Relaxed);
                 out.cancelled = true;
-                return Ok(out);
+                break;
             }
             let b = parse_biclique(&l).ok_or_else(|| format!("unparseable result line {l:?}"))?;
             out.results.push(b);
         }
+        out.stream = ts.elapsed();
+        Ok(out)
     });
 
     // Any failed shard fails the whole query — with the healthy
@@ -513,6 +554,26 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
     }
     let shards: Vec<ShardEnum> = results.into_iter().flatten().collect();
 
+    // Per-shard attribution: straggler shards show up in the stream
+    // histogram (labels `shard="i"` in `METRICS`) and, when traced, as
+    // `shard` spans carrying the connect/request/stream split.
+    for (i, s) in shards.iter().enumerate() {
+        if let Some(h) = engine.metrics.shard_stream.get(i) {
+            h.observe(s.request + s.stream);
+        }
+        rec.leaf_with("shard", s.connect + s.request + s.stream, || {
+            format!(
+                "index={i} addr={} connect_us={} request_us={} stream_us={} results={} cancelled={}",
+                engine.cfg.shards.get(i).map(String::as_str).unwrap_or("?"),
+                s.connect.as_micros(),
+                s.request.as_micros(),
+                s.stream.as_micros(),
+                s.results.len(),
+                s.cancelled,
+            )
+        });
+    }
+
     // Propagate the most severe shard truncation (deadline > cap), or
     // report the coordinator's own budget exhaustion as a result cap.
     let shard_trunc = |needle: &str| {
@@ -523,7 +584,7 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
     // lint: ordering: relaxed — read-only summary after the fan-out joined
     let budget_spent = exhausted.load(Ordering::Relaxed) || shards.iter().any(|s| s.cancelled);
 
-    let (count, payload, truncated) = match opts.mode {
+    let (count, payload, stop) = rec.timed("merge", || match opts.mode {
         EnumMode::Count => {
             let total: u64 = shards.iter().map(|s| s.count).sum();
             let capped = limit.map_or(total, |k| total.min(k));
@@ -531,9 +592,9 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
                 capped,
                 Vec::new(),
                 if capped < total || shard_trunc("result-cap") {
-                    Some("result-cap")
+                    Some(StopReason::ResultCap)
                 } else if shard_trunc("deadline") {
-                    Some("deadline")
+                    Some(StopReason::Deadline)
                 } else {
                     None
                 },
@@ -564,7 +625,7 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
             }
             let payload: Vec<String> = best.iter().map(|b| b.to_string()).collect();
             let truncated = if shard_trunc("deadline") {
-                Some("deadline")
+                Some(StopReason::Deadline)
             } else {
                 None
             };
@@ -581,7 +642,7 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
                 "k-way merge must preserve canonical order"
             );
             let truncated = if shard_trunc("deadline") {
-                Some("deadline")
+                Some(StopReason::Deadline)
             } else if budget_spent
                 || shard_trunc("result-cap")
                 || limit.is_some_and(|k| merged.len() as u64 >= k)
@@ -590,29 +651,55 @@ fn enum_scatter_gather(engine: &Engine, graph: &str, model: QueryModel, opts: En
                 // shards ran to completion below it otherwise.
                 limit
                     .is_some_and(|k| merged.len() as u64 >= k)
-                    .then_some("result-cap")
+                    .then_some(StopReason::ResultCap)
             } else {
                 None
             };
             let payload: Vec<String> = merged.iter().map(|b| b.to_string()).collect();
             (payload.len() as u64, payload, truncated)
         }
-    };
+    });
 
-    engine.metrics.observe_latency(t0.elapsed());
+    // Single exit for OK replies, mirroring `Engine::query`: observe,
+    // trace-decorate, and offer to the slow-query log exactly once.
+    let elapsed = t0.elapsed();
+    engine.metrics.observe_latency(elapsed);
     bump(&engine.metrics.queries_ok);
+    if let Some(stop) = stop {
+        engine.metrics.observe_truncation(stop);
+    }
     let mut status = format!(
         "model={} graph={graph} count={count} shards={} threads={} elapsed_us={}",
         model.name(),
         engine.cfg.shards.len(),
         opts.threads,
-        t0.elapsed().as_micros()
+        elapsed.as_micros()
     );
-    if let Some(t) = truncated {
+    if let Some(t) = stop {
         status.push_str(&format!(" truncated={t}"));
     }
     let mut reply = Reply::ok(status);
     reply.payload = payload;
+    if rec.is_enabled() {
+        reply
+            .payload
+            .extend(rec.render().into_iter().map(|l| format!("# {l}")));
+    }
+    engine.slowlog.record(SlowEntry {
+        seq: 0,
+        query: if ctx.line.is_empty() {
+            format!("ENUM {graph} {}", model.name())
+        } else {
+            ctx.line.to_string()
+        },
+        graph: graph.to_string(),
+        // The coordinator holds no local catalog; shard epochs are
+        // reachable through each shard's own SLOWLOG.
+        epoch: 0,
+        elapsed,
+        stop,
+        spans: rec.into_spans(),
+    });
     reply
 }
 

@@ -4,10 +4,12 @@
 use crate::catalog::{generate, GraphCatalog, GraphEntry, GraphUpdate, UpdateError};
 use crate::metrics::{bump, Metrics};
 use crate::plan_cache::{PlanCache, PlanKey};
-use crate::protocol::{EnumMode, EnumOpts, Reply, Request};
+use crate::protocol::{EnumMode, EnumOpts, Reply, Request, TraceMode};
+use crate::slowlog::{SlowEntry, SlowLog};
 use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 use crate::ServiceConfig;
 use fair_biclique::config::{Budget, CancelToken, PrepareCtl, RunConfig, StopReason};
+use fair_biclique::obs::SpanRecorder;
 use fair_biclique::prepared::{PreparedQuery, QueryModel};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -123,6 +125,60 @@ enum AdmitRefused {
     DeadlineExpired,
 }
 
+/// Per-connection state: the `TRACE` toggle and its sampling counter.
+/// The transports ([`crate::server`], [`crate::batch`]) keep one per
+/// connection/script and thread it through
+/// [`Engine::handle_line_in`]; the engine itself stays stateless
+/// across requests.
+#[derive(Debug, Default)]
+pub struct Session {
+    trace: TraceMode,
+    sampled: u64,
+}
+
+impl Session {
+    /// Fresh session: tracing off.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Apply a `TRACE` verb.
+    fn set_trace(&mut self, mode: TraceMode) {
+        self.trace = mode;
+        self.sampled = 0;
+    }
+
+    /// Should the next `ENUM` on this connection be traced? Advances
+    /// the `sample=K` counter, so call exactly once per query.
+    fn should_trace(&mut self) -> bool {
+        match self.trace {
+            TraceMode::Off => false,
+            TraceMode::On => true,
+            TraceMode::Sample(k) => {
+                self.sampled += 1;
+                if self.sampled >= k {
+                    self.sampled = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Per-request context derived from connection state, carried into
+/// the query path (and, on coordinators, the fan-out).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryCtx<'a> {
+    /// Append a `# span ...` breakdown block to the reply and record
+    /// the span tree in the slow-query log.
+    pub traced: bool,
+    /// The raw request line (stored in slow-query log entries; empty
+    /// when the request arrived through the typed API).
+    pub line: &'a str,
+}
+
 /// A resident query engine. Shared across connection threads via
 /// `Arc`; all interior mutability is behind locks/atomics.
 pub struct Engine {
@@ -130,8 +186,10 @@ pub struct Engine {
     catalog: GraphCatalog,
     plans: Mutex<PlanCache>,
     admission: Admission,
-    /// Counters served by `STATS`.
+    /// Counters and histograms served by `STATS` / `METRICS`.
     pub metrics: Metrics,
+    /// The N slowest queries, served by `SLOWLOG`.
+    pub slowlog: SlowLog,
     shutdown: CancelToken,
 }
 
@@ -141,9 +199,10 @@ impl Engine {
         Arc::new(Engine {
             admission: Admission::new(cfg.workers, cfg.queue_depth),
             plans: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
+            metrics: Metrics::with_shards(cfg.shards.len()),
+            slowlog: SlowLog::new(cfg.slowlog_capacity),
             cfg,
             catalog: GraphCatalog::new(),
-            metrics: Metrics::new(),
             shutdown: CancelToken::new(),
         })
     }
@@ -164,8 +223,16 @@ impl Engine {
         lock_unpoisoned(&self.plans).clear();
     }
 
-    /// Parse and execute one request line.
+    /// Parse and execute one request line with a throwaway session
+    /// (tracing off). Transports serving multi-request connections
+    /// use [`Engine::handle_line_in`] so `TRACE` persists.
     pub fn handle_line(&self, line: &str) -> Outcome {
+        self.handle_line_in(line, &mut Session::new())
+    }
+
+    /// Parse and execute one request line against a connection's
+    /// [`Session`] (which carries the `TRACE` state across requests).
+    pub fn handle_line_in(&self, line: &str, session: &mut Session) -> Outcome {
         if self.is_shutdown() {
             return Outcome::Reply(Reply::err("SHUTDOWN", "server is stopping"));
         }
@@ -179,7 +246,23 @@ impl Engine {
         }
         match crate::protocol::parse_request(line) {
             Err(reply) => Outcome::Reply(reply),
-            Ok(req) => self.recovered(catch_unwind(AssertUnwindSafe(|| self.handle(req)))),
+            Ok(req) => {
+                // Session bookkeeping happens outside the panic guard:
+                // `TRACE` mutates the toggle, `ENUM` consumes one
+                // sampling tick.
+                let ctx = QueryCtx {
+                    traced: match &req {
+                        Request::Trace { mode } => {
+                            session.set_trace(*mode);
+                            false
+                        }
+                        Request::Enum { .. } => session.should_trace(),
+                        _ => false,
+                    },
+                    line,
+                };
+                self.recovered(catch_unwind(AssertUnwindSafe(|| self.handle_ctx(req, ctx))))
+            }
         }
     }
 
@@ -205,12 +288,40 @@ impl Engine {
         }
     }
 
-    /// Execute a parsed request.
+    /// Execute a parsed request (tracing off, no slow-log query text).
     pub fn handle(&self, req: Request) -> Outcome {
+        self.handle_ctx(req, QueryCtx::default())
+    }
+
+    /// Execute a parsed request under a per-request [`QueryCtx`].
+    pub fn handle_ctx(&self, req: Request, ctx: QueryCtx<'_>) -> Outcome {
+        // Observability verbs answer from the local registry even on a
+        // coordinator: its metrics/slow-log describe the fan-outs it
+        // ran (shard servers keep their own, reachable directly).
+        match &req {
+            Request::Metrics => {
+                let mut r = Reply::ok("format=prometheus");
+                r.payload = self.metrics.render_prometheus();
+                return Outcome::Reply(r);
+            }
+            Request::Slowlog { n } => {
+                let payload = self.slowlog.render(*n);
+                let entries = payload.iter().filter(|l| l.starts_with("query ")).count();
+                let mut r = Reply::ok(format!("entries={entries}"));
+                r.payload = payload;
+                return Outcome::Reply(r);
+            }
+            Request::Trace { mode } => {
+                // The session toggle was applied by `handle_line_in`;
+                // this is just the acknowledgement.
+                return Outcome::Reply(Reply::ok(format!("trace={mode}")));
+            }
+            _ => {}
+        }
         if !self.cfg.shards.is_empty() {
             // Coordinator mode: fan out to the shard servers instead
             // of executing locally (the local catalog stays empty).
-            return crate::coordinator::handle(self, req);
+            return crate::coordinator::handle(self, req, ctx);
         }
         match req {
             Request::Ping => Outcome::Reply(Reply::ok("pong")),
@@ -274,7 +385,14 @@ impl Engine {
                 of,
                 alpha,
             } => Outcome::Reply(self.shard(&graph, index, of, alpha)),
-            Request::Enum { graph, model, opts } => Outcome::Reply(self.query(&graph, model, opts)),
+            Request::Enum { graph, model, opts } => {
+                Outcome::Reply(self.query(&graph, model, opts, ctx))
+            }
+            // Answered before the coordinator check; unreachable here,
+            // kept only for match exhaustiveness.
+            Request::Metrics | Request::Slowlog { .. } | Request::Trace { .. } => Outcome::Reply(
+                Reply::err("INTERNAL", "observability verb reached local dispatch"),
+            ),
         }
     }
 
@@ -401,10 +519,16 @@ impl Engine {
         model: QueryModel,
         opts: &EnumOpts,
         deadline_at: Option<Instant>,
+        rec: &mut SpanRecorder,
     ) -> Result<(Arc<PreparedQuery>, bool), StopReason> {
         let key = PlanKey::new(&entry.name, entry.epoch, model, opts.substrate);
         if let Some(plan) = lock_unpoisoned(&self.plans).get(&key) {
             bump(&self.metrics.plan_cache_hits);
+            // No prepare stage ran; surface the amortized cost so a
+            // traced cache hit still explains where its plan came from.
+            rec.leaf_with("plan-cached", Duration::ZERO, || {
+                format!("amortized_prepare_us={}", plan.prune_elapsed().as_micros())
+            });
             return Ok((plan, true));
         }
         bump(&self.metrics.plan_cache_misses);
@@ -416,13 +540,16 @@ impl Engine {
             deadline_at,
             cancel: Some(self.shutdown.clone()),
         };
-        let plan = Arc::new(PreparedQuery::prepare_bounded(
+        let tp = Instant::now();
+        let plan = Arc::new(PreparedQuery::prepare_rec(
             &entry.graph,
             model,
             Default::default(),
             opts.substrate,
             &ctl,
+            rec,
         )?);
+        self.metrics.stage_prepare.observe(tp.elapsed());
         // Cache only if the entry we prepared against is still the
         // cataloged one. A graph update keeps the epoch (so the key
         // alone cannot tell update generations apart) and runs its
@@ -437,24 +564,86 @@ impl Engine {
         Ok((plan, false))
     }
 
-    fn query(&self, graph: &str, model: QueryModel, opts: EnumOpts) -> Reply {
+    fn query(&self, graph: &str, model: QueryModel, opts: EnumOpts, ctx: QueryCtx<'_>) -> Reply {
         bump(&self.metrics.queries_total);
         let t0 = Instant::now();
+        let mut rec = if ctx.traced {
+            SpanRecorder::enabled()
+        } else {
+            SpanRecorder::disabled()
+        };
+        let mut epoch = 0u64;
+        let (mut reply, stop) = self.run_query(graph, model, &opts, t0, &mut rec, &mut epoch);
+        // Single exit: every OK reply — including truncated ones — is
+        // observed, trace-decorated, and offered to the slow-query log
+        // exactly once; error replies only count as errors.
+        if reply.is_ok() {
+            let elapsed = t0.elapsed();
+            self.metrics.observe_latency(elapsed);
+            bump(&self.metrics.queries_ok);
+            if let Some(stop) = stop {
+                self.metrics.observe_truncation(stop);
+            }
+            if rec.is_enabled() {
+                // `#`-prefixed so payload consumers can filter trace
+                // lines without understanding them (result lines never
+                // start with `#`).
+                reply
+                    .payload
+                    .extend(rec.render().into_iter().map(|l| format!("# {l}")));
+            }
+            self.slowlog.record(SlowEntry {
+                seq: 0,
+                query: if ctx.line.is_empty() {
+                    format!("ENUM {graph} {}", model.name())
+                } else {
+                    ctx.line.to_string()
+                },
+                graph: graph.to_string(),
+                epoch,
+                elapsed,
+                stop,
+                spans: rec.into_spans(),
+            });
+        } else {
+            bump(&self.metrics.queries_err);
+        }
+        reply
+    }
+
+    /// The fallible middle of [`Engine::query`]: admission → plan →
+    /// enumeration. Returns the reply plus the truncation reason (the
+    /// caller owns metrics/trace/slow-log bookkeeping). `epoch_out`
+    /// reports the catalog epoch the query ran against.
+    fn run_query(
+        &self,
+        graph: &str,
+        model: QueryModel,
+        opts: &EnumOpts,
+        t0: Instant,
+        rec: &mut SpanRecorder,
+        epoch_out: &mut u64,
+    ) -> (Reply, Option<StopReason>) {
         let deadline_at = opts.deadline.map(|d| t0 + d);
         let truncated_reply = |cached, stop: StopReason| {
-            let status = self.status_line(graph, model, &opts, 0, cached, Some(stop), t0);
-            self.finish(Reply::ok(status), Some(stop), t0)
+            let status = self.status_line(graph, model, opts, 0, cached, Some(stop), t0);
+            (Reply::ok(status), Some(stop))
         };
         let Some(entry) = self.catalog.get(graph) else {
-            bump(&self.metrics.queries_err);
-            return Reply::err("NOGRAPH", format!("no graph named {graph:?}"));
+            return (
+                Reply::err("NOGRAPH", format!("no graph named {graph:?}")),
+                None,
+            );
         };
+        *epoch_out = entry.epoch;
         let _slot = match self.admission.admit(deadline_at) {
             Ok(slot) => slot,
             Err(AdmitRefused::Busy) => {
                 bump(&self.metrics.rejected_busy);
-                bump(&self.metrics.queries_err);
-                return Reply::err("BUSY", "worker pool and queue are full; retry later");
+                return (
+                    Reply::err("BUSY", "worker pool and queue are full; retry later"),
+                    None,
+                );
             }
             // The deadline expired while queued: the slot was released
             // at expiry and the reply is empty-but-well-formed.
@@ -468,7 +657,7 @@ impl Engine {
         // that outlives the deadline aborts cooperatively inside the
         // prune cascade and reports `truncated=deadline` here — it no
         // longer overshoots by a full un-cancellable prepare.
-        let (plan, cached) = match self.plan_for(&entry, model, &opts, deadline_at) {
+        let (plan, cached) = match self.plan_for(&entry, model, opts, deadline_at, rec) {
             Ok(got) => got,
             Err(stop) => return truncated_reply(false, stop),
         };
@@ -499,26 +688,28 @@ impl Engine {
             ..RunConfig::default()
         };
 
+        let te = Instant::now();
         let (count, payload, stop) = match opts.mode {
             EnumMode::Collect => {
-                let report = plan.execute(&cfg);
+                let report = plan.execute_rec(&cfg, rec);
                 let lines = report.bicliques.iter().map(|b| b.to_string()).collect();
                 (report.stats.emitted, lines, report.truncated_by)
             }
             EnumMode::Count => {
-                let report = plan.count(&cfg);
+                let report = plan.count_rec(&cfg, rec);
                 (report.stats.emitted, Vec::new(), report.truncated_by)
             }
             EnumMode::Maximum(metric) => {
-                let (best, stats) = plan.maximum(metric, &cfg);
+                let (best, stats) = plan.maximum_rec(metric, &cfg, rec);
                 let lines: Vec<String> = best.iter().map(|b| b.to_string()).collect();
                 (lines.len() as u64, lines, stats.stop)
             }
         };
+        self.metrics.stage_enumerate.observe(te.elapsed());
 
-        let mut reply = Reply::ok(self.status_line(graph, model, &opts, count, cached, stop, t0));
+        let mut reply = Reply::ok(self.status_line(graph, model, opts, count, cached, stop, t0));
         reply.payload = payload;
-        self.finish(reply, stop, t0)
+        (reply, stop)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -542,15 +733,6 @@ impl Engine {
             s.push_str(&format!(" truncated={stop}"));
         }
         s
-    }
-
-    fn finish(&self, reply: Reply, stop: Option<StopReason>, t0: Instant) -> Reply {
-        self.metrics.observe_latency(t0.elapsed());
-        bump(&self.metrics.queries_ok);
-        if let Some(stop) = stop {
-            self.metrics.observe_truncation(stop);
-        }
-        reply
     }
 }
 

@@ -16,8 +16,13 @@
 //!   queued without bound, and per-query wall-clock deadlines cover
 //!   queue wait + execution, enforced cooperatively through
 //!   [`fair_biclique::config::CancelToken`] / budget deadlines.
-//! * **Metrics** ([`metrics`]) — atomic counters and a coarse latency
-//!   histogram, served by the `STATS` command.
+//! * **Metrics** ([`metrics`]) — atomic counters plus end-to-end,
+//!   per-stage, and per-shard latency histograms, served flat by
+//!   `STATS` and in Prometheus text exposition format by `METRICS`.
+//! * **Tracing** ([`engine::Session`], [`slowlog`]) — a
+//!   per-connection `TRACE` toggle appends span-tree breakdowns
+//!   ([`fair_biclique::obs`]) to `ENUM` replies, and a bounded
+//!   slow-query log retains the N slowest queries for `SLOWLOG`.
 //!
 //! Transport is a versioned, line-oriented text protocol
 //! ([`protocol`]) served over TCP by [`server::Server`]
@@ -37,6 +42,7 @@ pub mod metrics;
 pub mod plan_cache;
 pub mod protocol;
 pub mod server;
+pub mod slowlog;
 pub mod sync;
 
 /// Tunables of a service instance.
@@ -67,6 +73,9 @@ pub struct ServiceConfig {
     /// `LOAD`/`GEN`/`ENUM`/`DROP`/`STATS`/`SHUTDOWN` fan out to the
     /// shard servers instead of executing locally.
     pub shards: Vec<String>,
+    /// Entries retained by the slow-query log (`SLOWLOG`): the N
+    /// slowest queries since startup. 0 disables the log.
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +88,7 @@ impl Default for ServiceConfig {
             debug_commands: false,
             data_root: None,
             shards: Vec::new(),
+            slowlog_capacity: 32,
         }
     }
 }

@@ -20,6 +20,9 @@
 //!      [substrate=auto|sorted-vec|bitset] [count-only]
 //!      [max=vertices|edges]
 //! STATS
+//! METRICS
+//! SLOWLOG [n]
+//! TRACE <on|off|sample=K>
 //! SHUTDOWN
 //! ```
 //!
@@ -33,6 +36,15 @@
 //! (same catalog epoch, bumped per-update version): the service
 //! repairs its incremental core state and surgically invalidates only
 //! the cached plans whose pruned core the update touched.
+//!
+//! `METRICS` dumps the registry in Prometheus text exposition format
+//! (`STATS` stays the flat `key value` dump). `SLOWLOG [n]` returns
+//! the `n` (default: all retained) slowest queries with their span
+//! trees. `TRACE` is per-connection: `on` appends a `# span ...`
+//! breakdown block to every subsequent `ENUM` reply on this
+//! connection, `sample=K` to every K-th, and `off` (the default)
+//! disables it. Trace lines start with `#`, so payload consumers that
+//! parse result lines can filter them without understanding spans.
 //!
 //! Command verbs are case-insensitive. Every reply is a block: one
 //! status line — `OK <k>=<v>...` or `ERR <CODE> <message>` — followed
@@ -212,10 +224,45 @@ pub enum Request {
         /// Execution knobs.
         opts: EnumOpts,
     },
-    /// Dump the metrics registry.
+    /// Dump the metrics registry as flat `key value` lines.
     Stats,
+    /// Dump the metrics registry in Prometheus text exposition format.
+    Metrics,
+    /// Return the slowest recorded queries with their span trees.
+    Slowlog {
+        /// Cap on returned entries (`None` = all retained).
+        n: Option<usize>,
+    },
+    /// Set this connection's tracing mode for subsequent `ENUM`s.
+    Trace {
+        /// The new mode.
+        mode: TraceMode,
+    },
     /// Stop the server (cancels in-flight queries cooperatively).
     Shutdown,
+}
+
+/// Per-connection tracing mode (`TRACE` verb).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracing (the default for every new connection).
+    #[default]
+    Off,
+    /// Trace every query.
+    On,
+    /// Trace every `K`-th query on the connection (the first traced
+    /// query is the `K`-th after the toggle).
+    Sample(u64),
+}
+
+impl std::fmt::Display for TraceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceMode::Off => f.write_str("off"),
+            TraceMode::On => f.write_str("on"),
+            TraceMode::Sample(k) => write!(f, "sample={k}"),
+        }
+    }
 }
 
 /// A reply block: status line plus payload, terminated by `.` on the
@@ -450,6 +497,36 @@ pub fn parse_request(line: &str) -> Result<Request, Reply> {
         "PING" => Ok(Request::Ping),
         "GRAPHS" => Ok(Request::Graphs),
         "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
+        "SLOWLOG" => match rest {
+            [] => Ok(Request::Slowlog { n: None }),
+            [n] => Ok(Request::Slowlog {
+                n: Some(n.parse().map_err(|e| badarg(format!("n: {e}")))?),
+            }),
+            _ => Err(badarg("SLOWLOG wants at most one count".into())),
+        },
+        "TRACE" => match rest {
+            [arg] if arg.eq_ignore_ascii_case("on") => Ok(Request::Trace {
+                mode: TraceMode::On,
+            }),
+            [arg] if arg.eq_ignore_ascii_case("off") => Ok(Request::Trace {
+                mode: TraceMode::Off,
+            }),
+            [arg] => {
+                let (k, v) = kv(arg).map_err(badarg)?;
+                if !k.eq_ignore_ascii_case("sample") {
+                    return Err(badarg(format!("TRACE wants on|off|sample=K, got {arg:?}")));
+                }
+                let k: u64 = v.parse().map_err(|e| badarg(format!("sample: {e}")))?;
+                if k == 0 {
+                    return Err(badarg("sample= must be at least 1".into()));
+                }
+                Ok(Request::Trace {
+                    mode: TraceMode::Sample(k),
+                })
+            }
+            _ => Err(badarg("TRACE wants exactly one of on|off|sample=K".into())),
+        },
         "SHUTDOWN" => Ok(Request::Shutdown),
         "DROP" => match rest {
             [name] => Ok(Request::Drop {
@@ -576,6 +653,43 @@ mod tests {
             parse_request("DROP g").unwrap(),
             Request::Drop { name: "g".into() }
         );
+    }
+
+    #[test]
+    fn parses_observability_verbs() {
+        assert_eq!(parse_request("metrics").unwrap(), Request::Metrics);
+        assert_eq!(
+            parse_request("SLOWLOG").unwrap(),
+            Request::Slowlog { n: None }
+        );
+        assert_eq!(
+            parse_request("slowlog 5").unwrap(),
+            Request::Slowlog { n: Some(5) }
+        );
+        assert!(parse_request("SLOWLOG x").is_err());
+        assert!(parse_request("SLOWLOG 1 2").is_err());
+        assert_eq!(
+            parse_request("TRACE on").unwrap(),
+            Request::Trace {
+                mode: TraceMode::On
+            }
+        );
+        assert_eq!(
+            parse_request("trace OFF").unwrap(),
+            Request::Trace {
+                mode: TraceMode::Off
+            }
+        );
+        assert_eq!(
+            parse_request("TRACE sample=3").unwrap(),
+            Request::Trace {
+                mode: TraceMode::Sample(3)
+            }
+        );
+        assert!(parse_request("TRACE").is_err());
+        assert!(parse_request("TRACE maybe").is_err());
+        assert!(parse_request("TRACE sample=0").is_err());
+        assert!(parse_request("TRACE on off").is_err());
     }
 
     #[test]

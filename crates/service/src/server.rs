@@ -1,6 +1,6 @@
 //! TCP transport: `std::net::TcpListener`, thread-per-connection.
 
-use crate::engine::{Engine, Outcome};
+use crate::engine::{Engine, Outcome, Session};
 use crate::protocol::Reply;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -125,6 +125,9 @@ fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
     let mut writer = BufWriter::new(stream);
     Reply::greeting().write_to(&mut writer)?;
     writer.flush()?;
+    // Per-connection session: the TRACE toggle lives here and dies
+    // with the connection.
+    let mut session = Session::new();
     let mut buf: Vec<u8> = Vec::new();
     loop {
         buf.clear();
@@ -161,7 +164,7 @@ fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
-        match engine.handle_line(line.trim()) {
+        match engine.handle_line_in(line.trim(), &mut session) {
             Outcome::Reply(reply) => {
                 reply.write_to(&mut writer)?;
                 writer.flush()?;

@@ -1,0 +1,185 @@
+//! Bounded slow-query log: the N slowest queries with their span
+//! trees, served by `SLOWLOG [n]`.
+//!
+//! The log keeps the `capacity` *slowest* queries seen since startup —
+//! not the most recent — so a burst of fast traffic can't flush the
+//! one pathological query an operator is hunting. When full, a new
+//! query is admitted only if it is slower than the current fastest
+//! entry, which it then evicts. Every `OK` query is offered to the
+//! log (metadata is always recorded; the span tree is present only
+//! when the query ran with tracing enabled).
+
+use fair_biclique::config::StopReason;
+use fair_biclique::obs::{render_spans, Span};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One logged query.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Monotone admission sequence number (ties in elapsed time list
+    /// older entries first).
+    pub seq: u64,
+    /// The query as received (the raw protocol line).
+    pub query: String,
+    /// Graph the query ran against.
+    pub graph: String,
+    /// Catalog epoch of that graph at execution time.
+    pub epoch: u64,
+    /// End-to-end latency.
+    pub elapsed: Duration,
+    /// Which limit truncated the query (`None` = ran to completion).
+    pub stop: Option<StopReason>,
+    /// Span tree (empty unless the query was traced).
+    pub spans: Vec<Span>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<SlowEntry>,
+    seq: u64,
+}
+
+/// Keeper of the N slowest queries. All methods take `&self`; the
+/// single mutex is held only for short bookkeeping (no rendering or
+/// allocation of span text happens under it).
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SlowLog {
+    /// A log retaining the `capacity` slowest queries (0 disables it).
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Offer a completed query. Admitted if the log has room or the
+    /// query is slower than the current fastest entry (which is then
+    /// evicted).
+    pub fn record(&self, mut entry: SlowEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        entry.seq = inner.seq;
+        inner.seq += 1;
+        if inner.entries.len() < self.capacity {
+            inner.entries.push(entry);
+            return;
+        }
+        // The log is full here (len == capacity > 0), so a fastest
+        // entry exists; the if-let keeps the path panic-free anyway.
+        if let Some(fastest) = inner
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.elapsed)
+            .map(|(i, _)| i)
+        {
+            if entry.elapsed > inner.entries[fastest].elapsed {
+                inner.entries[fastest] = entry;
+            }
+        }
+    }
+
+    /// The `n` slowest entries (all retained entries when `n` is
+    /// `None`), slowest first; equal latencies order oldest first.
+    pub fn snapshot(&self, n: Option<usize>) -> Vec<SlowEntry> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = inner.entries.clone();
+        drop(inner);
+        out.sort_by(|a, b| b.elapsed.cmp(&a.elapsed).then(a.seq.cmp(&b.seq)));
+        out.truncate(n.unwrap_or(usize::MAX));
+        out
+    }
+
+    /// `SLOWLOG` payload lines: per entry a `query ...` header line
+    /// followed by its indented span tree (if traced).
+    pub fn render(&self, n: Option<usize>) -> Vec<String> {
+        let mut out = Vec::new();
+        for e in self.snapshot(n) {
+            let stop = e.stop.map_or("none".to_string(), |s| s.to_string());
+            out.push(format!(
+                "query seq={} us={} graph={} epoch={} truncated={} q={}",
+                e.seq,
+                e.elapsed.as_micros(),
+                e.graph,
+                e.epoch,
+                stop,
+                e.query,
+            ));
+            out.extend(render_spans(&e.spans));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(query: &str, us: u64) -> SlowEntry {
+        SlowEntry {
+            seq: 0,
+            query: query.to_string(),
+            graph: "g".to_string(),
+            epoch: 1,
+            elapsed: Duration::from_micros(us),
+            stop: None,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_not_the_newest() {
+        let log = SlowLog::new(2);
+        log.record(entry("a", 100));
+        log.record(entry("b", 300));
+        log.record(entry("c", 200)); // evicts a (the fastest)
+        log.record(entry("d", 50)); // too fast: rejected
+        let got: Vec<_> = log.snapshot(None).into_iter().map(|e| e.query).collect();
+        assert_eq!(got, vec!["b", "c"], "slowest first, fastest evicted");
+        // n caps the snapshot.
+        assert_eq!(log.snapshot(Some(1)).len(), 1);
+        assert_eq!(log.snapshot(Some(1))[0].query, "b");
+    }
+
+    #[test]
+    fn equal_latency_orders_oldest_first_and_zero_capacity_disables() {
+        let log = SlowLog::new(3);
+        log.record(entry("x", 100));
+        log.record(entry("y", 100));
+        let got: Vec<_> = log.snapshot(None).into_iter().map(|e| e.query).collect();
+        assert_eq!(got, vec!["x", "y"]);
+
+        let off = SlowLog::new(0);
+        off.record(entry("z", 1_000_000));
+        assert!(off.snapshot(None).is_empty());
+        assert!(off.render(None).is_empty());
+    }
+
+    #[test]
+    fn render_includes_metadata_and_spans() {
+        let log = SlowLog::new(4);
+        let mut e = entry("ENUM g SSFBC alpha=2", 1234);
+        e.stop = Some(StopReason::Deadline);
+        e.spans = vec![Span {
+            name: "enumerate",
+            depth: 0,
+            elapsed: Duration::from_micros(1200),
+            detail: "nodes=9".to_string(),
+        }];
+        log.record(e);
+        let lines = log.render(None);
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].starts_with("query seq=0 us=1234 graph=g epoch=1 truncated=deadline q=ENUM")
+        );
+        assert_eq!(lines[1], "span enumerate us=1200 nodes=9");
+    }
+}

@@ -437,3 +437,191 @@ fn update_sessions_repair_cores_and_invalidate_surgically() {
     handle.join().unwrap().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn metrics_exposition_follows_prometheus_text_grammar() {
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut c = Client::connect(&addr);
+    c.ok("GEN g uniform:16,16,90,11");
+    c.ok("ENUM g ssfbc alpha=1 beta=1 delta=1 count-only");
+    c.ok("ENUM g ssfbc alpha=1 beta=1 delta=1 count-only");
+
+    let (status, payload) = c.ok("METRICS");
+    assert!(status.contains("format=prometheus"), "{status}");
+
+    // Every sample line's family carries a `# TYPE` declaration.
+    let typed: Vec<&str> = payload
+        .iter()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    assert!(!typed.is_empty());
+    for line in payload.iter().filter(|l| !l.starts_with('#')) {
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .unwrap()
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        assert!(typed.contains(&name), "sample without # TYPE: {line}");
+        // Sample values parse as integers (this registry is all-u64).
+        let value = line.split_whitespace().last().unwrap();
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("bad value: {line}"));
+    }
+
+    // Histogram buckets are cumulative: monotone non-decreasing and
+    // terminated by a `+Inf` bucket equal to the family count.
+    let buckets: Vec<u64> = payload
+        .iter()
+        .filter(|l| l.starts_with("fbe_query_latency_us_bucket"))
+        .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(buckets.len(), 6, "five bounds plus +Inf");
+    assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    let count: u64 = payload
+        .iter()
+        .find_map(|l| l.strip_prefix("fbe_query_latency_us_count "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let inf = payload
+        .iter()
+        .find(|l| l.contains("le=\"+Inf\"") && l.starts_with("fbe_query_latency_us"))
+        .unwrap();
+    assert_eq!(
+        inf.split_whitespace()
+            .last()
+            .unwrap()
+            .parse::<u64>()
+            .unwrap(),
+        count,
+        "+Inf bucket equals _count"
+    );
+
+    // The counters agree with STATS (same registry, two renderings).
+    let (_, stats) = c.ok("STATS");
+    let prom_queries: u64 = payload
+        .iter()
+        .find_map(|l| l.strip_prefix("fbe_queries_total "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    // STATS itself is not a query; METRICS/STATS may or may not be
+    // counted depending on dispatch, so compare >= the ENUM count.
+    assert!(prom_queries >= 2, "{prom_queries}");
+    assert!(stat_value(&stats, "queries_total") >= prom_queries);
+
+    c.ok("SHUTDOWN");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn slowlog_is_bounded_sorted_and_evicts_the_fastest() {
+    let (addr, handle) = start_server(ServiceConfig {
+        slowlog_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(&addr);
+    c.ok("GEN g uniform:18,18,110,13");
+    // Three OK enumerations offered to a capacity-2 log: one must be
+    // evicted, and what remains are the two slowest.
+    c.ok("ENUM g ssfbc alpha=1 beta=1 delta=1 count-only");
+    c.ok("ENUM g ssfbc alpha=2 beta=2 delta=1 count-only");
+    c.ok("ENUM g bsfbc alpha=1 beta=1 delta=1 count-only");
+
+    let (status, payload) = c.ok("SLOWLOG");
+    assert!(status.contains("entries=2"), "{status}");
+    let headers: Vec<&String> = payload.iter().filter(|l| l.starts_with("query ")).collect();
+    assert_eq!(headers.len(), 2);
+    let us: Vec<u64> = headers
+        .iter()
+        .map(|h| {
+            h.split_whitespace()
+                .find_map(|t| t.strip_prefix("us="))
+                .unwrap()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert!(us[0] >= us[1], "slowest first: {us:?}");
+    for h in &headers {
+        assert!(h.contains("graph=g"), "{h}");
+        assert!(h.contains("truncated=none"), "{h}");
+        assert!(h.contains("q=ENUM g "), "original line retained: {h}");
+    }
+    // `SLOWLOG 1` returns only the single slowest entry.
+    let (status, payload) = c.ok("SLOWLOG 1");
+    assert!(status.contains("entries=1"), "{status}");
+    assert!(payload[0].contains(&format!("us={}", us[0])), "{payload:?}");
+
+    c.ok("SHUTDOWN");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn traced_enumeration_is_byte_identical_to_untraced() {
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut c = Client::connect(&addr);
+    c.ok("GEN g uniform:20,20,130,17");
+
+    for threads in [1u32, 4] {
+        let q = format!("ENUM g ssfbc alpha=1 beta=1 delta=1 threads={threads}");
+
+        c.ok("TRACE off");
+        let (status_off, payload_off) = c.ok(&q);
+        assert!(
+            payload_off.iter().all(|l| !l.starts_with('#')),
+            "untraced replies carry no span lines"
+        );
+
+        let (status, _) = c.ok("TRACE on");
+        assert!(status.contains("trace=on"), "{status}");
+        let (status_on, payload_on) = c.ok(&q);
+
+        // The span block is appended, `# `-prefixed, and non-empty.
+        let spans: Vec<&String> = payload_on
+            .iter()
+            .filter(|l| l.starts_with("# span "))
+            .collect();
+        assert!(!spans.is_empty(), "traced reply has a span tree");
+        assert!(
+            spans.iter().any(|l| l.contains("enumerate")),
+            "span vocabulary includes enumerate: {spans:?}"
+        );
+
+        // Enumeration results are byte-identical with tracing on.
+        let results_on: Vec<&String> = payload_on.iter().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(
+            results_on,
+            payload_off.iter().collect::<Vec<_>>(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            field(&status_on, "count"),
+            field(&status_off, "count"),
+            "{status_on} vs {status_off}"
+        );
+    }
+
+    // TRACE off restores span-free replies on the same connection.
+    c.ok("TRACE off");
+    let (_, payload) = c.ok("ENUM g ssfbc alpha=1 beta=1 delta=1");
+    assert!(payload.iter().all(|l| !l.starts_with('#')));
+
+    // sample=2 traces every second enumeration on this connection.
+    let (status, _) = c.ok("TRACE sample=2");
+    assert!(status.contains("trace=sample=2"), "{status}");
+    let (_, p1) = c.ok("ENUM g ssfbc alpha=1 beta=1 delta=1 count-only");
+    let (_, p2) = c.ok("ENUM g ssfbc alpha=1 beta=1 delta=1 count-only");
+    let traced = [&p1, &p2]
+        .iter()
+        .filter(|p| p.iter().any(|l| l.starts_with("# span ")))
+        .count();
+    assert_eq!(traced, 1, "exactly one of two queries sampled");
+
+    c.ok("SHUTDOWN");
+    handle.join().unwrap().unwrap();
+}
